@@ -1,0 +1,41 @@
+# Development tasks for the repro package.
+
+PY ?= python
+
+.PHONY: install test bench examples figures compare docs clean all
+
+install:
+	pip install -e ".[test]"
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		if [ "$$ex" = "examples/streamer_sweep.py" ]; then \
+			$(PY) $$ex --fast > /dev/null; \
+		else \
+			$(PY) $$ex > /dev/null; \
+		fi; \
+	done
+	@echo "all examples ran"
+
+figures:
+	$(PY) -m repro.streamer run --out results/all_figures.csv --quiet
+	$(PY) -m repro.streamer report --results results/all_figures.csv
+
+compare:
+	$(PY) -m repro.streamer compare
+
+docs:
+	$(PY) tools/gen_api_docs.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +
+
+all: test bench examples compare

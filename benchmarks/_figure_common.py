@@ -1,0 +1,57 @@
+"""Shared machinery for the Figure 5–8 benches.
+
+Each figure bench times the regeneration of its kernel's full sweep (the
+five test groups of Section 3.2), writes the paper-style table plus a CSV
+to ``results/``, and asserts the figure's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.streamer.configs import FIGURE_KERNELS
+from repro.streamer.report import figure_report
+from repro.streamer.results import ResultSet
+from repro.streamer.runner import StreamerRunner
+
+
+def run_figure_bench(benchmark, runner: StreamerRunner, figure: int,
+                     results_dir: str) -> ResultSet:
+    """Benchmark the sweep, persist the artifacts, return the results."""
+    kernel = FIGURE_KERNELS[figure]
+    results = benchmark(runner.run_figure, figure)
+    results.to_csv(os.path.join(results_dir, f"fig{figure}_{kernel}.csv"))
+    with open(os.path.join(results_dir, f"fig{figure}_{kernel}.txt"),
+              "w") as fh:
+        fh.write(figure_report(results, figure) + "\n")
+    from repro.streamer.plots import gnuplot_script
+    with open(os.path.join(results_dir, f"fig{figure}_{kernel}.gp"),
+              "w") as fh:
+        fh.write(gnuplot_script(results, figure,
+                                output_png=f"fig{figure}_{kernel}.png"))
+    return results
+
+
+def assert_figure_shape(results: ResultSet, kernel: str) -> None:
+    """The qualitative content every subfigure of Figures 5–8 shows."""
+    # 1a/1b: local > remote > CXL at saturation
+    local = results.saturation("1a.ddr5", kernel)
+    remote = results.saturation("1b.ddr5", kernel)
+    cxl = results.saturation("1b.cxl", kernel)
+    assert local > remote > cxl
+
+    # 1c: affinity curves converge per memory type
+    assert abs(results.saturation("1c.cxl.close", kernel)
+               - results.saturation("1c.cxl.spread", kernel)) < 0.5
+    assert abs(results.saturation("1c.ddr5.close", kernel)
+               - results.saturation("1c.ddr5.spread", kernel)) < 0.8
+
+    # 2a: CXL ~ remote DDR4, DDR5 well ahead
+    assert abs(results.saturation("2a.cxl", kernel)
+               - results.saturation("2a.ddr4", kernel)) < 3.0
+    assert results.saturation("2a.ddr5", kernel) > 1.4 * results.saturation(
+        "2a.ddr4", kernel)
+
+    # 2b: on-node DDR4 all-cores converges with CXL
+    assert abs(results.saturation("2b.ddr4", kernel)
+               - results.saturation("2b.cxl", kernel)) < 2.0

@@ -1,0 +1,59 @@
+"""Figure 1 — the migration from PMem-as-hardware to CXL-memory-as-PMem.
+
+The paper's Figure 1 contrasts yesterday's node (DDR4 + DIMM-attached
+Optane + NVMe on PCIe Gen4) with the future node (DDR5 + CXL memory for
+expansion *and* persistence).  This bench runs the migration planner over
+representative PMem workloads and records the before/after deltas.
+
+Output: results/fig1_migration.txt.
+"""
+
+import os
+
+from repro.core.migration import MigrationPlanner, PmemWorkload
+from repro.machine.dram import DDR5_5600
+from repro.machine.presets import setup1, setup1_variant
+
+GB = 10 ** 9
+
+WORKLOADS = {
+    "checkpoint-restart": PmemWorkload(8 * GB, "app-direct",
+                                       min_write_gbps=2.0),
+    "memory-expansion": PmemWorkload(12 * GB, "memory-mode"),
+    "shared-solver-state": PmemWorkload(4 * GB, "app-direct",
+                                        shared_across_nodes=2),
+}
+
+
+def _plan_all():
+    planner = MigrationPlanner(setup1())
+    return {name: planner.plan(w) for name, w in WORKLOADS.items()}
+
+
+def test_fig1_migration_plans(benchmark, results_dir):
+    plans = benchmark(_plan_all)
+    with open(os.path.join(results_dir, "fig1_migration.txt"), "w") as fh:
+        for name, plan in plans.items():
+            fh.write(f"## workload: {name}\n{plan.describe()}\n\n")
+
+    for name, plan in plans.items():
+        assert plan.feasible, name
+        # the Figure-1 promise: every workload gains write bandwidth
+        assert plan.write_bw_gain > 1.0, name
+
+    shared = plans["shared-solver-state"]
+    assert any("SharedSegment" in s.detail for s in shared.steps)
+
+
+def test_fig1_future_variant_lifts_bandwidth_blockers(benchmark):
+    demanding = PmemWorkload(8 * GB, "app-direct", min_read_gbps=40.0)
+
+    def plan_both():
+        today = MigrationPlanner(setup1()).plan(demanding)
+        future = MigrationPlanner(
+            setup1_variant(media_grade=DDR5_5600, channels=4)).plan(demanding)
+        return today, future
+
+    today, future = benchmark(plan_both)
+    assert not today.feasible           # the prototype cannot feed it
+    assert future.feasible              # the future-work variant can

@@ -1,0 +1,13 @@
+"""Figure 5 — SCALE: STREAM scale bandwidth across the five test groups.
+
+Regenerates the paper's Figure 5: scale GB/s vs thread count for groups
+1.(a)-(c) (App-Direct / STREAM-PMem) and 2.(a)-(b) (Memory Mode /
+CC-NUMA), on both modelled testbeds.  Output: results/fig5_scale.{txt,csv}.
+"""
+
+from benchmarks._figure_common import assert_figure_shape, run_figure_bench
+
+
+def test_fig5_scale(benchmark, runner, results_dir):
+    results = run_figure_bench(benchmark, runner, 5, results_dir)
+    assert_figure_shape(results, "scale")

@@ -1,0 +1,13 @@
+"""Figure 6 — ADD: STREAM add bandwidth across the five test groups.
+
+Regenerates the paper's Figure 6: add GB/s vs thread count for groups
+1.(a)-(c) (App-Direct / STREAM-PMem) and 2.(a)-(b) (Memory Mode /
+CC-NUMA), on both modelled testbeds.  Output: results/fig6_add.{txt,csv}.
+"""
+
+from benchmarks._figure_common import assert_figure_shape, run_figure_bench
+
+
+def test_fig6_add(benchmark, runner, results_dir):
+    results = run_figure_bench(benchmark, runner, 6, results_dir)
+    assert_figure_shape(results, "add")

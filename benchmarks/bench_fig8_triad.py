@@ -1,0 +1,13 @@
+"""Figure 8 — TRIAD: STREAM triad bandwidth across the five test groups.
+
+Regenerates the paper's Figure 8: triad GB/s vs thread count for groups
+1.(a)-(c) (App-Direct / STREAM-PMem) and 2.(a)-(b) (Memory Mode /
+CC-NUMA), on both modelled testbeds.  Output: results/fig8_triad.{txt,csv}.
+"""
+
+from benchmarks._figure_common import assert_figure_shape, run_figure_bench
+
+
+def test_fig8_triad(benchmark, runner, results_dir):
+    results = run_figure_bench(benchmark, runner, 8, results_dir)
+    assert_figure_shape(results, "triad")

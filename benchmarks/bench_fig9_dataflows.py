@@ -1,0 +1,52 @@
+"""Figure 9 — data-flow demonstrations for every test configuration.
+
+The paper's Figure 9 draws, per test group, which hardware units each
+configuration's traffic crosses.  Here those arrows are *derived* from the
+topology router, written to ``results/fig9_dataflows.txt``, and asserted
+against the paper's drawing.
+"""
+
+import os
+
+from repro.machine.presets import setup1, setup2
+from repro.streamer.report import dataflow_report
+
+
+def test_fig9_dataflows(benchmark, results_dir):
+    text = benchmark(dataflow_report)
+    with open(os.path.join(results_dir, "fig9_dataflows.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+    # Row 1a: local access touches only the local controller
+    assert "socket0 -> s0.mc" in text
+    # Row 1b/2a remote: socket0 over UPI to socket1's controller
+    assert "socket0 -> upi.0->1 -> s1.mc" in text
+    # Row 1b/2a CXL: socket0 through the link to the device controller
+    assert "socket0 -> cxl0.link -> cxl0.mc" in text
+    # Rows 1c/2b from the far socket: UPI first, then the CXL path
+    assert "socket1 -> upi.1->0 -> cxl0.link -> cxl0.mc" in text
+
+
+def test_fig9_route_latency_ordering(benchmark):
+    """The latency ordering implied by the arrows: local < remote < CXL
+    < CXL-via-UPI, on Setup #1."""
+    tb = setup1()
+
+    def resolve():
+        m = tb.machine
+        return (m.route(0, 0), m.route(0, 1), m.route(0, 2), m.route(1, 2))
+
+    local, remote, cxl, cxl_far = benchmark(resolve)
+    assert (local.latency_ns < remote.latency_ns
+            < cxl.latency_ns < cxl_far.latency_ns)
+
+
+def test_fig9_setup2_has_no_cxl_flows(benchmark):
+    tb = setup2()
+
+    def resolve():
+        return [tb.machine.route(s, n)
+                for s in (0, 1) for n in (0, 1)]
+
+    paths = benchmark(resolve)
+    assert all(not p.crosses_cxl for p in paths)

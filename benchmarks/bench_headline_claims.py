@@ -1,0 +1,57 @@
+"""The headline numbers of Sections 1.4, 4 and 5, as one bench.
+
+Runs the full evaluation matrix at paper scale, evaluates every Section-4
+claim through the comparison harness, and records the verdicts.
+
+Output: results/headline_claims.txt.
+"""
+
+import os
+
+from repro.streamer.compare import compare_to_paper, comparison_report
+
+
+def test_headline_claims(benchmark, full_results, results_dir):
+    checks = benchmark(compare_to_paper, full_results, "triad")
+    report = comparison_report(full_results, "triad")
+    with open(os.path.join(results_dir, "headline_claims.txt"), "w") as fh:
+        fh.write(report + "\n")
+
+    assert len(checks) == 12
+    failed = [c.claim for c in checks if not c.passed]
+    assert failed == [], f"claims failed: {failed}"
+
+
+def test_claims_hold_for_every_kernel(benchmark, full_results):
+    """The paper reports all four operations; the claims must not be an
+    artifact of one kernel."""
+
+    def evaluate_all():
+        return {
+            kernel: compare_to_paper(full_results, kernel)
+            for kernel in ("copy", "scale", "add", "triad")
+        }
+
+    by_kernel = benchmark(evaluate_all)
+    for kernel, checks in by_kernel.items():
+        failed = [c.claim for c in checks if not c.passed]
+        assert failed == [], f"{kernel}: {failed}"
+
+
+def test_pmdk_overhead_claim_bandwidth(benchmark, full_results):
+    """PMDK overhead (10-15%) holds per kernel and per remote target."""
+
+    def overheads():
+        out = {}
+        for kernel in ("copy", "scale", "add", "triad"):
+            ad = full_results.saturation("1b.ddr5", kernel)
+            numa = full_results.saturation("2a.ddr5", kernel)
+            out[("ddr5", kernel)] = 1 - ad / numa
+            ad = full_results.saturation("1b.cxl", kernel)
+            numa = full_results.saturation("2a.cxl", kernel)
+            out[("cxl", kernel)] = 1 - ad / numa
+        return out
+
+    ovh = benchmark(overheads)
+    for key, value in ovh.items():
+        assert 0.07 <= value <= 0.18, (key, value)

@@ -1,0 +1,103 @@
+"""Idle-latency matrix of the modelled testbeds.
+
+The paper discusses latency qualitatively (the CXL prototype's soft-IP
+transaction layer dominates far-memory latency; SPR's caches shave it).
+This bench renders the full socket × node latency matrix plus the
+SLIT-style distances an OS would derive, and asserts the orderings the
+analysis relies on.
+
+Output: results/latency_matrix.txt.
+"""
+
+import os
+
+from repro.machine.presets import setup1, setup2
+from repro.streamer.report import latency_report
+
+
+def test_latency_matrix(benchmark, results_dir):
+    text = benchmark(latency_report)
+    with open(os.path.join(results_dir, "latency_matrix.txt"), "w") as fh:
+        fh.write(text + "\n")
+    assert "setup1" in text and "SLIT" in text
+
+
+def test_latency_orderings(benchmark):
+    def measure():
+        m1 = setup1().machine
+        m2 = setup2().machine
+        return {
+            "local_ddr5": m1.route(0, 0).latency_ns,
+            "remote_ddr5": m1.route(0, 1).latency_ns,
+            "cxl_near": m1.route(0, 2).latency_ns,
+            "cxl_far": m1.route(1, 2).latency_ns,
+            "local_ddr4": m2.route(0, 0).latency_ns,
+            "remote_ddr4": m2.route(0, 1).latency_ns,
+        }
+
+    lat = benchmark(measure)
+    # the prototype's far-memory latency dominates everything on-package
+    assert (lat["local_ddr5"] < lat["remote_ddr5"]
+            < lat["cxl_near"] < lat["cxl_far"])
+    # CXL latency is several times local DRAM (FPGA soft IP, per §2.2)
+    assert lat["cxl_near"] / lat["local_ddr5"] > 3.0
+    # Gold's smaller caches: its local latency is close to SPR's despite
+    # the faster DIMM-side timing
+    assert abs(lat["local_ddr4"] - lat["local_ddr5"]) < 15.0
+
+
+def test_slit_distances_normalized(benchmark):
+    def slit():
+        return setup1().machine.distance_matrix()
+
+    d = benchmark(slit)
+    assert min(d.values()) == 10.0
+    # CXL node is the farthest entry from either socket
+    assert d[(0, 2)] == max(d[(0, n)] for n in (0, 1, 2))
+
+
+def test_loaded_latency_curves(benchmark, results_dir):
+    """The MLC-style loaded-latency curve (latency vs delivered
+    bandwidth) for local DDR5 and the CXL prototype, from the DES.
+
+    Shape: flat at idle latency while concurrency-limited, then a sharp
+    queueing knee at the capacity ceiling — the far-memory curve knees at
+    a much lower bandwidth AND a much higher base, which is the whole
+    latency story of the FPGA prototype in one plot."""
+    from repro.machine.affinity import place_threads
+    from repro.machine.numa import NumaPolicy
+    from repro.memsim.des import simulate_stream_des
+
+    tb = setup1()
+    m = tb.machine
+
+    def sweep():
+        out = {}
+        for label, node in (("DDR5", 0), ("CXL", 2)):
+            pts = []
+            for n in range(1, 11):
+                cores = place_threads(m, n, sockets=[0])
+                r = simulate_stream_des(m, "triad", cores,
+                                        NumaPolicy.bind(node))
+                pts.append((r.reported_gbps, r.mean_latency_ns))
+            out[label] = pts
+        return out
+
+    curves = benchmark(sweep)
+    with open(os.path.join(results_dir, "latency_matrix.txt"), "a") as fh:
+        fh.write("\n=== loaded latency (DES): bandwidth vs mean latency ===\n")
+        for label, pts in curves.items():
+            fh.write(f"-- {label} --\n")
+            fh.write(f"{'GB/s':>8}{'ns':>8}\n")
+            for bw, lat in pts:
+                fh.write(f"{bw:>8.2f}{lat:>8.0f}\n")
+
+    ddr5 = curves["DDR5"]
+    cxl = curves["CXL"]
+    # CXL knees at ~1/3 the bandwidth and ~4.5x the idle latency
+    assert max(bw for bw, _ in cxl) < 0.5 * max(bw for bw, _ in ddr5)
+    assert cxl[0][1] > 4 * ddr5[0][1]
+    # both curves are monotone in latency along the sweep
+    for pts in curves.values():
+        lats = [lat for _, lat in pts]
+        assert all(b >= a - 1e-6 for a, b in zip(lats, lats[1:]))

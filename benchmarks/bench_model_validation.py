@@ -1,0 +1,98 @@
+"""Model cross-validation: analytic solver vs discrete-event simulation.
+
+The figures' credibility rests on the bandwidth model.  This bench runs
+every single-target configuration of the paper's evaluation through BOTH
+the closed-form engine and the independent event-driven simulator and
+reports the deviation.  Acceptance: within 5 % everywhere (8 % on the
+Xeon Gold remote path, where the DES has no snoop-weight refinement).
+
+Output: results/model_validation.txt.
+"""
+
+import os
+
+import pytest
+
+from repro.machine.affinity import place_threads
+from repro.machine.numa import NumaPolicy
+from repro.machine.presets import setup1, setup2
+from repro.memsim.des import simulate_stream_des
+from repro.memsim.engine import AccessMode, simulate_stream
+
+CONFIGS = [
+    # (label, testbed key, node, threads, app_direct)
+    ("1a local DDR5 AD", "setup1", 0, 10, True),
+    ("1b remote DDR5 AD", "setup1", 1, 10, True),
+    ("1b CXL AD", "setup1", 2, 10, True),
+    ("2a remote DDR5 NUMA", "setup1", 1, 10, False),
+    ("2a CXL NUMA", "setup1", 2, 10, False),
+    ("2a remote DDR4 NUMA", "setup2", 1, 10, False),
+    ("CXL 1 thread", "setup1", 2, 1, False),
+    ("CXL 3 threads", "setup1", 2, 3, False),
+    ("local 1 thread", "setup1", 0, 1, False),
+    ("local 2 threads", "setup1", 0, 2, False),
+]
+
+
+def _validate_all() -> dict[str, tuple[float, float]]:
+    testbeds = {"setup1": setup1(), "setup2": setup2()}
+    out: dict[str, tuple[float, float]] = {}
+    for label, tb_key, node, n, app_direct in CONFIGS:
+        m = testbeds[tb_key].machine
+        cores = place_threads(m, n, sockets=[0])
+        mode = AccessMode.APP_DIRECT if app_direct else AccessMode.NUMA
+        analytic = simulate_stream(m, "triad", cores, NumaPolicy.bind(node),
+                                   mode).reported_gbps
+        des = simulate_stream_des(m, "triad", cores, NumaPolicy.bind(node),
+                                  app_direct=app_direct).reported_gbps
+        out[label] = (analytic, des)
+    return out
+
+
+def test_model_validation(benchmark, results_dir):
+    data = benchmark(_validate_all)
+
+    lines = ["=== model cross-validation: analytic vs discrete-event "
+             "(triad, GB/s) ===",
+             f"{'configuration':<24}{'analytic':>10}{'DES':>10}{'dev':>8}"]
+    worst = 0.0
+    for label, (analytic, des) in data.items():
+        dev = abs(des - analytic) / analytic
+        worst = max(worst, dev)
+        lines.append(f"{label:<24}{analytic:>10.2f}{des:>10.2f}"
+                     f"{dev:>7.1%}")
+    lines.append(f"worst-case deviation: {worst:.1%}")
+    with open(os.path.join(results_dir, "model_validation.txt"), "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+    for label, (analytic, des) in data.items():
+        tolerance = 0.08 if "DDR4" in label else 0.05
+        assert des == pytest.approx(analytic, rel=tolerance), label
+
+
+def test_des_reproduces_the_saturation_knee(benchmark):
+    """The knee of the CXL curve (concurrency-limited → capacity-limited)
+    lands at the same thread count in both models."""
+    tb = setup1()
+    m = tb.machine
+
+    def knees():
+        analytic_curve, des_curve = [], []
+        for n in range(1, 9):
+            cores = place_threads(m, n, sockets=[0])
+            analytic_curve.append(simulate_stream(
+                m, "triad", cores, NumaPolicy.bind(2)).reported_gbps)
+            des_curve.append(simulate_stream_des(
+                m, "triad", cores, NumaPolicy.bind(2)).reported_gbps)
+        return analytic_curve, des_curve
+
+    analytic_curve, des_curve = benchmark(knees)
+
+    def knee(curve, sat_frac=0.98):
+        ceiling = curve[-1]
+        for i, v in enumerate(curve):
+            if v >= sat_frac * ceiling:
+                return i + 1
+        return len(curve)
+
+    assert knee(analytic_curve) == knee(des_curve)

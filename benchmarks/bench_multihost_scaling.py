@@ -1,0 +1,109 @@
+"""Future work #1 — multiple nodes accessing one CXL memory device.
+
+"Further investigation is warranted to explore the scalability of
+CXL-enabled memory in larger HPC clusters, with more than one node
+accessing the CXL memory."  This bench scales the host count over one
+shared expander: each host drives the device through its own link, the
+FPGA media controller is the shared resource, and the model reports
+aggregate and per-host bandwidth.
+
+Output: results/multihost_scaling.txt.
+"""
+
+import os
+
+import pytest
+
+from repro.machine.affinity import place_threads
+from repro.machine.presets import multihost_cxl
+from repro.memsim.bwmodel import Flow, solve_max_min
+from repro.memsim.concurrency import thread_bandwidth_cap
+from repro.memsim.traffic import reported_fraction
+
+HOST_COUNTS = (1, 2, 4, 8)
+
+
+def _aggregate(n_hosts: int, threads_per_host: int = 10) -> tuple[float, float]:
+    """(aggregate reported GB/s, per-host reported GB/s) for triad."""
+    tb = multihost_cxl(n_hosts)
+    m = tb.machine
+    flows = []
+    for sid in range(n_hosts):
+        for i, core in enumerate(place_threads(m, threads_per_host,
+                                               sockets=[sid])):
+            path = m.route(sid, 100 + sid)
+            cap = thread_bandwidth_cap(core, path.latency_ns)
+            flows.append(Flow(f"h{sid}t{i}",
+                              {r: 1.0 for r in path.resources}, cap))
+    alloc = solve_max_min(flows, dict(m.resources))
+    reported = alloc.total_gbps * reported_fraction("triad")
+    return reported, reported / n_hosts
+
+
+def _sweep() -> dict[int, tuple[float, float]]:
+    return {n: _aggregate(n) for n in HOST_COUNTS}
+
+
+def test_multihost_scaling(benchmark, results_dir):
+    data = benchmark(_sweep)
+
+    lines = ["=== Multi-host sharing of one CXL device (triad, "
+             "10 threads/host) ===",
+             f"{'hosts':>6}{'aggregate GB/s':>16}{'per-host GB/s':>16}"]
+    for n, (agg, per) in data.items():
+        lines.append(f"{n:>6}{agg:>16.2f}{per:>16.2f}")
+    with open(os.path.join(results_dir, "multihost_scaling.txt"), "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+    # aggregate is pinned at the device ceiling once >= 2 hosts
+    assert data[2][0] == pytest.approx(data[4][0], rel=0.02)
+    assert data[4][0] == pytest.approx(data[8][0], rel=0.02)
+    # per-host share halves as hosts double (fair sharing)
+    assert data[4][1] == pytest.approx(data[2][1] / 2, rel=0.05)
+    assert data[8][1] == pytest.approx(data[4][1] / 2, rel=0.05)
+    # one host alone already saturates the prototype's media
+    assert data[1][0] == pytest.approx(8.63, abs=0.3)
+
+
+def test_multihost_fairness(benchmark):
+    """No host starves: max-min sharing gives each host an equal slice
+    of the shared media."""
+
+    def per_host_rates():
+        tb = multihost_cxl(4)
+        m = tb.machine
+        flows = []
+        for sid in range(4):
+            for i, core in enumerate(place_threads(m, 10, sockets=[sid])):
+                path = m.route(sid, 100 + sid)
+                cap = thread_bandwidth_cap(core, path.latency_ns)
+                flows.append(Flow(f"h{sid}t{i}",
+                                  {r: 1.0 for r in path.resources}, cap))
+        alloc = solve_max_min(flows, dict(m.resources))
+        by_host = [0.0] * 4
+        for name, rate in alloc.rates.items():
+            by_host[int(name[1])] += rate
+        return by_host
+
+    by_host = benchmark(per_host_rates)
+    assert max(by_host) - min(by_host) < 0.05 * max(by_host)
+
+
+def test_multihost_persistence_shared(benchmark):
+    """All hosts see the same persistent bytes (enumeration + LSA labels
+    agree), which is what shared checkpoint pools require."""
+    from repro.core.runtime import CxlPmemRuntime
+
+    def roundtrip():
+        tb = multihost_cxl(2)
+        rt = CxlPmemRuntime(tb.host_bridges)
+        ns = rt.create_namespace("cxl0", "shared-pool", 4 << 20)
+        region = ns.region()
+        region.write(0, b"written by host0")
+        region.persist(0, 16)
+        # host1's runtime sees the same label and the same bytes
+        rt1 = CxlPmemRuntime([tb.host_bridges[1]])
+        ns1 = rt1.open_namespace("cxl0", "shared-pool")
+        return ns1.region().read(0, 16)
+
+    assert benchmark(roundtrip) == b"written by host0"

@@ -1,0 +1,114 @@
+"""PMDK-layer microbenchmarks: the "fast storage device" characterization.
+
+The paper's storage use case rests on PMem being byte-addressable and
+fast to commit to.  These benches time the reproduction's persistence
+primitives on the host — append throughput (diagnostics), atomic block
+writes (checkpoint pages), transactional updates and checkpoint
+save/load — the numbers a downstream user sizing a C/R pipeline needs.
+
+Output: timing via pytest-benchmark's table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pmdk.pmem import VolatileRegion, map_file
+from repro.pmdk.pmemblk import PmemBlk
+from repro.pmdk.pmemlog import PmemLog
+from repro.pmdk.pool import PmemObjPool
+from repro.workloads.checkpoint import CheckpointManager
+
+REGION = 16 << 20
+
+
+class TestLogThroughput:
+    def test_pmemlog_append_small(self, benchmark):
+        log = PmemLog.create(VolatileRegion(REGION))
+        payload = b"step=42 residual=1.25e-9"
+
+        def append():
+            if log.free_bytes < 4096:
+                log.rewind()
+            log.append(payload)
+
+        benchmark(append)
+
+    def test_pmemlog_append_4k(self, benchmark):
+        log = PmemLog.create(VolatileRegion(REGION))
+        payload = b"\x5a" * 4096
+
+        def append():
+            if log.free_bytes < 2 * 4096:
+                log.rewind()
+            log.append(payload)
+
+        benchmark(append)
+
+    def test_pmemlog_walk_1000_records(self, benchmark):
+        log = PmemLog.create(VolatileRegion(REGION))
+        for i in range(1000):
+            log.append(f"record {i}".encode())
+        records = benchmark(log.walk)
+        assert len(records) == 1000
+
+
+class TestBlockThroughput:
+    def test_pmemblk_write_512(self, benchmark):
+        blk = PmemBlk.create(VolatileRegion(REGION), 512)
+        data = b"\xa5" * 512
+        lba = [0]
+
+        def write():
+            blk.write(lba[0] % blk.nblock, data)
+            lba[0] += 1
+
+        benchmark(write)
+
+    def test_pmemblk_write_4096(self, benchmark):
+        blk = PmemBlk.create(VolatileRegion(REGION), 4096)
+        data = b"\xa5" * 4096
+        benchmark(blk.write, 0, data)
+
+    def test_pmemblk_read(self, benchmark):
+        blk = PmemBlk.create(VolatileRegion(REGION), 4096)
+        blk.write(0, b"\x11" * 4096)
+        got = benchmark(blk.read, 0)
+        assert len(got) == 4096
+
+
+class TestPoolOps:
+    def test_file_backed_persist_1mb(self, benchmark, tmp_path):
+        region = map_file(str(tmp_path / "p.pmem"), REGION, create=True)
+        region.write(0, b"\x42" * (1 << 20))
+        benchmark(region.persist, 0, 1 << 20)
+        region.close()
+
+    def test_alloc_free_cycle(self, benchmark):
+        pool = PmemObjPool.create(VolatileRegion(REGION), layout="micro")
+
+        def cycle():
+            oid = pool.alloc(4096, zero=False)
+            pool.free(oid)
+
+        benchmark(cycle)
+
+    def test_checkpoint_save_1mb(self, benchmark):
+        pool = PmemObjPool.create(VolatileRegion(64 << 20), layout="ckpt")
+        cm = CheckpointManager(pool)
+        state = np.random.default_rng(0).standard_normal(131_072)  # 1 MB
+
+        counter = [0]
+
+        def save():
+            cm.save("state", {"u": state}, step=counter[0])
+            counter[0] += 1
+
+        benchmark(save)
+
+    def test_checkpoint_load_1mb(self, benchmark):
+        pool = PmemObjPool.create(VolatileRegion(64 << 20), layout="ckpt")
+        cm = CheckpointManager(pool)
+        state = np.random.default_rng(0).standard_normal(131_072)
+        cm.save("state", {"u": state}, step=1)
+        arrays, step, _ = benchmark(cm.load, "state")
+        assert np.array_equal(arrays["u"], state)

@@ -1,0 +1,116 @@
+"""STREAM-PMem native microbenchmarks (Section 3.1's software stack).
+
+These benches time the *functional* stack on the host machine: the STREAM
+kernels over pool-backed arrays across backends, PMDK persist throughput,
+and transaction commit latency.  They characterize the reproduction's
+PMDK layer the way STREAMer characterizes devices.
+
+Output: results/stream_pmem_native.txt (best rates per backend).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import CxlPmemRuntime
+from repro.machine.presets import setup1
+from repro.pmdk.containers import PersistentArray
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import PmemObjPool
+from repro.stream.config import StreamConfig
+from repro.stream.kernels import KERNELS
+from repro.stream.pmem_stream import StreamPmem
+
+CFG = StreamConfig(array_size=400_000, ntimes=3)
+
+
+@pytest.fixture(scope="module")
+def rt():
+    return CxlPmemRuntime(setup1().host_bridges)
+
+
+@pytest.fixture(scope="module", params=["file", "mem", "cxl"])
+def stream_pmem(request, rt, tmp_path_factory):
+    backend = request.param
+    if backend == "file":
+        uri = f"file://{tmp_path_factory.mktemp('bench')}/s.pool"
+    elif backend == "mem":
+        uri = "mem://16m"
+    else:
+        uri = f"cxl://cxl0/bench-{id(request)}"
+    sp = StreamPmem.create(uri, CFG, runtime=rt)
+    yield backend, sp
+
+
+_collected: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("kernel", ["copy", "scale", "add", "triad"])
+def test_stream_pmem_kernel(benchmark, stream_pmem, kernel):
+    """Time one kernel pass over persistent arrays on each backend."""
+    backend, sp = stream_pmem
+    a, b, c = (arr.as_ndarray() for arr in sp.arrays)
+    fn = KERNELS[kernel]
+    benchmark(fn, a, b, c, CFG.scalar)
+    gbps = CFG.counted_bytes(kernel) / benchmark.stats["min"] / 1e9
+    _collected[(backend, kernel)] = gbps
+    assert gbps > 0.1      # pool-backed views must not be pathologically slow
+
+
+def test_write_results_table(benchmark, results_dir):
+    """Summarize the collected kernel rates (runs last alphabetically is
+    not guaranteed, so this also re-times a triad pass as its benchmark)."""
+    region = VolatileRegion(32 << 20)
+    pool = PmemObjPool.create(region, layout="summary")
+    arrays = [PersistentArray.create(pool, CFG.array_size, "float64")
+              for _ in range(3)]
+    a, b, c = (pa.as_ndarray() for pa in arrays)
+    a[:] = 2.0
+    b[:] = 2.0
+    c[:] = 0.0
+
+    benchmark(KERNELS["triad"], a, b, c, 3.0)
+
+    lines = ["=== STREAM-PMem native best rates (GB/s) ==="]
+    for (backend, kernel), gbps in sorted(_collected.items()):
+        lines.append(f"{backend:<6}{kernel:<8}{gbps:8.2f}")
+    with open(os.path.join(results_dir, "stream_pmem_native.txt"),
+              "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def test_persist_throughput(benchmark, tmp_path):
+    """pmem_persist cost over a file region (the flush path App-Direct
+    pays on every commit)."""
+    from repro.pmdk.pmem import map_file
+    region = map_file(str(tmp_path / "persist.pmem"), 8 << 20, create=True)
+    region.write(0, b"\x5a" * (4 << 20))
+
+    benchmark(region.persist, 0, 4 << 20)
+    region.close()
+
+
+def test_transaction_commit_latency(benchmark):
+    """Small-object transactional update: snapshot + write + commit."""
+    pool = PmemObjPool.create(VolatileRegion(8 << 20), layout="txbench")
+    oid = pool.alloc(256)
+    payload = np.arange(32).tobytes()
+
+    def txn():
+        with pool.transaction() as tx:
+            pool.tx_write(tx, oid, payload)
+
+    benchmark(txn)
+
+
+def test_transactional_alloc_free_cycle(benchmark):
+    pool = PmemObjPool.create(VolatileRegion(8 << 20), layout="allocbench")
+
+    def cycle():
+        with pool.transaction() as tx:
+            oid = pool.tx_alloc(tx, 1024)
+        with pool.transaction() as tx:
+            pool.tx_free(tx, oid)
+
+    benchmark(cycle)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Generated
+artifacts (figure tables, CSVs, claim reports) land in ``results/`` at the
+repository root so a full ``pytest benchmarks/ --benchmark-only`` run
+leaves the complete reproduced evaluation on disk.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.streamer.runner import StreamerRunner
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    path = os.path.abspath(RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def runner() -> StreamerRunner:
+    """One runner (paper configuration: 100M elements) for the session."""
+    return StreamerRunner()
+
+
+@pytest.fixture(scope="session")
+def full_results(runner):
+    """The complete evaluation matrix: all groups x all four kernels."""
+    return runner.run_all()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Hybrid DRAM + CXL memory: weighted interleave and Memory-Mode tiering.
+
+The paper's second future-work item ("hybrid architectures … combining
+DDR, PMem, and CXL memory") made executable:
+
+* sweep the DRAM:CXL weighted-interleave ratio and find the bandwidth-
+  optimal split — the two tiers *aggregate*;
+* run access traces with different locality through a Memory-Mode DRAM
+  cache over the CXL node and watch the effective bandwidth follow the
+  hit rate;
+* compare against an emulated Optane DCPMM node, the hardware the hybrid
+  is replacing.
+
+Run:  python examples/hybrid_tiering.py
+"""
+
+from repro.core import MemoryModeTier, sequential_trace, zipf_trace
+from repro.machine import NumaPolicy, place_threads, setup1_with_dcpmm
+from repro.memsim import AccessMode, simulate_stream
+
+
+def main() -> None:
+    tb = setup1_with_dcpmm()
+    machine = tb.machine
+    cores = place_threads(machine, 10, sockets=[0])
+
+    def triad(policy, mode=AccessMode.NUMA):
+        return simulate_stream(machine, "triad", cores, policy,
+                               mode).reported_gbps
+
+    # --- 1. weighted interleave sweep -------------------------------------
+    print("weighted interleave DRAM:CXL (triad, 10 threads, GB/s):")
+    best = ("", 0.0)
+    for dram_w, cxl_w in ((1, 0), (7, 1), (3, 1), (2, 1), (1, 1), (0, 1)):
+        if cxl_w == 0:
+            pol = NumaPolicy.bind(0)
+        elif dram_w == 0:
+            pol = NumaPolicy.bind(2)
+        else:
+            pol = NumaPolicy.weighted({0: dram_w, 2: cxl_w})
+        bw = triad(pol)
+        tag = f"{dram_w}:{cxl_w}"
+        if bw > best[1]:
+            best = (tag, bw)
+        print(f"  {tag:>5}  {bw:6.2f}")
+    print(f"  -> optimal split {best[0]} aggregates both tiers "
+          f"({best[1]:.2f} GB/s > DRAM-only)")
+
+    # --- 2. Memory-Mode tiering vs locality --------------------------------
+    print("\nMemory Mode (DRAM page cache over CXL) vs workload locality:")
+    scenarios = {
+        "streaming": sequential_trace(8192, 20_000),
+        "zipf a=1.2": zipf_trace(4096, 20_000, alpha=1.2, seed=1),
+        "zipf a=1.6": zipf_trace(2048, 20_000, alpha=1.6, seed=1),
+    }
+    for name, trace in scenarios.items():
+        tier = MemoryModeTier(machine, near_node=0, far_node=2,
+                              near_capacity_bytes=1024 * 4096)
+        profile = tier.run_trace(trace)
+        bw = triad(tier.effective_policy())
+        lat = tier.effective_latency_ns(0)
+        print(f"  {name:<12} hit rate {profile.hit_rate:6.1%}  "
+              f"{bw:6.2f} GB/s  avg latency {lat:5.0f} ns")
+
+    # --- 3. the tier CXL replaces -------------------------------------------
+    print("\nthe incumbent: emulated Optane DCPMM (App-Direct, triad):")
+    dcpmm = triad(NumaPolicy.bind(3), AccessMode.APP_DIRECT)
+    cxl = triad(NumaPolicy.bind(2), AccessMode.APP_DIRECT)
+    print(f"  DCPMM node  {dcpmm:6.2f} GB/s (asymmetric media: "
+          "6.6 read / 2.3 write)")
+    print(f"  CXL node    {cxl:6.2f} GB/s ({cxl / dcpmm:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

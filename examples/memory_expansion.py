@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""CXL memory expansion: out-of-core matrix multiply.
+
+The paper's first PMem-in-HPC use case ("memory expansion to support the
+execution of large scientific problems", Section 1.2), on CXL: the three
+matrices of a blocked GEMM live in a CXL namespace; only three small DRAM
+tiles are resident at any moment.  Bigger tiles buy arithmetic intensity
+— less far-memory traffic per FLOP — which is exactly why expansion tiers
+work for BLAS-3 workloads even at a fraction of DRAM bandwidth.
+
+Run:  python examples/memory_expansion.py
+"""
+
+import numpy as np
+
+from repro.core import CxlPmemRuntime
+from repro.machine import setup1
+from repro.workloads import OutOfCoreMatmul
+
+N = 96
+
+
+def main() -> None:
+    testbed = setup1()
+    runtime = CxlPmemRuntime(testbed.host_bridges)
+    ns = runtime.create_namespace("cxl0", "matmul", 16 << 20)
+    print(f"three {N}x{N} float64 matrices "
+          f"({3 * N * N * 8 / 1e6:.1f} MB) in {ns.describe()}")
+
+    rng = np.random.default_rng(42)
+    a = rng.standard_normal((N, N))
+    b = rng.standard_normal((N, N))
+
+    print(f"\n{'tile':>6}{'DRAM resident':>16}{'far traffic':>14}"
+          f"{'FLOPs/byte':>12}{'correct':>9}")
+    for block in (8, 16, 32, 48):
+        mm = OutOfCoreMatmul(ns.region(), N, block)
+        mm.set_operands(a, b)
+        stats = mm.run()
+        ok = np.allclose(mm.result(), a @ b)
+        print(f"{block:>6}{mm.dram_working_set_bytes() / 1024:>13.0f} KiB"
+              f"{stats.total_bytes / 1e6:>12.2f} MB"
+              f"{mm.arithmetic_intensity():>12.1f}{str(ok):>9}")
+
+    print("\nlarger DRAM tiles -> less far-memory traffic per FLOP; the "
+          "expansion tier's 11.5 GB/s suffices once intensity is high.")
+
+    # the result is persistent: survive a power cycle, read it back
+    device = testbed.cxl_devices[0]
+    device.power_fail()
+    device.power_on()
+    mm_check = OutOfCoreMatmul(
+        runtime.open_namespace("cxl0", "matmul").region(), N, 32)
+    assert np.allclose(mm_check.result(), a @ b)
+    print("result verified after a device power cycle — the expansion "
+          "tier doubles as the persistence tier.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation with STREAMer.
+
+Runs all five test groups (Section 3.2) for all four STREAM kernels on
+both modelled testbeds, prints the Figure 5–8 tables and the Figure 9
+data flows, and checks every Section-4 claim against the results.
+
+This is the library-API version of:
+
+    streamer run --out results.csv
+    streamer dataflow
+    streamer compare
+
+Run:  python examples/streamer_sweep.py  [--fast]
+"""
+
+import sys
+
+from repro.stream.config import StreamConfig
+from repro.streamer.compare import comparison_report
+from repro.streamer.report import dataflow_report, full_report
+from repro.streamer.runner import StreamerRunner
+
+
+def main() -> int:
+    fast = "--fast" in sys.argv
+    config = (StreamConfig(array_size=5_000_000, ntimes=3) if fast
+              else StreamConfig.paper())
+    print(f"STREAMer sweep: {config.describe()}\n")
+
+    runner = StreamerRunner(config=config)
+    results = runner.run_all()
+    print(f"collected {len(results)} measurements "
+          f"({len(results.groups())} groups x {len(results.kernels())} "
+          "kernels)\n")
+
+    print(full_report(results))
+    print()
+    print(dataflow_report())
+    print()
+    report = comparison_report(results, "triad")
+    print(report)
+    return 0 if "FAIL" not in report else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""repro — CXL memory as persistent memory for disaggregated HPC.
+
+A complete, executable reproduction of *"CXL Memory as Persistent Memory
+for Disaggregated HPC: A Practical Approach"* (SC 2023): the CXL Type-3
+substrate, a functional PMDK-style persistent-memory library, the machine
+bandwidth model for the paper's two testbeds, the STREAM / STREAM-PMem
+benchmarks, and the STREAMer sweep harness that regenerates every figure
+of the evaluation.
+
+Quick start::
+
+    from repro.machine import setup1, place_threads, AffinityMode, NumaPolicy
+    from repro.memsim import simulate_stream, AccessMode
+
+    tb = setup1()
+    cores = place_threads(tb.machine, 8, AffinityMode.CLOSE, sockets=[0])
+    r = simulate_stream(tb.machine, "triad", cores,
+                        NumaPolicy.bind(2), AccessMode.APP_DIRECT)
+    print(r.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

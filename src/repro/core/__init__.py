@@ -1,0 +1,57 @@
+"""The paper's contribution: CXL memory as persistent memory.
+
+This package turns the substrates (CXL devices, the PMDK emulation, the
+machine model) into the runtime the paper argues for:
+
+* :mod:`repro.core.battery` — the battery-backed persistence domain and
+  the "one battery per memory device, not per node" cost argument;
+* :mod:`repro.core.namespace` — DAX-like namespaces over a Type-3
+  device's host-managed memory, with labels stored in the device LSA;
+* :mod:`repro.core.runtime` — endpoint discovery → persistence-capability
+  validation → namespace management → clean shutdown (GPF);
+* :mod:`repro.core.provider` — URI-addressed pmem backends (``file://``,
+  ``mem://``, ``cxl://``) so PMDK-style code moves from DCPMM files to
+  CXL memory *unchanged* — the paper's "seamless transition";
+* :mod:`repro.core.shared` — the prototype's shared far memory: one HDM
+  segment visible to two nodes, coherence managed in software;
+* :mod:`repro.core.migration` — the Figure-1 DCPMM→CXL migration planner.
+"""
+
+from repro.core.battery import Battery, PowerDomain, battery_cost_comparison
+from repro.core.interleave import InterleavedRegion
+from repro.core.namespace import CxlPmemNamespace, CxlRegion
+from repro.core.runtime import CxlPmemRuntime
+from repro.core.provider import open_region, pool_from_uri, register_scheme
+from repro.core.shared import FarMemoryLock, NodeView, SharedSegment
+from repro.core.migration import MigrationPlan, MigrationPlanner, MigrationStep
+from repro.core.tiering import (
+    MemoryModeTier,
+    PageCache,
+    sequential_trace,
+    strided_trace,
+    zipf_trace,
+)
+
+__all__ = [
+    "Battery",
+    "CxlPmemNamespace",
+    "CxlPmemRuntime",
+    "CxlRegion",
+    "FarMemoryLock",
+    "InterleavedRegion",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "MigrationStep",
+    "MemoryModeTier",
+    "PageCache",
+    "NodeView",
+    "PowerDomain",
+    "SharedSegment",
+    "battery_cost_comparison",
+    "open_region",
+    "pool_from_uri",
+    "register_scheme",
+    "sequential_trace",
+    "strided_trace",
+    "zipf_trace",
+]

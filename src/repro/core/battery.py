@@ -1,0 +1,151 @@
+"""Battery-backed persistence domains.
+
+The paper's persistence argument (Section 1.4): the CXL memory sits
+*outside* the compute node and can be battery-backed "like previous
+battery-backed DIMMs", but — unlike BBU DIMMs — **one** battery covers the
+shared memory device for *every* node that reaches it, so the historical
+cost/scalability objections to battery-backed memory no longer apply.
+
+:class:`PowerDomain` ties batteries to devices and propagates power events;
+:func:`battery_cost_comparison` quantifies the amortization claim used by
+the Table-1/Table-2 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cxl.device import Type3Device
+from repro.errors import PersistenceDomainError
+
+
+@dataclass
+class Battery:
+    """A backup battery protecting one memory device.
+
+    ``holdup_seconds`` is how long the battery can keep the device's
+    write path alive after mains loss; a device needs only enough to
+    drain its write buffer to media (milliseconds for SRAM buffers,
+    but we model seconds for DRAM-as-media retention flush).
+    """
+
+    holdup_seconds: float = 60.0
+    charge_fraction: float = 1.0
+    healthy: bool = True
+    unit_cost_usd: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.holdup_seconds <= 0:
+            raise PersistenceDomainError("holdup time must be positive")
+        if not 0.0 <= self.charge_fraction <= 1.0:
+            raise PersistenceDomainError("charge fraction must be in [0, 1]")
+
+    def can_cover(self, flush_seconds: float) -> bool:
+        """Can this battery carry the device through a flush of
+        ``flush_seconds``?"""
+        return (self.healthy
+                and self.charge_fraction * self.holdup_seconds
+                >= flush_seconds)
+
+    def degrade(self, fraction: float) -> None:
+        """Age the battery (reduce charge by ``fraction`` of full)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise PersistenceDomainError("degradation fraction in [0, 1]")
+        self.charge_fraction = max(0.0, self.charge_fraction - fraction)
+        if self.charge_fraction == 0.0:
+            self.healthy = False
+
+
+@dataclass
+class PowerFailReport:
+    """What a power event did to each device in the domain."""
+
+    lines_lost: dict[str, int] = field(default_factory=dict)
+    covered: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def data_loss(self) -> bool:
+        return any(n > 0 for n in self.lines_lost.values())
+
+
+class PowerDomain:
+    """A set of devices sharing one power feed (and optional battery)."""
+
+    #: write-buffer drain time assumed per device on battery power
+    FLUSH_SECONDS = 2.0
+
+    def __init__(self, name: str, battery: Battery | None = None) -> None:
+        self.name = name
+        self.battery = battery
+        self._devices: list[Type3Device] = []
+        self._powered = True
+
+    def attach(self, device: Type3Device) -> None:
+        """Attach a device; its ``battery_backed`` flag follows the domain."""
+        if device in self._devices:
+            raise PersistenceDomainError(
+                f"device {device.name} already in domain {self.name}"
+            )
+        device.battery_backed = self.effective_battery_backed
+        self._devices.append(device)
+
+    @property
+    def devices(self) -> list[Type3Device]:
+        return list(self._devices)
+
+    @property
+    def effective_battery_backed(self) -> bool:
+        return (self.battery is not None
+                and self.battery.can_cover(self.FLUSH_SECONDS))
+
+    @property
+    def powered(self) -> bool:
+        return self._powered
+
+    def refresh(self) -> None:
+        """Re-evaluate battery health and propagate to devices (a degraded
+        battery silently downgrades the persistence guarantee — exactly the
+        BBU-DIMM failure mode the paper recounts)."""
+        backed = self.effective_battery_backed
+        for dev in self._devices:
+            dev.battery_backed = backed
+
+    def power_fail(self) -> PowerFailReport:
+        """Mains loss across the domain."""
+        if not self._powered:
+            raise PersistenceDomainError(f"domain {self.name} already down")
+        self.refresh()
+        report = PowerFailReport()
+        for dev in self._devices:
+            report.covered[dev.name] = dev.battery_backed
+            report.lines_lost[dev.name] = dev.power_fail()
+        self._powered = False
+        return report
+
+    def restore(self) -> None:
+        for dev in self._devices:
+            dev.power_on()
+        self._powered = True
+
+
+def battery_cost_comparison(n_compute_nodes: int,
+                            battery: Battery | None = None
+                            ) -> dict[str, float]:
+    """The paper's amortization argument, quantified.
+
+    BBU-DIMM era: every compute node carries its own battery.  CXL era:
+    the shared far-memory device carries one battery for all nodes.
+
+    Returns a dict with both totals and the savings factor.
+    """
+    if n_compute_nodes < 1:
+        raise PersistenceDomainError("need at least one compute node")
+    b = battery or Battery()
+    per_node_total = n_compute_nodes * b.unit_cost_usd
+    shared_total = b.unit_cost_usd
+    return {
+        "n_nodes": float(n_compute_nodes),
+        "bbu_dimm_total_usd": per_node_total,
+        "cxl_shared_total_usd": shared_total,
+        "savings_factor": per_node_total / shared_total,
+    }

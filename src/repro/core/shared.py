@@ -1,0 +1,245 @@
+"""Shared far memory with software-managed coherence.
+
+The prototype exposes "an identical memory volume … to two distinct NUMA
+nodes", but — as the paper stresses — "due to the absence of a unified
+cache-coherent domain, the onus of maintaining coherency between the two
+NUMA nodes … rests with the applications" (Section 2.2).
+
+This module gives applications that onus in usable form:
+
+* :class:`SharedSegment` — one CXL region published to N nodes;
+* :class:`NodeView` — a node's handle, with an explicit cache that must
+  be invalidated to observe remote writes (modelling the stale-cache
+  hazard);
+* :class:`FarMemoryLock` — a lock *in the far memory itself*, so mutual
+  exclusion survives node crashes and is visible to every attached node;
+* a publish/acquire protocol: writers flush + bump a version; readers
+  compare versions and invalidate.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import CoherenceError
+from repro.pmdk.pmem import PmemRegion
+
+_LOCK_FMT = "<QQI"         # owner (0 = free), version, crc
+_LOCK_LEN = struct.calcsize(_LOCK_FMT)
+HEADER_BYTES = 64
+
+
+def _lock_crc(owner: int, version: int) -> int:
+    return zlib.crc32(struct.pack("<QQ", owner, version))
+
+
+class FarMemoryLock:
+    """A lock word stored in the shared segment itself."""
+
+    def __init__(self, region: PmemRegion, offset: int = 0) -> None:
+        self.region = region
+        self.offset = offset
+
+    def _read(self) -> tuple[int, int]:
+        raw = self.region.read(self.offset, _LOCK_LEN)
+        owner, version, crc = struct.unpack(_LOCK_FMT, raw)
+        if crc != _lock_crc(owner, version):
+            raise CoherenceError("far-memory lock word corrupted")
+        return owner, version
+
+    def _write(self, owner: int, version: int) -> None:
+        raw = struct.pack(_LOCK_FMT, owner, version,
+                          _lock_crc(owner, version))
+        self.region.write(self.offset, raw)
+        self.region.persist(self.offset, HEADER_BYTES)
+
+    def initialize(self) -> None:
+        self._write(0, 0)
+
+    @property
+    def owner(self) -> int:
+        return self._read()[0]
+
+    @property
+    def version(self) -> int:
+        return self._read()[1]
+
+    def acquire(self, node_id: int) -> None:
+        """Take the lock for ``node_id`` (ids are 1-based; 0 = free).
+
+        Raises:
+            CoherenceError: held by another node.
+        """
+        if node_id < 1:
+            raise CoherenceError("node ids are 1-based")
+        owner, version = self._read()
+        if owner == node_id:
+            raise CoherenceError(f"node {node_id} already holds the lock")
+        if owner != 0:
+            raise CoherenceError(
+                f"far-memory lock held by node {owner}"
+            )
+        self._write(node_id, version)
+
+    def release(self, node_id: int, publish: bool = True) -> int:
+        """Release; ``publish`` bumps the version to signal new data.
+
+        Returns the (possibly bumped) version.
+        """
+        owner, version = self._read()
+        if owner != node_id:
+            raise CoherenceError(
+                f"node {node_id} releasing a lock held by {owner}"
+            )
+        if publish:
+            version += 1
+        self._write(0, version)
+        return version
+
+    def force_release(self, dead_node_id: int) -> None:
+        """Recovery path: break a lock held by a crashed node (no publish —
+        its writes may be torn and must be revalidated by the application)."""
+        owner, version = self._read()
+        if owner != dead_node_id:
+            raise CoherenceError(
+                f"lock owner is {owner}, not the declared dead node "
+                f"{dead_node_id}"
+            )
+        self._write(0, version)
+
+
+class NodeView:
+    """One node's window onto the shared segment.
+
+    Reads are served from a node-local cache once a line has been seen;
+    :meth:`refresh` drops the cache when the segment version moved.  A
+    read through a *stale* view returns old data — by design, because
+    that is precisely the hazard the paper's shared-HDM configuration has.
+    """
+
+    CACHE_LINE = 64
+
+    def __init__(self, segment: "SharedSegment", node_id: int) -> None:
+        if node_id < 1:
+            raise CoherenceError("node ids are 1-based")
+        self.segment = segment
+        self.node_id = node_id
+        self._cache: dict[int, bytes] = {}
+        self._seen_version = -1
+
+    # -- coherence protocol ------------------------------------------------
+
+    def acquire(self) -> None:
+        """Lock the segment for writing (also refreshes the local cache)."""
+        self.segment.lock.acquire(self.node_id)
+        self.refresh()
+
+    def release(self) -> None:
+        """Flush writes, publish a new version, drop the lock."""
+        self.segment.region.persist(HEADER_BYTES,
+                                    self.segment.size - HEADER_BYTES)
+        self.segment.lock.release(self.node_id, publish=True)
+
+    def refresh(self) -> bool:
+        """Invalidate the local cache if the segment version moved.
+
+        Returns True when an invalidation happened.
+        """
+        v = self.segment.lock.version
+        if v != self._seen_version:
+            self._cache.clear()
+            self._seen_version = v
+            return True
+        return False
+
+    @property
+    def holds_lock(self) -> bool:
+        return self.segment.lock.owner == self.node_id
+
+    # -- data access ---------------------------------------------------------
+
+    def _data_off(self, offset: int, length: int) -> int:
+        if offset < 0 or length < 0:
+            raise CoherenceError("negative offset/length")
+        if HEADER_BYTES + offset + length > self.segment.size:
+            raise CoherenceError("access beyond the shared segment")
+        return HEADER_BYTES + offset
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read through the node-local cache (may be stale!)."""
+        base = self._data_off(offset, length)
+        out = bytearray(length)
+        pos = base
+        end = base + length
+        while pos < end:
+            line = pos // self.CACHE_LINE
+            within = pos % self.CACHE_LINE
+            take = min(end - pos, self.CACHE_LINE - within)
+            cached = self._cache.get(line)
+            if cached is None:
+                start = line * self.CACHE_LINE
+                n = min(self.CACHE_LINE, self.segment.size - start)
+                cached = self.segment.region.read(start, n)
+                self._cache[line] = cached
+            out[pos - base:pos - base + take] = cached[within:within + take]
+            pos += take
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write to the segment; requires holding the far-memory lock.
+
+        Raises:
+            CoherenceError: writing without the lock (the exact bug class
+                this protocol exists to prevent).
+        """
+        if not self.holds_lock:
+            raise CoherenceError(
+                f"node {self.node_id} wrote shared far memory without "
+                "holding the far-memory lock"
+            )
+        base = self._data_off(offset, len(data))
+        self.segment.region.write(base, data)
+        # keep our own cache coherent with our own writes
+        first = base // self.CACHE_LINE
+        last = (base + len(data) - 1) // self.CACHE_LINE
+        for line in range(first, last + 1):
+            self._cache.pop(line, None)
+
+
+class SharedSegment:
+    """A far-memory segment published to multiple compute nodes."""
+
+    def __init__(self, region: PmemRegion, initialize: bool = True) -> None:
+        if region.size <= HEADER_BYTES:
+            raise CoherenceError(
+                f"segment needs > {HEADER_BYTES} bytes, got {region.size}"
+            )
+        self.region = region
+        self.lock = FarMemoryLock(region, 0)
+        self._views: dict[int, NodeView] = {}
+        if initialize:
+            self.lock.initialize()
+
+    @property
+    def size(self) -> int:
+        return self.region.size
+
+    @property
+    def data_size(self) -> int:
+        return self.region.size - HEADER_BYTES
+
+    def attach(self, node_id: int) -> NodeView:
+        """Attach a compute node; returns its view."""
+        if node_id in self._views:
+            raise CoherenceError(f"node {node_id} already attached")
+        view = NodeView(self, node_id)
+        self._views[node_id] = view
+        return view
+
+    def detach(self, node_id: int) -> None:
+        view = self._views.pop(node_id, None)
+        if view is None:
+            raise CoherenceError(f"node {node_id} is not attached")
+        if view.holds_lock:
+            self.lock.force_release(node_id)

@@ -1,0 +1,238 @@
+"""CXL.io configuration space: PCI config registers + CXL DVSECs.
+
+How a host actually recognizes a CXL device: the endpoint is a PCIe
+function whose extended configuration space carries *Designated Vendor-
+Specific Extended Capabilities* (DVSEC) with the CXL vendor ID.  The
+enumeration path reads vendor/device/class registers, walks the extended
+capability chain, and identifies CXL devices by DVSEC ID 0 ("PCIe DVSEC
+for CXL Device"), exactly as Linux's cxl_pci driver does.
+
+The register file is functional: 4 KiB of little-endian config space with
+the standard header and a well-formed extended-capability linked list.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.cxl.spec import CxlVersion, DeviceType
+from repro.errors import CxlEnumerationError
+
+CONFIG_SPACE_SIZE = 4096
+EXTENDED_CAP_START = 0x100
+
+#: PCI-SIG-assigned vendor ID used by the CXL consortium for DVSECs
+CXL_DVSEC_VENDOR = 0x1E98
+#: DVSEC IDs from the CXL spec
+DVSEC_CXL_DEVICE = 0x0000
+DVSEC_GPF_DEVICE = 0x0005
+DVSEC_FLEX_BUS = 0x0007
+#: PCIe extended capability ID for DVSEC
+CAP_ID_DVSEC = 0x0023
+
+#: Intel's PCI vendor ID (the prototype is an Intel FPGA card)
+VENDOR_INTEL = 0x8086
+#: class code for a CXL memory device (memory controller / CXL)
+CLASS_CXL_MEMORY = 0x050210
+
+
+class ConfigSpace:
+    """A 4 KiB PCI configuration space register file."""
+
+    def __init__(self) -> None:
+        self._data = bytearray(CONFIG_SPACE_SIZE)
+
+    def read16(self, offset: int) -> int:
+        self._check(offset, 2)
+        return struct.unpack_from("<H", self._data, offset)[0]
+
+    def read32(self, offset: int) -> int:
+        self._check(offset, 4)
+        return struct.unpack_from("<I", self._data, offset)[0]
+
+    def write16(self, offset: int, value: int) -> None:
+        self._check(offset, 2)
+        struct.pack_into("<H", self._data, offset, value & 0xFFFF)
+
+    def write32(self, offset: int, value: int) -> None:
+        self._check(offset, 4)
+        struct.pack_into("<I", self._data, offset, value & 0xFFFFFFFF)
+
+    def _check(self, offset: int, width: int) -> None:
+        if offset < 0 or offset + width > CONFIG_SPACE_SIZE:
+            raise CxlEnumerationError(
+                f"config access at {offset:#x} outside the 4 KiB space"
+            )
+        if offset % width:
+            raise CxlEnumerationError(
+                f"unaligned {width}-byte config access at {offset:#x}"
+            )
+
+    # -- standard header ----------------------------------------------------
+
+    @property
+    def vendor_id(self) -> int:
+        return self.read16(0x00)
+
+    @property
+    def device_id(self) -> int:
+        return self.read16(0x02)
+
+    @property
+    def class_code(self) -> int:
+        return self.read32(0x08) >> 8
+
+
+@dataclass(frozen=True)
+class Dvsec:
+    """One decoded DVSEC capability."""
+
+    offset: int
+    vendor: int
+    revision: int
+    length: int
+    dvsec_id: int
+    payload_offset: int
+
+    @property
+    def is_cxl(self) -> bool:
+        return self.vendor == CXL_DVSEC_VENDOR
+
+
+def build_config_space(device_id: int,
+                       device_type: DeviceType,
+                       version: CxlVersion,
+                       gpf_supported: bool,
+                       vendor_id: int = VENDOR_INTEL) -> ConfigSpace:
+    """Construct the config space of a CXL endpoint.
+
+    Lays down the standard header and a DVSEC chain: the CXL Device DVSEC
+    (capability bits for cache/mem/io per device type), the Flex Bus port
+    DVSEC (negotiated CXL version), and — when supported — the GPF DVSEC.
+    """
+    cs = ConfigSpace()
+    cs.write16(0x00, vendor_id)
+    cs.write16(0x02, device_id)
+    cs.write32(0x08, (CLASS_CXL_MEMORY << 8) | 0x01)   # class + rev
+
+    chain: list[tuple[int, bytes]] = []
+
+    # CXL Device DVSEC payload: capability bitmap
+    cache_en = device_type in (DeviceType.TYPE1, DeviceType.TYPE2)
+    mem_en = device_type in (DeviceType.TYPE2, DeviceType.TYPE3)
+    caps = (1 << 0) | (cache_en << 1) | (mem_en << 2)
+    chain.append((DVSEC_CXL_DEVICE,
+                  struct.pack("<HH", caps, int(device_type))))
+
+    # Flex Bus DVSEC payload: negotiated version index
+    version_index = list(CxlVersion).index(version)
+    chain.append((DVSEC_FLEX_BUS, struct.pack("<H", version_index)))
+
+    if gpf_supported:
+        chain.append((DVSEC_GPF_DEVICE, struct.pack("<H", 1)))
+
+    # write the extended capability linked list
+    offset = EXTENDED_CAP_START
+    for i, (dvsec_id, payload) in enumerate(chain):
+        length = 0x0C + len(payload)
+        next_off = offset + ((length + 3) // 4) * 4 if i + 1 < len(chain) else 0
+        # PCIe ext cap header: id(16) | version(4) | next(12)
+        cs.write32(offset, CAP_ID_DVSEC | (1 << 16) | (next_off << 20))
+        # DVSEC header 1: vendor(16) | rev(4) | length(12)
+        cs.write32(offset + 4, CXL_DVSEC_VENDOR | (1 << 16) | (length << 20))
+        # DVSEC header 2: DVSEC id
+        cs.write16(offset + 8, dvsec_id)
+        for j, b in enumerate(payload):
+            cs._data[offset + 0x0C + j] = b
+        offset = next_off if next_off else offset
+
+    return cs
+
+
+def walk_dvsecs(cs: ConfigSpace) -> list[Dvsec]:
+    """Walk the extended capability chain and decode every DVSEC."""
+    out: list[Dvsec] = []
+    offset = EXTENDED_CAP_START
+    seen: set[int] = set()
+    while offset:
+        if offset in seen:
+            raise CxlEnumerationError(
+                f"extended capability chain loops at {offset:#x}"
+            )
+        seen.add(offset)
+        header = cs.read32(offset)
+        cap_id = header & 0xFFFF
+        next_off = header >> 20
+        if cap_id == 0:
+            break
+        if cap_id == CAP_ID_DVSEC:
+            hdr1 = cs.read32(offset + 4)
+            out.append(Dvsec(
+                offset=offset,
+                vendor=hdr1 & 0xFFFF,
+                revision=(hdr1 >> 16) & 0xF,
+                length=hdr1 >> 20,
+                dvsec_id=cs.read16(offset + 8),
+                payload_offset=offset + 0x0C,
+            ))
+        offset = next_off
+    return out
+
+
+@dataclass(frozen=True)
+class CxlIdentity:
+    """What CXL.io discovery learns about a function."""
+
+    vendor_id: int
+    device_id: int
+    device_type: DeviceType
+    version: CxlVersion
+    gpf_supported: bool
+
+
+def identify_cxl_function(cs: ConfigSpace) -> CxlIdentity | None:
+    """Decide whether a PCI function is a CXL device and decode it.
+
+    Returns ``None`` for plain PCIe functions (no CXL DVSEC).
+
+    Raises:
+        CxlEnumerationError: a malformed CXL DVSEC chain.
+    """
+    dvsecs = [d for d in walk_dvsecs(cs) if d.is_cxl]
+    if not dvsecs:
+        return None
+    by_id = {d.dvsec_id: d for d in dvsecs}
+    dev = by_id.get(DVSEC_CXL_DEVICE)
+    if dev is None:
+        raise CxlEnumerationError(
+            "CXL DVSECs present but the Device DVSEC (id 0) is missing"
+        )
+    caps, dtype_raw = struct.unpack_from(
+        "<HH", cs._data, dev.payload_offset)
+    try:
+        dtype = DeviceType(dtype_raw)
+    except ValueError:
+        raise CxlEnumerationError(
+            f"CXL Device DVSEC names invalid device type {dtype_raw}"
+        ) from None
+    mem_en = bool(caps >> 2 & 1)
+    if dtype is DeviceType.TYPE3 and not mem_en:
+        raise CxlEnumerationError("Type-3 device without CXL.mem capability")
+
+    flex = by_id.get(DVSEC_FLEX_BUS)
+    version = CxlVersion.CXL_1_1
+    if flex is not None:
+        idx = struct.unpack_from("<H", cs._data, flex.payload_offset)[0]
+        versions = list(CxlVersion)
+        if idx >= len(versions):
+            raise CxlEnumerationError(f"bad Flex Bus version index {idx}")
+        version = versions[idx]
+
+    return CxlIdentity(
+        vendor_id=cs.vendor_id,
+        device_id=cs.device_id,
+        device_type=dtype,
+        version=version,
+        gpf_supported=DVSEC_GPF_DEVICE in by_id,
+    )

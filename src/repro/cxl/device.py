@@ -1,0 +1,497 @@
+"""CXL devices. The Type-3 memory expander is the paper's prototype.
+
+The expander holds *real* backing memory (sparse, page-granular, with
+dense-mappable windows used by the persistent-memory namespaces in
+:mod:`repro.core`), services CXL.mem transactions at cacheline granularity,
+and models the persistence domain: a device-side write buffer that is
+covered by the battery ("potentially backed by battery, like previous
+battery-backed DIMMs" — paper Section 1.4) or not, a Global Persistent
+Flush, and power-fail semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.cxl.mailbox import Mailbox, MailboxOpcode
+from repro.cxl.spec import (
+    CACHELINE_BYTES,
+    DeviceType,
+    M2SReqOpcode,
+    M2SRwDOpcode,
+    S2MDRSOpcode,
+    S2MNDROpcode,
+)
+from repro.cxl.transaction import M2SReq, M2SRwD, S2MDRS, S2MNDR
+from repro.errors import CxlError
+from repro.machine.dram import DramSpeedGrade, population_effective_gbps
+
+_PAGE = 4096
+
+
+class SparseMemory:
+    """Sparse byte-addressable memory with dense-mappable windows.
+
+    Pages materialize on first write; :meth:`map_dense` carves a contiguous
+    NumPy-backed window (used for zero-copy persistent-memory namespaces)
+    that absorbs any pages it overlaps.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CxlError("memory capacity must be positive")
+        self.capacity = capacity
+        self._pages: dict[int, np.ndarray] = {}
+        self._dense: list[tuple[int, np.ndarray]] = []   # sorted by start
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.capacity:
+            raise CxlError(
+                f"range [{offset:#x}, {offset + length:#x}) outside "
+                f"capacity {self.capacity:#x}"
+            )
+
+    def _dense_segment(self, offset: int) -> tuple[int, np.ndarray] | None:
+        for start, arr in self._dense:
+            if start <= offset < start + len(arr):
+                return start, arr
+        return None
+
+    def map_dense(self, offset: int, size: int) -> np.ndarray:
+        """Return a dense uint8 window over ``[offset, offset+size)``.
+
+        The window aliases device media: transaction-level reads/writes and
+        the returned array see each other's data.
+        """
+        self._check_range(offset, size)
+        if size == 0:
+            raise CxlError("dense window must be non-empty")
+        seg = self._dense_segment(offset)
+        if seg is not None:
+            start, arr = seg
+            if offset + size <= start + len(arr):
+                rel = offset - start
+                return arr[rel:rel + size]
+            raise CxlError("requested window straddles a dense segment edge")
+        for start, arr in self._dense:
+            if offset < start + len(arr) and start < offset + size:
+                raise CxlError("dense windows may not partially overlap")
+        window = np.zeros(size, dtype=np.uint8)
+        # absorb previously-written sparse pages
+        first_page = offset // _PAGE
+        last_page = (offset + size - 1) // _PAGE
+        for pno in range(first_page, last_page + 1):
+            page = self._pages.pop(pno, None)
+            if page is None:
+                continue
+            pstart = pno * _PAGE
+            lo = max(pstart, offset)
+            hi = min(pstart + _PAGE, offset + size)
+            window[lo - offset:hi - offset] = page[lo - pstart:hi - pstart]
+        self._dense.append((offset, window))
+        self._dense.sort(key=lambda s: s[0])
+        return window
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        out = bytearray(length)
+        pos = offset
+        end = offset + length
+        while pos < end:
+            seg = self._dense_segment(pos)
+            if seg is not None:
+                start, arr = seg
+                take = min(end, start + len(arr)) - pos
+                out[pos - offset:pos - offset + take] = (
+                    arr[pos - start:pos - start + take].tobytes()
+                )
+                pos += take
+                continue
+            pno, poff = divmod(pos, _PAGE)
+            take = min(end - pos, _PAGE - poff)
+            page = self._pages.get(pno)
+            if page is not None:
+                out[pos - offset:pos - offset + take] = (
+                    page[poff:poff + take].tobytes()
+                )
+            pos += take
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
+        data = bytes(data)
+        self._check_range(offset, len(data))
+        pos = offset
+        end = offset + len(data)
+        while pos < end:
+            seg = self._dense_segment(pos)
+            if seg is not None:
+                start, arr = seg
+                take = min(end, start + len(arr)) - pos
+                arr[pos - start:pos - start + take] = np.frombuffer(
+                    data[pos - offset:pos - offset + take], dtype=np.uint8
+                )
+                pos += take
+                continue
+            pno, poff = divmod(pos, _PAGE)
+            take = min(end - pos, _PAGE - poff)
+            page = self._pages.get(pno)
+            if page is None:
+                page = np.zeros(_PAGE, dtype=np.uint8)
+                self._pages[pno] = page
+            page[poff:poff + take] = np.frombuffer(
+                data[pos - offset:pos - offset + take], dtype=np.uint8
+            )
+            pos += take
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of actually materialized storage."""
+        return len(self._pages) * _PAGE + sum(len(a) for _, a in self._dense)
+
+
+@dataclass(frozen=True)
+class MediaController:
+    """The device-side memory controller driving the media DIMMs.
+
+    For the paper's prototype: two DDR4-1333 modules behind the FPGA soft
+    memory controller, whose implementation efficiency — not the CXL link —
+    sets the bandwidth ceiling.
+    """
+
+    name: str
+    grade: DramSpeedGrade
+    channels: int
+    modules: int
+    module_capacity: int
+    controller_efficiency: float
+    media_latency_ns: float
+
+    def __post_init__(self) -> None:
+        if self.modules < 1 or self.channels < 1:
+            raise CxlError("media controller needs modules and channels")
+        if self.module_capacity <= 0:
+            raise CxlError("module capacity must be positive")
+        if not 0 < self.controller_efficiency <= 1:
+            raise CxlError("controller_efficiency must be in (0, 1]")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.modules * self.module_capacity
+
+    @property
+    def effective_stream_gbps(self) -> float:
+        return population_effective_gbps(
+            self.channels, self.grade, self.controller_efficiency
+        )
+
+
+class ShutdownState(enum.Enum):
+    CLEAN = "clean"
+    DIRTY = "dirty"
+
+
+class Type3Device:
+    """A CXL Type-3 memory expander with a persistence-domain model.
+
+    Write path: an inbound ``MemWr`` lands in the device write buffer.  If
+    the device is ``battery_backed``, the buffer is *inside* the
+    persistence domain, so data is durable on arrival — this is the paper's
+    central claim ("the CXL memory was located outside of the node, in an
+    FPGA device, potentially backed by battery").  Without a battery, data
+    is durable only once flushed to media (Global Persistent Flush or
+    explicit flush); a power failure drops whatever still sits in the
+    buffer.
+    """
+
+    WRITE_BUFFER_LINES = 512
+
+    def __init__(self, name: str, media: MediaController,
+                 battery_backed: bool = True,
+                 gpf_supported: bool = True,
+                 lsa_bytes: int = 4096,
+                 serial: int = 0xC0FFEE) -> None:
+        self.name = name
+        self.media = media
+        self.battery_backed = battery_backed
+        self.gpf_supported = gpf_supported
+        self.serial = serial
+        self.device_type = DeviceType.TYPE3
+
+        from repro.cxl.config import build_config_space
+        from repro.cxl.spec import CxlVersion
+        self.config_space = build_config_space(
+            device_id=serial & 0xFFFF,
+            device_type=DeviceType.TYPE3,
+            version=CxlVersion.CXL_2_0,
+            gpf_supported=gpf_supported,
+        )
+
+        self.memory = SparseMemory(media.capacity_bytes)
+        self._write_buffer: dict[int, bytes] = {}   # dpa -> cacheline
+        self._lsa = bytearray(lsa_bytes)
+        self._shutdown_state = ShutdownState.CLEAN
+        self._poison: set[int] = set()
+        self._powered = True
+
+        # partition: volatile first, persistent after
+        self._volatile_bytes = 0
+        self._persistent_bytes = media.capacity_bytes
+
+        self.stats = {"reads": 0, "writes": 0, "flushes": 0, "gpf": 0}
+
+        self.mailbox = Mailbox()
+        self._register_mailbox_handlers()
+
+    # ------------------------------------------------------------------
+    # capacity & partitions
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.media.capacity_bytes
+
+    @property
+    def volatile_bytes(self) -> int:
+        return self._volatile_bytes
+
+    @property
+    def persistent_bytes(self) -> int:
+        return self._persistent_bytes
+
+    @property
+    def persistent_base_dpa(self) -> int:
+        """DPA where the persistent partition starts."""
+        return self._volatile_bytes
+
+    def set_partition(self, volatile_bytes: int) -> None:
+        """Repartition capacity (256 MiB alignment, like real devices)."""
+        align = 256 * 1024 * 1024
+        if volatile_bytes % align and volatile_bytes != 0:
+            raise CxlError(f"partition must be {align}-byte aligned")
+        if not 0 <= volatile_bytes <= self.capacity_bytes:
+            raise CxlError("volatile partition exceeds device capacity")
+        self._volatile_bytes = volatile_bytes
+        self._persistent_bytes = self.capacity_bytes - volatile_bytes
+
+    def is_persistent_dpa(self, dpa: int) -> bool:
+        return dpa >= self._volatile_bytes
+
+    # ------------------------------------------------------------------
+    # CXL.mem transaction servicing
+    # ------------------------------------------------------------------
+
+    def _check_power(self) -> None:
+        if not self._powered:
+            raise CxlError(f"device {self.name} is powered off")
+
+    def _line_addr(self, addr: int) -> int:
+        if addr % CACHELINE_BYTES:
+            raise CxlError(f"unaligned cacheline address {addr:#x}")
+        if not 0 <= addr < self.capacity_bytes:
+            raise CxlError(
+                f"DPA {addr:#x} outside device capacity {self.capacity_bytes:#x}"
+            )
+        return addr
+
+    def process_req(self, req: M2SReq) -> S2MDRS | S2MNDR:
+        """Service an M2S request (read / invalidate)."""
+        self._check_power()
+        if req.opcode.expects_data:
+            try:
+                addr = self._line_addr(req.addr)
+            except CxlError:
+                # Access outside the HDM-backed capacity → NXM response.
+                return S2MDRS(S2MDRSOpcode.MEM_DATA_NXM, req.tag,
+                              b"\xff" * CACHELINE_BYTES, poison=True)
+            self.stats["reads"] += 1
+            data = self._write_buffer.get(addr)
+            if data is None:
+                data = self.memory.read(addr, CACHELINE_BYTES)
+            return S2MDRS(S2MDRSOpcode.MEM_DATA, req.tag, data,
+                          poison=addr in self._poison)
+        # invalidates / fwd flavors complete without data
+        return S2MNDR(S2MNDROpcode.CMP_E, req.tag)
+
+    def process_rwd(self, rwd: M2SRwD) -> S2MNDR:
+        """Service an M2S write; lands in the device write buffer."""
+        self._check_power()
+        addr = self._line_addr(rwd.addr)
+        self.stats["writes"] += 1
+        if rwd.opcode is M2SRwDOpcode.MEM_WR_PTL:
+            current = bytearray(self._write_buffer.get(
+                addr, self.memory.read(addr, CACHELINE_BYTES)))
+            for i in rwd.enabled_bytes():
+                current[i] = rwd.data[i]
+            line = bytes(current)
+        else:
+            line = rwd.data
+        self._write_buffer[addr] = line
+        self._poison.discard(addr)
+        if len(self._write_buffer) > self.WRITE_BUFFER_LINES:
+            self._evict_oldest()
+        return S2MNDR(S2MNDROpcode.CMP, rwd.tag)
+
+    def _evict_oldest(self) -> None:
+        addr, line = next(iter(self._write_buffer.items()))
+        del self._write_buffer[addr]
+        self.memory.write(addr, line)
+
+    # ------------------------------------------------------------------
+    # persistence domain
+    # ------------------------------------------------------------------
+
+    @property
+    def dirty_lines(self) -> int:
+        """Cachelines in the write buffer not yet written to media."""
+        return len(self._write_buffer)
+
+    @property
+    def persistence_guaranteed(self) -> bool:
+        """Whether an acknowledged write is durable against power loss."""
+        return self.battery_backed or self.gpf_supported
+
+    def flush(self) -> int:
+        """Drain the write buffer to media; returns lines flushed."""
+        self._check_power()
+        n = len(self._write_buffer)
+        for addr, line in self._write_buffer.items():
+            self.memory.write(addr, line)
+        self._write_buffer.clear()
+        self.stats["flushes"] += 1
+        return n
+
+    def global_persistent_flush(self) -> int:
+        """CXL Global Persistent Flush (host-initiated, pre-power-loss)."""
+        if not self.gpf_supported:
+            raise CxlError(f"device {self.name} does not support GPF")
+        self.stats["gpf"] += 1
+        return self.flush()
+
+    def power_fail(self, gpf_energy_ok: bool = True) -> int:
+        """Sudden power loss.  Returns the number of lines *lost*.
+
+        Three outcomes, mirroring the CXL persistence-domain options:
+
+        * battery backed — the buffer drains on battery power; no loss;
+        * GPF supported and the platform's hold-up energy sufficed
+          (``gpf_energy_ok``) — the Global Persistent Flush runs as the
+          power fails; no loss;
+        * neither — unflushed lines vanish, shutdown state goes dirty.
+        """
+        self._check_power()
+        if self.battery_backed or (self.gpf_supported and gpf_energy_ok):
+            lost = 0
+            if not self.battery_backed:
+                self.stats["gpf"] += 1
+            self.flush()
+            self._shutdown_state = ShutdownState.CLEAN
+        else:
+            lost = len(self._write_buffer)
+            self._write_buffer.clear()
+            self._shutdown_state = (
+                ShutdownState.DIRTY if lost else ShutdownState.CLEAN
+            )
+        self._powered = False
+        return lost
+
+    def power_on(self) -> None:
+        self._powered = True
+
+    @property
+    def powered(self) -> bool:
+        return self._powered
+
+    @property
+    def shutdown_state(self) -> ShutdownState:
+        return self._shutdown_state
+
+    def mark_clean_shutdown(self) -> None:
+        self.flush()
+        self._shutdown_state = ShutdownState.CLEAN
+
+    def inject_poison(self, dpa: int) -> None:
+        """Mark a cacheline poisoned (media error)."""
+        self._poison.add(self._line_addr(dpa))
+
+    # ------------------------------------------------------------------
+    # mailbox command handlers
+    # ------------------------------------------------------------------
+
+    def _register_mailbox_handlers(self) -> None:
+        mb = self.mailbox
+        mb.register(MailboxOpcode.IDENTIFY_MEMORY_DEVICE, self._cmd_identify)
+        mb.register(MailboxOpcode.GET_PARTITION_INFO, self._cmd_get_partition)
+        mb.register(MailboxOpcode.SET_PARTITION_INFO, self._cmd_set_partition)
+        mb.register(MailboxOpcode.GET_LSA, self._cmd_get_lsa)
+        mb.register(MailboxOpcode.SET_LSA, self._cmd_set_lsa)
+        mb.register(MailboxOpcode.GET_HEALTH_INFO, self._cmd_health)
+        mb.register(MailboxOpcode.GET_SHUTDOWN_STATE, self._cmd_get_shutdown)
+        mb.register(MailboxOpcode.SET_SHUTDOWN_STATE, self._cmd_set_shutdown)
+        mb.register(MailboxOpcode.SANITIZE, self._cmd_sanitize)
+
+    def _cmd_identify(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "fw_revision": "repro-1.0",
+            "serial": self.serial,
+            "total_capacity": self.capacity_bytes,
+            "volatile_only_capacity": 0,
+            "persistent_only_capacity": 0,
+            "partition_alignment": 256 * 1024 * 1024,
+            "lsa_size": len(self._lsa),
+            "device_type": int(self.device_type),
+            "battery_backed": self.battery_backed,
+            "gpf_supported": self.gpf_supported,
+        }
+
+    def _cmd_get_partition(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "active_volatile": self._volatile_bytes,
+            "active_persistent": self._persistent_bytes,
+        }
+
+    def _cmd_set_partition(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        self.set_partition(int(payload["volatile_bytes"]))
+        return self._cmd_get_partition({})
+
+    def _cmd_get_lsa(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        offset = int(payload.get("offset", 0))
+        length = int(payload.get("length", len(self._lsa) - offset))
+        if offset < 0 or offset + length > len(self._lsa):
+            raise ValueError("LSA range out of bounds")
+        return {"data": bytes(self._lsa[offset:offset + length])}
+
+    def _cmd_set_lsa(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        offset = int(payload.get("offset", 0))
+        data = payload["data"]
+        if offset < 0 or offset + len(data) > len(self._lsa):
+            raise ValueError("LSA range out of bounds")
+        self._lsa[offset:offset + len(data)] = data
+        return {"written": len(data)}
+
+    def _cmd_health(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "health_status": "ok" if not self._poison else "degraded",
+            "media_errors": len(self._poison),
+            "dirty_shutdown_count": int(
+                self._shutdown_state is ShutdownState.DIRTY
+            ),
+            "temperature_c": 45,
+        }
+
+    def _cmd_get_shutdown(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        return {"state": self._shutdown_state.value}
+
+    def _cmd_set_shutdown(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        state = ShutdownState(payload["state"])
+        self._shutdown_state = state
+        return {"state": state.value}
+
+    def _cmd_sanitize(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        self._write_buffer.clear()
+        self.memory = SparseMemory(self.capacity_bytes)
+        self._poison.clear()
+        return {"sanitized": True}

@@ -1,0 +1,126 @@
+"""CXL.io enumeration: discovering endpoints below the host bridges.
+
+"the FPGA device is duly enumerated as a CXL endpoint within the host
+system" (paper Section 2.2).  Enumeration walks every root port of every
+host bridge, descends through switches following vPPB bindings, and asks
+each Type-3 endpoint's mailbox to identify itself.  The result is the
+inventory the CXL-as-PMem runtime (:mod:`repro.core.runtime`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cxl.device import Type3Device
+from repro.cxl.mailbox import MailboxOpcode
+from repro.cxl.port import HostBridge, RootPort
+from repro.cxl.switch import CxlSwitch, LogicalDevice
+from repro.errors import CxlEnumerationError
+
+
+@dataclass(frozen=True)
+class CxlEndpointInfo:
+    """One discovered CXL.mem endpoint (device or logical device)."""
+
+    device: Type3Device
+    socket_id: int
+    port_id: int
+    via_switch: str | None
+    ld_id: int | None
+    base_dpa: int
+    capacity_bytes: int
+    battery_backed: bool
+    gpf_supported: bool
+    lsa_size: int
+
+    @property
+    def persistent_capable(self) -> bool:
+        """Can this endpoint serve as persistent memory at all?"""
+        return self.battery_backed or self.gpf_supported
+
+    @property
+    def name(self) -> str:
+        base = self.device.name
+        return base if self.ld_id is None else f"{base}.ld{self.ld_id}"
+
+
+def _identify(device: Type3Device) -> dict:
+    # CXL.io first: the function must present a CXL Device DVSEC before
+    # the memory-device mailbox is even trusted (Linux's cxl_pci order)
+    from repro.cxl.config import identify_cxl_function
+    identity = identify_cxl_function(device.config_space)
+    if identity is None:
+        raise CxlEnumerationError(
+            f"device {device.name} has no CXL DVSEC — plain PCIe function"
+        )
+    resp = device.mailbox.execute(MailboxOpcode.IDENTIFY_MEMORY_DEVICE)
+    if not resp.ok:
+        raise CxlEnumerationError(
+            f"device {device.name} failed IDENTIFY: {resp.return_code.name}"
+        )
+    payload = dict(resp.payload)
+    payload["cxl_version"] = identity.version.label
+    return payload
+
+
+def _endpoint_from_device(device: Type3Device, socket_id: int, port_id: int,
+                          via_switch: str | None = None,
+                          ld: LogicalDevice | None = None) -> CxlEndpointInfo:
+    ident = _identify(device)
+    if ld is None:
+        base, cap = 0, int(ident["total_capacity"])
+        ld_id = None
+    else:
+        base, cap, ld_id = ld.base_dpa, ld.size, ld.ld_id
+    return CxlEndpointInfo(
+        device=device,
+        socket_id=socket_id,
+        port_id=port_id,
+        via_switch=via_switch,
+        ld_id=ld_id,
+        base_dpa=base,
+        capacity_bytes=cap,
+        battery_backed=bool(ident["battery_backed"]),
+        gpf_supported=bool(ident["gpf_supported"]),
+        lsa_size=int(ident["lsa_size"]),
+    )
+
+
+def _walk_port(bridge: HostBridge, port: RootPort) -> list[CxlEndpointInfo]:
+    target = port.attached
+    if target is None:
+        return []
+    if isinstance(target, Type3Device):
+        return [_endpoint_from_device(target, bridge.socket_id, port.port_id)]
+    # unwrap CxlSwitchRef or accept a bare switch
+    switch = getattr(target, "switch", target)
+    if not isinstance(switch, CxlSwitch):
+        raise CxlEnumerationError(
+            f"root port {port.port_id} attached to unknown object "
+            f"{type(target).__name__}"
+        )
+    found: list[CxlEndpointInfo] = []
+    for vppb in switch.bindings_for_host(bridge.socket_id):
+        bt = vppb.bound_target
+        if isinstance(bt, LogicalDevice):
+            found.append(_endpoint_from_device(
+                bt.parent, bridge.socket_id, port.port_id,
+                via_switch=switch.name, ld=bt))
+        elif isinstance(bt, Type3Device):
+            found.append(_endpoint_from_device(
+                bt, bridge.socket_id, port.port_id, via_switch=switch.name))
+    return found
+
+
+def enumerate_endpoints(bridges: Iterable[HostBridge]) -> list[CxlEndpointInfo]:
+    """Walk all host bridges and return every visible CXL.mem endpoint.
+
+    Endpoints are ordered by (socket, port) for deterministic namespace
+    naming in the runtime.
+    """
+    endpoints: list[CxlEndpointInfo] = []
+    for bridge in sorted(bridges, key=lambda b: b.socket_id):
+        for port in sorted(bridge.ports, key=lambda p: p.port_id):
+            endpoints.extend(_walk_port(bridge, port))
+    return endpoints

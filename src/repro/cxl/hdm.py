@@ -1,0 +1,158 @@
+"""Host-managed device memory (HDM) decoders.
+
+An HDM decoder maps a window of host physical address (HPA) space onto one
+or more CXL memory targets, optionally interleaving cacheline-granular
+chunks across them.  The paper's prototype exposes one non-interleaved
+range per host ("the same far memory segment can be made available to two
+distinct NUMA nodes"); the interleave machinery is exercised by the
+pooling/ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CxlDecodeError
+
+#: Interleave granularities allowed by the spec (bytes).
+VALID_GRANULARITIES = (256, 512, 1024, 2048, 4096, 8192, 16384)
+#: Interleave ways allowed by this model (power-of-two subset of the spec).
+VALID_WAYS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class HdmDecoder:
+    """One HDM decoder: HPA window → (target, device-physical-address).
+
+    Attributes:
+        base_hpa: start of the decoded window in host physical space.
+        size: window size in bytes; must be a multiple of
+            ``ways * granularity``.
+        targets: target identifiers, one per interleave way, in order.
+        granularity: interleave chunk size in bytes.
+    """
+
+    base_hpa: int
+    size: int
+    targets: tuple[str, ...]
+    granularity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.base_hpa < 0:
+            raise CxlDecodeError("base HPA must be non-negative")
+        if self.size <= 0:
+            raise CxlDecodeError("decoder size must be positive")
+        if len(self.targets) not in VALID_WAYS:
+            raise CxlDecodeError(
+                f"interleave ways must be one of {VALID_WAYS}, "
+                f"got {len(self.targets)}"
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise CxlDecodeError("duplicate interleave targets")
+        if self.granularity not in VALID_GRANULARITIES:
+            raise CxlDecodeError(
+                f"granularity must be one of {VALID_GRANULARITIES}, "
+                f"got {self.granularity}"
+            )
+        stride = len(self.targets) * self.granularity
+        if self.size % stride:
+            raise CxlDecodeError(
+                f"size {self.size:#x} not a multiple of ways*granularity "
+                f"({stride:#x})"
+            )
+
+    @property
+    def ways(self) -> int:
+        return len(self.targets)
+
+    @property
+    def end_hpa(self) -> int:
+        """One past the last decoded HPA."""
+        return self.base_hpa + self.size
+
+    @property
+    def capacity_per_target(self) -> int:
+        return self.size // self.ways
+
+    def contains(self, hpa: int) -> bool:
+        return self.base_hpa <= hpa < self.end_hpa
+
+    def decode(self, hpa: int) -> tuple[str, int]:
+        """Map an HPA to ``(target, dpa)``.
+
+        The interleave removes the way-selection bits: consecutive
+        ``granularity``-sized chunks rotate across targets, and each target
+        sees a dense DPA space.
+        """
+        if not self.contains(hpa):
+            raise CxlDecodeError(
+                f"HPA {hpa:#x} outside decoder window "
+                f"[{self.base_hpa:#x}, {self.end_hpa:#x})"
+            )
+        offset = hpa - self.base_hpa
+        chunk, within = divmod(offset, self.granularity)
+        way = chunk % self.ways
+        dpa = (chunk // self.ways) * self.granularity + within
+        return self.targets[way], dpa
+
+    def encode(self, target: str, dpa: int) -> int:
+        """Inverse of :meth:`decode`: map ``(target, dpa)`` back to an HPA."""
+        try:
+            way = self.targets.index(target)
+        except ValueError:
+            raise CxlDecodeError(
+                f"target {target!r} not in decoder {self.targets}"
+            ) from None
+        if not 0 <= dpa < self.capacity_per_target:
+            raise CxlDecodeError(
+                f"DPA {dpa:#x} outside target capacity "
+                f"{self.capacity_per_target:#x}"
+            )
+        chunk_in_target, within = divmod(dpa, self.granularity)
+        chunk = chunk_in_target * self.ways + way
+        return self.base_hpa + chunk * self.granularity + within
+
+
+class HdmDecoderSet:
+    """An ordered, non-overlapping set of HDM decoders (one per host window)."""
+
+    def __init__(self, decoders: Sequence[HdmDecoder] = ()) -> None:
+        self._decoders: list[HdmDecoder] = []
+        for d in decoders:
+            self.add(d)
+
+    def add(self, decoder: HdmDecoder) -> None:
+        for existing in self._decoders:
+            if (decoder.base_hpa < existing.end_hpa
+                    and existing.base_hpa < decoder.end_hpa):
+                raise CxlDecodeError(
+                    f"decoder [{decoder.base_hpa:#x},{decoder.end_hpa:#x}) "
+                    f"overlaps [{existing.base_hpa:#x},{existing.end_hpa:#x})"
+                )
+        self._decoders.append(decoder)
+        self._decoders.sort(key=lambda d: d.base_hpa)
+
+    def __len__(self) -> int:
+        return len(self._decoders)
+
+    def __iter__(self):
+        return iter(self._decoders)
+
+    def find(self, hpa: int) -> HdmDecoder:
+        """The decoder covering ``hpa``.
+
+        Raises:
+            CxlDecodeError: address misses every window.
+        """
+        for d in self._decoders:
+            if d.contains(hpa):
+                return d
+        raise CxlDecodeError(f"HPA {hpa:#x} misses all HDM decoders")
+
+    def decode(self, hpa: int) -> tuple[str, int]:
+        return self.find(hpa).decode(hpa)
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(d.size for d in self._decoders)

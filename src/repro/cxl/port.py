@@ -1,0 +1,70 @@
+"""Root ports and host bridges.
+
+The host side of the CXL topology: a :class:`HostBridge` per socket owns
+:class:`RootPort` instances; each root port either connects directly to an
+endpoint (the paper's configuration — the FPGA card below a Sapphire Rapids
+root port) or to a CXL 2.0 switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.cxl.device import Type3Device
+from repro.cxl.link import CxlLink
+from repro.errors import CxlError
+
+Attachable = Union[Type3Device, "CxlSwitchRef"]
+
+
+@dataclass
+class CxlSwitchRef:
+    """Forward reference wrapper so ports can point at a switch without a
+    circular import; the switch module fills in the actual object."""
+
+    switch: object
+
+
+@dataclass
+class RootPort:
+    """A CXL-capable PCIe root port."""
+
+    port_id: int
+    link: CxlLink
+    attached: Attachable | None = None
+
+    def attach(self, target: Attachable) -> None:
+        if self.attached is not None:
+            raise CxlError(f"root port {self.port_id} already occupied")
+        self.attached = target
+
+    def detach(self) -> None:
+        self.attached = None
+
+    @property
+    def occupied(self) -> bool:
+        return self.attached is not None
+
+
+@dataclass
+class HostBridge:
+    """The CXL host bridge of one socket (one per ACPI CEDT entry)."""
+
+    socket_id: int
+    ports: list[RootPort] = field(default_factory=list)
+
+    def add_port(self, port: RootPort) -> RootPort:
+        if any(p.port_id == port.port_id for p in self.ports):
+            raise CxlError(
+                f"duplicate root port id {port.port_id} on host bridge "
+                f"{self.socket_id}"
+            )
+        self.ports.append(port)
+        return port
+
+    def port(self, port_id: int) -> RootPort:
+        for p in self.ports:
+            if p.port_id == port_id:
+                return p
+        raise CxlError(f"no root port {port_id} on host bridge {self.socket_id}")

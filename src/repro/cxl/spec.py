@@ -1,0 +1,129 @@
+"""CXL protocol constants.
+
+Opcode sets follow the CXL 2.0 specification's CXL.mem chapter (M2S =
+master-to-subordinate, S2M = subordinate-to-master).  Only fields the
+transaction-level model needs are kept; reserved/vendor bits are omitted.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: CXL.mem moves data in cacheline units.
+CACHELINE_BYTES = 64
+
+#: A CXL 1.1/2.0 protocol flit: four 16-byte slots plus 2B CRC and 2B
+#: protocol framing.
+FLIT_BYTES = 68
+FLIT_SLOTS = 4
+SLOT_BYTES = 16
+FLIT_OVERHEAD_BYTES = FLIT_BYTES - FLIT_SLOTS * SLOT_BYTES
+
+
+class CxlVersion(enum.Enum):
+    """CXL spec revision with its PCIe PHY binding.
+
+    value = (label, PCIe generation, GT/s per lane, encoding efficiency).
+    """
+
+    CXL_1_1 = ("1.1", 5, 32.0, 128.0 / 130.0)
+    CXL_2_0 = ("2.0", 5, 32.0, 128.0 / 130.0)
+    CXL_3_0 = ("3.0", 6, 64.0, 0.985)  # PAM4 + FLIT mode + FEC
+
+    @property
+    def label(self) -> str:
+        return self.value[0]
+
+    @property
+    def pcie_gen(self) -> int:
+        return self.value[1]
+
+    @property
+    def gt_per_s(self) -> float:
+        return self.value[2]
+
+    @property
+    def encoding_efficiency(self) -> float:
+        return self.value[3]
+
+    @property
+    def supports_switching(self) -> bool:
+        """Switch-based pooling arrives with CXL 2.0."""
+        return self is not CxlVersion.CXL_1_1
+
+    @property
+    def supports_fabric(self) -> bool:
+        """Multi-level fabrics arrive with CXL 3.0."""
+        return self is CxlVersion.CXL_3_0
+
+
+class DeviceType(enum.IntEnum):
+    """CXL 1.1 device types (paper Section 1.3)."""
+
+    TYPE1 = 1   # caching accelerator, CXL.io + CXL.cache
+    TYPE2 = 2   # accelerator with memory, all three protocols
+    TYPE3 = 3   # memory expander, CXL.io + CXL.mem
+
+    @property
+    def protocols(self) -> tuple[str, ...]:
+        if self is DeviceType.TYPE1:
+            return ("cxl.io", "cxl.cache")
+        if self is DeviceType.TYPE2:
+            return ("cxl.io", "cxl.cache", "cxl.mem")
+        return ("cxl.io", "cxl.mem")
+
+
+class M2SReqOpcode(enum.Enum):
+    """Master-to-subordinate request (no data) opcodes."""
+
+    MEM_INV = "MemInv"
+    MEM_RD = "MemRd"
+    MEM_RD_DATA = "MemRdData"
+    MEM_RD_FWD = "MemRdFwd"
+    MEM_WR_FWD = "MemWrFwd"
+    MEM_SPEC_RD = "MemSpecRd"
+    MEM_INV_NT = "MemInvNT"
+
+    @property
+    def expects_data(self) -> bool:
+        return self in (M2SReqOpcode.MEM_RD, M2SReqOpcode.MEM_RD_DATA,
+                        M2SReqOpcode.MEM_SPEC_RD)
+
+
+class M2SRwDOpcode(enum.Enum):
+    """Master-to-subordinate request-with-data opcodes."""
+
+    MEM_WR = "MemWr"
+    MEM_WR_PTL = "MemWrPtl"
+
+
+class S2MNDROpcode(enum.Enum):
+    """Subordinate-to-master no-data-response opcodes."""
+
+    CMP = "Cmp"
+    CMP_S = "Cmp-S"   # shared
+    CMP_E = "Cmp-E"   # exclusive
+
+
+class S2MDRSOpcode(enum.Enum):
+    """Subordinate-to-master data-response opcodes."""
+
+    MEM_DATA = "MemData"
+    MEM_DATA_NXM = "MemData-NXM"   # non-existent memory (poison-like)
+
+
+class MetaValue(enum.Enum):
+    """Meta0-State values carried by CXL.mem messages (coarse MESI hints)."""
+
+    INVALID = "I"
+    ANY = "A"
+    SHARED = "S"
+
+
+class SnpType(enum.Enum):
+    """Snoop type hints in M2S requests."""
+
+    NO_OP = "NoOp"
+    SNP_DATA = "SnpData"
+    SNP_CUR = "SnpCur"
+    SNP_INV = "SnpInv"

@@ -1,0 +1,165 @@
+"""CXL 2.0 switching and memory pooling.
+
+CXL 2.0 "expands the specification to memory pools using CXL switches on a
+device level" (paper Section 1.3).  The two pieces modeled here:
+
+* :class:`CxlSwitch` — an upstream-port/downstream-port crossbar with
+  virtual PCI-to-PCI bridges (vPPBs); each vPPB binds one downstream
+  resource to one host;
+* :class:`MultiLogicalDevice` — an MLD: one physical Type-3 device
+  partitioned into logical devices (LD-IDs), each independently bindable,
+  which is how one expander serves several hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cxl.device import Type3Device
+from repro.cxl.spec import CxlVersion
+from repro.errors import CxlError
+
+
+@dataclass(frozen=True)
+class LogicalDevice:
+    """One LD of a multi-logical device: a capacity slice of the parent."""
+
+    parent: Type3Device
+    ld_id: int
+    base_dpa: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise CxlError("logical device size must be positive")
+        if self.base_dpa < 0 or self.base_dpa + self.size > self.parent.capacity_bytes:
+            raise CxlError(
+                f"LD {self.ld_id} range [{self.base_dpa:#x}, "
+                f"{self.base_dpa + self.size:#x}) exceeds device capacity"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.parent.name}.ld{self.ld_id}"
+
+
+class MultiLogicalDevice:
+    """A Type-3 device partitioned into up to 16 logical devices."""
+
+    MAX_LDS = 16
+
+    def __init__(self, device: Type3Device) -> None:
+        self.device = device
+        self._lds: dict[int, LogicalDevice] = {}
+        self._next_dpa = 0
+
+    def carve(self, size: int) -> LogicalDevice:
+        """Allocate the next logical device of ``size`` bytes."""
+        if len(self._lds) >= self.MAX_LDS:
+            raise CxlError(f"MLD already has {self.MAX_LDS} logical devices")
+        if self._next_dpa + size > self.device.capacity_bytes:
+            raise CxlError(
+                f"cannot carve {size} bytes; only "
+                f"{self.device.capacity_bytes - self._next_dpa} remain"
+            )
+        ld_id = len(self._lds)
+        ld = LogicalDevice(self.device, ld_id, self._next_dpa, size)
+        self._lds[ld_id] = ld
+        self._next_dpa += size
+        return ld
+
+    @property
+    def logical_devices(self) -> dict[int, LogicalDevice]:
+        return dict(self._lds)
+
+    @property
+    def unallocated_bytes(self) -> int:
+        return self.device.capacity_bytes - self._next_dpa
+
+
+@dataclass
+class Vppb:
+    """A virtual PCI-to-PCI bridge inside the switch."""
+
+    vppb_id: int
+    bound_host: int | None = None
+    bound_target: Type3Device | LogicalDevice | None = None
+
+
+class CxlSwitch:
+    """A CXL 2.0 switch binding downstream resources to upstream hosts."""
+
+    def __init__(self, name: str, version: CxlVersion = CxlVersion.CXL_2_0,
+                 n_vppbs: int = 8) -> None:
+        if not version.supports_switching:
+            raise CxlError(f"CXL {version.label} does not support switching")
+        if n_vppbs < 1:
+            raise CxlError("switch needs at least one vPPB")
+        self.name = name
+        self.version = version
+        self._vppbs = [Vppb(i) for i in range(n_vppbs)]
+        self._hosts: set[int] = set()
+
+    @property
+    def vppbs(self) -> list[Vppb]:
+        return list(self._vppbs)
+
+    def connect_host(self, socket_id: int) -> None:
+        """Attach a host upstream port."""
+        if socket_id in self._hosts:
+            raise CxlError(f"host {socket_id} already connected to {self.name}")
+        self._hosts.add(socket_id)
+
+    def bind(self, vppb_id: int, host: int,
+             target: Type3Device | LogicalDevice) -> Vppb:
+        """Bind a device (or LD) to a host through a vPPB.
+
+        A physical single-logical device may be bound to only one host at a
+        time; logical devices of one MLD bind independently — that is the
+        pooling capability.
+        """
+        if host not in self._hosts:
+            raise CxlError(f"host {host} is not connected to switch {self.name}")
+        vppb = self._vppb(vppb_id)
+        if vppb.bound_target is not None:
+            raise CxlError(f"vPPB {vppb_id} already bound")
+        if isinstance(target, Type3Device):
+            for other in self._vppbs:
+                if other.bound_target is target:
+                    raise CxlError(
+                        f"device {target.name} already bound via vPPB "
+                        f"{other.vppb_id}; carve an MLD to share it"
+                    )
+        else:
+            for other in self._vppbs:
+                if (isinstance(other.bound_target, LogicalDevice)
+                        and other.bound_target.parent is target.parent
+                        and other.bound_target.ld_id == target.ld_id):
+                    raise CxlError(
+                        f"LD {target.name} already bound via vPPB {other.vppb_id}"
+                    )
+        vppb.bound_host = host
+        vppb.bound_target = target
+        return vppb
+
+    def unbind(self, vppb_id: int) -> None:
+        vppb = self._vppb(vppb_id)
+        vppb.bound_host = None
+        vppb.bound_target = None
+
+    def _vppb(self, vppb_id: int) -> Vppb:
+        if not 0 <= vppb_id < len(self._vppbs):
+            raise CxlError(f"no vPPB {vppb_id} on switch {self.name}")
+        return self._vppbs[vppb_id]
+
+    def bindings_for_host(self, host: int) -> list[Vppb]:
+        return [v for v in self._vppbs
+                if v.bound_host == host and v.bound_target is not None]
+
+    def pooled_capacity(self, host: int) -> int:
+        """Total bytes of pooled memory visible to ``host``."""
+        total = 0
+        for v in self.bindings_for_host(host):
+            t = v.bound_target
+            total += t.size if isinstance(t, LogicalDevice) else t.capacity_bytes
+        return total

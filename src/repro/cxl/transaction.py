@@ -1,0 +1,167 @@
+"""CXL.mem transaction-layer messages.
+
+Four message classes cross a CXL.mem link:
+
+* M2S **Req** — reads/invalidates, no payload;
+* M2S **RwD** — writes, carrying one 64-byte cacheline;
+* S2M **NDR** — completions without data;
+* S2M **DRS** — data responses carrying one cacheline.
+
+Messages are immutable and validated on construction (alignment, tag range,
+payload size), which is where a surprising number of real transaction-layer
+bugs live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cxl.spec import (
+    CACHELINE_BYTES,
+    M2SReqOpcode,
+    M2SRwDOpcode,
+    MetaValue,
+    S2MDRSOpcode,
+    S2MNDROpcode,
+    SnpType,
+)
+from repro.errors import CxlError
+
+#: Tags are 16-bit in the spec.
+MAX_TAG = 0xFFFF
+
+
+def _check_tag(tag: int) -> None:
+    if not 0 <= tag <= MAX_TAG:
+        raise CxlError(f"tag {tag:#x} out of 16-bit range")
+
+
+def _check_addr(addr: int) -> None:
+    if addr < 0:
+        raise CxlError(f"negative device address {addr:#x}")
+    if addr % CACHELINE_BYTES:
+        raise CxlError(
+            f"address {addr:#x} not {CACHELINE_BYTES}-byte aligned"
+        )
+
+
+@dataclass(frozen=True)
+class M2SReq:
+    """Master-to-subordinate request (MemRd and friends)."""
+
+    opcode: M2SReqOpcode
+    addr: int
+    tag: int
+    snp: SnpType = SnpType.NO_OP
+    meta: MetaValue = MetaValue.ANY
+
+    def __post_init__(self) -> None:
+        _check_addr(self.addr)
+        _check_tag(self.tag)
+
+
+@dataclass(frozen=True)
+class M2SRwD:
+    """Master-to-subordinate request with data (MemWr)."""
+
+    opcode: M2SRwDOpcode
+    addr: int
+    tag: int
+    data: bytes
+    byte_enable: int = (1 << CACHELINE_BYTES) - 1   # for MemWrPtl
+
+    def __post_init__(self) -> None:
+        _check_addr(self.addr)
+        _check_tag(self.tag)
+        if len(self.data) != CACHELINE_BYTES:
+            raise CxlError(
+                f"RwD payload must be {CACHELINE_BYTES} B, got {len(self.data)}"
+            )
+        if self.opcode is M2SRwDOpcode.MEM_WR and (
+            self.byte_enable != (1 << CACHELINE_BYTES) - 1
+        ):
+            raise CxlError("full MemWr must enable all 64 bytes")
+        if not 0 < self.byte_enable < (1 << CACHELINE_BYTES) + 1:
+            raise CxlError("byte_enable must select at least one byte")
+
+    def enabled_bytes(self) -> list[int]:
+        """Offsets within the cacheline this write touches."""
+        return [i for i in range(CACHELINE_BYTES) if self.byte_enable >> i & 1]
+
+
+@dataclass(frozen=True)
+class S2MNDR:
+    """Subordinate-to-master completion without data."""
+
+    opcode: S2MNDROpcode
+    tag: int
+
+    def __post_init__(self) -> None:
+        _check_tag(self.tag)
+
+
+@dataclass(frozen=True)
+class S2MDRS:
+    """Subordinate-to-master data response."""
+
+    opcode: S2MDRSOpcode
+    tag: int
+    data: bytes = field(repr=False)
+    poison: bool = False
+
+    def __post_init__(self) -> None:
+        _check_tag(self.tag)
+        if len(self.data) != CACHELINE_BYTES:
+            raise CxlError(
+                f"DRS payload must be {CACHELINE_BYTES} B, got {len(self.data)}"
+            )
+
+
+class TagAllocator:
+    """Round-robin tag allocator tracking in-flight transactions.
+
+    The master must not reuse a tag while a response is outstanding; this
+    class enforces that and is how the link model bounds outstanding
+    requests (which in turn bounds achievable bandwidth — see
+    :func:`repro.units.bw_from_concurrency`).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if not 1 <= capacity <= MAX_TAG + 1:
+            raise CxlError(f"tag capacity {capacity} out of range")
+        self.capacity = capacity
+        self._next = 0
+        self._inflight: set[int] = set()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - len(self._inflight)
+
+    def allocate(self) -> int:
+        """Allocate a free tag.
+
+        Raises:
+            CxlError: all tags are in flight (caller must retire first).
+        """
+        if not self.available:
+            raise CxlError(
+                f"all {self.capacity} tags in flight; retire a response first"
+            )
+        for _ in range(self.capacity):
+            tag = self._next
+            self._next = (self._next + 1) % self.capacity
+            if tag not in self._inflight:
+                self._inflight.add(tag)
+                return tag
+        raise CxlError("tag allocator invariant violated")  # pragma: no cover
+
+    def retire(self, tag: int) -> None:
+        """Retire a tag on response arrival."""
+        try:
+            self._inflight.remove(tag)
+        except KeyError:
+            raise CxlError(f"retiring tag {tag:#x} that is not in flight") from None

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything coming out of the reproduction stack with a
+single ``except`` clause while still being able to discriminate between the
+subsystems (CXL protocol, PMDK emulation, machine model, benchmark harness).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TopologyError(ReproError):
+    """A machine topology is malformed or an entity lookup failed."""
+
+
+class AffinityError(ReproError):
+    """A thread-placement request cannot be satisfied."""
+
+
+class SimulationError(ReproError):
+    """The bandwidth/latency model was asked for something unresolvable."""
+
+
+class CalibrationError(ReproError):
+    """A calibration profile is missing or inconsistent."""
+
+
+class CxlError(ReproError):
+    """Base class for CXL protocol-level errors."""
+
+
+class CxlLinkError(CxlError):
+    """Link training / flow-control failure on a CXL link."""
+
+
+class CxlDecodeError(CxlError):
+    """An address misses every HDM decoder, or decoders overlap."""
+
+
+class CxlMailboxError(CxlError):
+    """A mailbox command failed (unsupported opcode, bad payload...)."""
+
+
+class CxlEnumerationError(CxlError):
+    """CXL.io enumeration walked into an inconsistent config space."""
+
+
+class PmemError(ReproError):
+    """Base class for persistent-memory (PMDK emulation) errors."""
+
+
+class PoolError(PmemError):
+    """Pool creation/open/validation failure."""
+
+
+class PoolCorruptionError(PoolError):
+    """A pool failed its consistency check (bad header, torn metadata)."""
+
+
+class AllocError(PmemError):
+    """The persistent heap could not satisfy or validate a request."""
+
+
+class TransactionError(PmemError):
+    """Illegal transaction usage (nesting misuse, stage violations)."""
+
+
+class TransactionAborted(PmemError):
+    """A transaction was aborted; the undo log has been (or will be) applied."""
+
+
+class CrashInjected(PmemError):
+    """Raised by the crash-injection harness at the injected crash point.
+
+    This models power loss: everything not yet flushed to the persistence
+    domain is discarded before this propagates.
+    """
+
+
+class PersistenceDomainError(PmemError):
+    """An operation assumed persistence that the device cannot guarantee
+    (e.g. no battery backing and no Global Persistent Flush support)."""
+
+
+class CoherenceError(ReproError):
+    """Violation of the software-managed coherence protocol on shared
+    far memory (e.g. writing without holding the far-memory lock)."""
+
+
+class BenchmarkError(ReproError):
+    """The STREAM/STREAMer harness detected an invalid configuration or a
+    failed result validation."""
+
+
+class ValidationError(BenchmarkError):
+    """STREAM result arrays failed the epsilon check (like the original
+    ``checkSTREAMresults``)."""

@@ -1,0 +1,80 @@
+"""Machine model: sockets, cores, caches, DIMMs, UPI links and NUMA nodes.
+
+This subpackage is the hardware substrate under the bandwidth simulator
+(:mod:`repro.memsim`).  It provides:
+
+* :mod:`repro.machine.dram` — DDR4/DDR5 speed grades and DIMM specs;
+* :mod:`repro.machine.topology` — the machine graph and access-path routing;
+* :mod:`repro.machine.interconnect` — UPI socket-to-socket links;
+* :mod:`repro.machine.cache` — the cache hierarchy model;
+* :mod:`repro.machine.numa` — NUMA memory policies (bind/interleave/local);
+* :mod:`repro.machine.affinity` — ``close``/``spread`` thread placement;
+* :mod:`repro.machine.presets` — the paper's Setup #1 and Setup #2, the
+  Optane DCPMM reference point, and the future-work prototype variants.
+"""
+
+from repro.machine.dram import (
+    DDR4_1333,
+    DDR4_2666,
+    DDR4_3200,
+    DDR5_4800,
+    DDR5_5600,
+    DimmSpec,
+    DramGeneration,
+    DramSpeedGrade,
+)
+from repro.machine.topology import (
+    AccessPath,
+    Core,
+    Machine,
+    MemoryController,
+    NumaNode,
+    NodeKind,
+    Socket,
+)
+from repro.machine.interconnect import UpiLink, upi_raw_bandwidth
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.numa import NumaPolicy, PolicyKind
+from repro.machine.affinity import AffinityMode, place_threads
+from repro.machine.presets import (
+    multihost_cxl,
+    optane_reference,
+    setup1,
+    setup1_variant,
+    setup1_switched,
+    setup1_with_dcpmm,
+    setup2,
+)
+
+__all__ = [
+    "AccessPath",
+    "AffinityMode",
+    "CacheHierarchy",
+    "CacheLevel",
+    "Core",
+    "DDR4_1333",
+    "DDR4_2666",
+    "DDR4_3200",
+    "DDR5_4800",
+    "DDR5_5600",
+    "DimmSpec",
+    "DramGeneration",
+    "DramSpeedGrade",
+    "Machine",
+    "MemoryController",
+    "NodeKind",
+    "NumaNode",
+    "NumaPolicy",
+    "PolicyKind",
+    "Socket",
+    "UpiLink",
+    "multihost_cxl",
+    "optane_reference",
+    "place_threads",
+    "setup1",
+    "setup1_variant",
+    "setup1_switched",
+    "setup1_with_dcpmm",
+    "setup2",
+    "upi_raw_bandwidth",
+]

@@ -1,0 +1,120 @@
+"""DRAM generations, speed grades and DIMM specifications.
+
+The paper's testbeds use three DRAM populations:
+
+* Setup #1: one 64 GB DDR5-4800 DIMM per socket (Sapphire Rapids),
+* Setup #2: six 16 GB DDR4-2666 DIMMs per socket (Xeon Gold 5215),
+* the CXL FPGA card: two 8 GB DDR4-1333 modules behind the FPGA memory
+  controller.
+
+A *speed grade* gives the per-channel theoretical peak; the *stream
+efficiency* is the fraction of that peak a well-tuned streaming workload
+extracts from the channel (row-buffer misses, refresh, turnaround overheads
+eat the rest).  Effective capacities fed to the bandwidth solver are always
+``peak * efficiency``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import units
+
+
+class DramGeneration(enum.Enum):
+    """DRAM technology generation."""
+
+    DDR4 = "DDR4"
+    DDR5 = "DDR5"
+
+
+@dataclass(frozen=True)
+class DramSpeedGrade:
+    """A JEDEC speed grade, e.g. DDR4-3200.
+
+    Attributes:
+        generation: DDR4 or DDR5.
+        mts: mega-transfers per second (the number in the grade name).
+        stream_efficiency: fraction of theoretical peak reachable by
+            streaming access patterns on a mature memory controller.
+    """
+
+    generation: DramGeneration
+    mts: int
+    stream_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.mts <= 0:
+            raise ValueError(f"speed grade must be positive, got {self.mts}")
+        if not 0.0 < self.stream_efficiency <= 1.0:
+            raise ValueError(
+                f"stream_efficiency must be in (0, 1], got {self.stream_efficiency}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Grade name, e.g. ``DDR5-4800``."""
+        return f"{self.generation.value}-{self.mts}"
+
+    @property
+    def channel_peak_gbps(self) -> float:
+        """Theoretical peak of one 64-bit channel in GB/s."""
+        return units.mts_to_gbps(self.mts)
+
+    @property
+    def channel_effective_gbps(self) -> float:
+        """Streaming-effective bandwidth of one channel in GB/s."""
+        return self.channel_peak_gbps * self.stream_efficiency
+
+
+# Speed grades that appear in the paper (Section 2) and its future-work
+# section ("transitioning to DDR4-3200 or DDR5-5600 media").
+DDR4_1333 = DramSpeedGrade(DramGeneration.DDR4, 1333)
+DDR4_2666 = DramSpeedGrade(DramGeneration.DDR4, 2666)
+DDR4_3200 = DramSpeedGrade(DramGeneration.DDR4, 3200)
+DDR5_4800 = DramSpeedGrade(DramGeneration.DDR5, 4800)
+DDR5_5600 = DramSpeedGrade(DramGeneration.DDR5, 5600)
+
+
+@dataclass(frozen=True)
+class DimmSpec:
+    """One populated DIMM: a speed grade plus a capacity."""
+
+    grade: DramSpeedGrade
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("DIMM capacity must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"{units.fmt_bytes(self.capacity_bytes)} {self.grade.name}"
+
+
+def population_peak_gbps(dimms_per_channel: int, channels: int,
+                         grade: DramSpeedGrade) -> float:
+    """Theoretical peak of a DIMM population.
+
+    Additional DIMMs per channel add capacity, not bandwidth, so only the
+    channel count multiplies the per-channel peak.
+    """
+    if dimms_per_channel < 1 or channels < 1:
+        raise ValueError("population requires at least one DIMM and channel")
+    return channels * grade.channel_peak_gbps
+
+
+def population_effective_gbps(channels: int, grade: DramSpeedGrade,
+                              controller_efficiency: float = 1.0) -> float:
+    """Streaming-effective bandwidth of ``channels`` populated channels.
+
+    ``controller_efficiency`` models an integrated memory controller that
+    cannot drive its channels at full tilt — the FPGA soft memory controller
+    of the CXL prototype is the prime example (the paper attributes its
+    bandwidth ceiling to "current implementation constraints", not to the
+    CXL standard).
+    """
+    if not 0.0 < controller_efficiency <= 1.0:
+        raise ValueError("controller_efficiency must be in (0, 1]")
+    return channels * grade.channel_effective_gbps * controller_efficiency

@@ -1,0 +1,130 @@
+"""NUMA memory policies.
+
+The paper's *Memory Mode* class accesses remote memory "as CC-NUMA" — i.e.
+plain loads/stores against memory bound to another node, the way
+``numactl --membind`` would set it up.  We model the three policies that
+matter for the evaluation:
+
+* ``LOCAL``      — first-touch on the thread's own socket node;
+* ``BIND``       — all traffic to one explicit node (``numactl --membind``);
+* ``INTERLEAVE`` — pages round-robined across a node set
+  (``numactl --interleave``), so each thread's traffic splits evenly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.machine.topology import Core, Machine
+
+
+class PolicyKind(enum.Enum):
+    LOCAL = "local"
+    BIND = "bind"
+    INTERLEAVE = "interleave"
+    WEIGHTED = "weighted"
+
+
+@dataclass(frozen=True)
+class NumaPolicy:
+    """A memory placement policy.
+
+    ``nodes`` is unused for LOCAL, a single node id for BIND, the
+    interleave set for INTERLEAVE, and the node set for WEIGHTED (with
+    ``weights`` giving the per-node traffic shares — the model of Linux's
+    weighted interleave, which is how hybrid DRAM+CXL placements are
+    tuned in practice).
+    """
+
+    kind: PolicyKind
+    nodes: tuple[int, ...] = ()
+    weights: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind is PolicyKind.BIND and len(self.nodes) != 1:
+            raise ValueError("BIND policy takes exactly one node")
+        if self.kind is PolicyKind.INTERLEAVE and len(self.nodes) < 1:
+            raise ValueError("INTERLEAVE policy needs at least one node")
+        if self.kind is PolicyKind.LOCAL and self.nodes:
+            raise ValueError("LOCAL policy takes no node list")
+        if self.kind is PolicyKind.WEIGHTED:
+            if len(self.nodes) < 1:
+                raise ValueError("WEIGHTED policy needs at least one node")
+            if len(self.weights) != len(self.nodes):
+                raise ValueError("WEIGHTED needs one weight per node")
+            if any(w <= 0 for w in self.weights):
+                raise ValueError("weights must be positive")
+            if len(set(self.nodes)) != len(self.nodes):
+                raise ValueError("WEIGHTED nodes must be distinct")
+        elif self.weights:
+            raise ValueError(f"{self.kind.value} policy takes no weights")
+
+    @classmethod
+    def local(cls) -> "NumaPolicy":
+        return cls(PolicyKind.LOCAL)
+
+    @classmethod
+    def bind(cls, node_id: int) -> "NumaPolicy":
+        return cls(PolicyKind.BIND, (node_id,))
+
+    @classmethod
+    def interleave(cls, *node_ids: int) -> "NumaPolicy":
+        return cls(PolicyKind.INTERLEAVE, tuple(node_ids))
+
+    @classmethod
+    def weighted(cls, shares: dict[int, float]) -> "NumaPolicy":
+        """Weighted interleave, e.g. ``weighted({0: 3, 2: 1})`` sends 75%
+        of traffic to node 0 and 25% to node 2."""
+        nodes = tuple(sorted(shares))
+        return cls(PolicyKind.WEIGHTED, nodes,
+                   tuple(float(shares[n]) for n in nodes))
+
+    def targets_for(self, machine: Machine, core: Core) -> dict[int, float]:
+        """Resolve the policy for a thread on ``core``.
+
+        Returns ``{node_id: traffic_fraction}`` summing to 1.0.
+        """
+        if self.kind is PolicyKind.LOCAL:
+            # First-touch: the DRAM node homed on the thread's socket.
+            candidates = [
+                n.node_id for n in machine.nodes.values()
+                if n.home_socket == core.socket_id and not n.extra_resources
+            ]
+            if not candidates:
+                raise TopologyError(
+                    f"no local DRAM node for socket {core.socket_id}"
+                )
+            return {min(candidates): 1.0}
+        if self.kind is PolicyKind.BIND:
+            node_id = self.nodes[0]
+            machine.node(node_id)  # validate
+            return {node_id: 1.0}
+        if self.kind is PolicyKind.WEIGHTED:
+            total = sum(self.weights)
+            out = {}
+            for node_id, w in zip(self.nodes, self.weights):
+                machine.node(node_id)  # validate
+                out[node_id] = w / total
+            return out
+        # INTERLEAVE
+        frac = 1.0 / len(self.nodes)
+        out: dict[int, float] = {}
+        for node_id in self.nodes:
+            machine.node(node_id)  # validate
+            out[node_id] = out.get(node_id, 0.0) + frac
+        return out
+
+    def describe(self) -> str:
+        if self.kind is PolicyKind.LOCAL:
+            return "local (first touch)"
+        if self.kind is PolicyKind.BIND:
+            return f"membind node{self.nodes[0]}"
+        if self.kind is PolicyKind.WEIGHTED:
+            total = sum(self.weights)
+            parts = ",".join(
+                f"node{n}:{w / total:.0%}"
+                for n, w in zip(self.nodes, self.weights))
+            return f"weighted interleave {parts}"
+        return "interleave " + ",".join(f"node{n}" for n in self.nodes)

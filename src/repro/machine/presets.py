@@ -1,0 +1,515 @@
+"""The paper's testbeds as ready-made machine models.
+
+* :func:`setup1` — Section 2.1 Setup #1: two Sapphire Rapids sockets
+  (BIOS-limited to 10 cores each), one 64 GB DDR5-4800 DIMM per socket,
+  and the CXL prototype — two 8 GB DDR4-1333 modules on a PCIe Gen5 x16
+  FPGA card behind socket 0's root port (Figure 2).
+* :func:`setup2` — Setup #2: two Xeon Gold 5215 sockets, six 16 GB
+  DDR4-2666 DIMMs per socket (Figure 3).
+* :func:`setup1_variant` — the future-work prototype upgrades from
+  Section 2.2: faster media (DDR4-3200 / DDR5-5600), more channels, a
+  better controller, or a CXL 3.0 link.
+* :func:`optane_reference` — the published DCPMM numbers the paper
+  compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro import units
+from repro.calibration import (
+    SETUP1_CALIBRATION,
+    SETUP2_CALIBRATION,
+    CalibrationProfile,
+    OptaneReference,
+)
+from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - break the machine<->cxl import cycle
+    from repro.cxl.device import Type3Device
+    from repro.cxl.link import CxlLink
+    from repro.cxl.port import HostBridge
+    from repro.cxl.spec import CxlVersion
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.dram import (
+    DDR4_1333,
+    DDR4_2666,
+    DDR5_4800,
+    DimmSpec,
+    DramSpeedGrade,
+)
+from repro.machine.interconnect import UpiLink
+from repro.machine.topology import (
+    Core,
+    Machine,
+    MemoryController,
+    NodeKind,
+    NumaNode,
+    Socket,
+)
+
+
+@dataclass
+class Testbed:
+    """A machine model plus its CXL wiring (host bridges and devices)."""
+
+    name: str
+    machine: Machine
+    host_bridges: list[HostBridge] = field(default_factory=list)
+    cxl_devices: list[Type3Device] = field(default_factory=list)
+    cxl_links: dict[str, CxlLink] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def calibration(self) -> CalibrationProfile:
+        return self.machine.metadata["calibration"]  # type: ignore[return-value]
+
+
+def _cores(socket_id: int, n: int, base_id: int, freq: float,
+           lfb: int) -> tuple[Core, ...]:
+    return tuple(
+        Core(core_id=base_id + i, socket_id=socket_id, freq_ghz=freq,
+             lfb_entries=lfb)
+        for i in range(n)
+    )
+
+
+def _spr_caches() -> CacheHierarchy:
+    return CacheHierarchy.from_levels([
+        CacheLevel(1, units.kib(48), 1.2, 1000.0),
+        CacheLevel(2, units.mib(2), 4.0, 600.0),
+        CacheLevel(3, units.mib(105), 33.0, 400.0, shared=True),
+    ])
+
+
+def _gold_caches() -> CacheHierarchy:
+    return CacheHierarchy.from_levels([
+        CacheLevel(1, units.kib(32), 1.3, 800.0),
+        CacheLevel(2, units.mib(1), 4.5, 450.0),
+        CacheLevel(3, int(units.mib(13.75)), 20.0, 250.0, shared=True),
+    ])
+
+
+def setup1(battery_backed: bool = True) -> Testbed:
+    """The paper's Setup #1: dual SPR + DDR5-4800 + CXL-DDR4 FPGA prototype.
+
+    Calibrated anchors (see :mod:`repro.calibration`): the single DDR5-4800
+    DIMM per socket sustains 33 GB/s of actual streaming traffic; the UPI
+    path sustains 22 GB/s; the FPGA's soft memory controller ceilings the
+    CXL device at 11.5 GB/s regardless of the 63 GB/s link.
+    """
+    from repro.cxl.device import MediaController, Type3Device
+    from repro.cxl.link import CxlLink
+    from repro.cxl.port import HostBridge, RootPort
+    from repro.cxl.spec import CxlVersion
+
+    sockets = []
+    for sid in (0, 1):
+        mc = MemoryController(
+            name=f"spr{sid}-ddr5",
+            channels=1,
+            dimms=(DimmSpec(DDR5_4800, units.gib(64)),),
+            effective_stream_gbps=33.0,
+            idle_latency_ns=126.0,
+        )
+        sockets.append(Socket(
+            socket_id=sid,
+            model="Intel Xeon 4th Gen (Sapphire Rapids), 2.1 GHz",
+            cores=_cores(sid, 10, sid * 10, 2.1, lfb=16),
+            caches=_spr_caches(),
+            controller=mc,
+        ))
+
+    upi = UpiLink(src=0, dst=1, gt_per_s=16.0, links=3,
+                  effective_stream_gbps=22.0, hop_latency_ns=90.0)
+    machine = Machine("setup1-spr-cxl", sockets, (upi,))
+    machine.add_dram_nodes()
+
+    # --- the CXL prototype (Figure 2 / Section 2.2) -------------------
+    media = MediaController(
+        name="fpga-ddr4",
+        grade=DDR4_1333,
+        channels=2,
+        modules=2,
+        module_capacity=units.gib(8),
+        controller_efficiency=0.635,   # "current implementation constraints"
+        media_latency_ns=130.0,
+    )
+    device = Type3Device("cxl0", media, battery_backed=battery_backed,
+                         gpf_supported=True)
+    link = CxlLink(CxlVersion.CXL_2_0, lanes=16, latency_ns=330.0,
+                   name="cxl0.link")
+
+    machine.add_resource("cxl0.link", link.effective_data_gbps(0.6))
+    machine.add_resource("cxl0.mc", media.effective_stream_gbps)
+
+    node_mc = MemoryController(
+        name="cxl0-hdm",
+        channels=media.channels,
+        dimms=tuple(DimmSpec(DDR4_1333, media.module_capacity)
+                    for _ in range(media.modules)),
+        effective_stream_gbps=media.effective_stream_gbps,
+        idle_latency_ns=media.media_latency_ns,
+    )
+    machine.add_node(NumaNode(
+        node_id=2,
+        kind=NodeKind.CXL,
+        home_socket=0,
+        controller=node_mc,
+        persistent=battery_backed,
+        extra_resources=("cxl0.link", "cxl0.mc"),
+        extra_latency_ns=link.latency_ns,
+        label="node2:CXL-DDR4",
+    ))
+
+    bridge = HostBridge(socket_id=0)
+    bridge.add_port(RootPort(port_id=0, link=link))
+    bridge.port(0).attach(device)
+
+    machine.metadata["calibration"] = SETUP1_CALIBRATION
+    return Testbed(
+        name="setup1",
+        machine=machine,
+        host_bridges=[bridge],
+        cxl_devices=[device],
+        cxl_links={"cxl0.link": link},
+        description=("2x Sapphire Rapids (10 cores each), 64GB DDR5-4800 per "
+                     "socket, CXL DDR4 FPGA prototype on socket0 PCIe Gen5 x16"),
+    )
+
+
+def setup2() -> Testbed:
+    """The paper's Setup #2: dual Xeon Gold 5215, 6-channel DDR4-2666."""
+    sockets = []
+    for sid in (0, 1):
+        mc = MemoryController(
+            name=f"gold{sid}-ddr4",
+            channels=6,
+            dimms=tuple(DimmSpec(DDR4_2666, units.gib(16)) for _ in range(6)),
+            effective_stream_gbps=102.0,
+            idle_latency_ns=102.0,
+        )
+        sockets.append(Socket(
+            socket_id=sid,
+            model="Intel Xeon Gold 5215, 2.5 GHz",
+            cores=_cores(sid, 10, sid * 10, 2.5, lfb=10),
+            caches=_gold_caches(),
+            controller=mc,
+        ))
+
+    upi = UpiLink(src=0, dst=1, gt_per_s=10.4, links=2,
+                  effective_stream_gbps=11.0, hop_latency_ns=95.0)
+    machine = Machine("setup2-gold-ddr4", sockets, (upi,))
+    machine.add_dram_nodes()
+    machine.metadata["calibration"] = SETUP2_CALIBRATION
+    return Testbed(
+        name="setup2",
+        machine=machine,
+        description="2x Xeon Gold 5215 (10 cores each), 96GB DDR4-2666 x6ch per socket",
+    )
+
+
+def setup1_variant(media_grade: DramSpeedGrade | None = None,
+                   channels: int | None = None,
+                   controller_efficiency: float | None = None,
+                   version: "CxlVersion | None" = None,
+                   link_latency_ns: float | None = None,
+                   battery_backed: bool = True) -> Testbed:
+    """Setup #1 with the future-work prototype upgrades applied.
+
+    The paper lists (Section 2.2): a higher-speed FPGA supporting DDR4-3200
+    or DDR5-5600 media, more CXL IP slices, one→four DDR channels, and (via
+    CXL 3.0) a PCIe Gen6 link.  Any combination can be requested; the rest
+    of the machine is unchanged, so ablation benches isolate one knob at a
+    time.
+    """
+    from repro.cxl.device import MediaController, Type3Device
+    from repro.cxl.link import CxlLink
+    from repro.cxl.port import HostBridge, RootPort
+    from repro.cxl.spec import CxlVersion
+
+    if version is None:
+        version = CxlVersion.CXL_2_0
+    base = setup1(battery_backed=battery_backed)
+    machine = base.machine
+    grade = media_grade or DDR4_1333
+    ch = channels if channels is not None else 2
+    if ch < 1:
+        raise TopologyError("channel count must be >= 1")
+    eff = controller_efficiency if controller_efficiency is not None else 0.635
+
+    media = MediaController(
+        name=f"fpga-{grade.name.lower()}",
+        grade=grade,
+        channels=ch,
+        modules=ch,
+        module_capacity=units.gib(8),
+        controller_efficiency=eff,
+        media_latency_ns=130.0,
+    )
+    device = Type3Device("cxl0", media, battery_backed=battery_backed,
+                         gpf_supported=True)
+    link = CxlLink(version, lanes=16,
+                   latency_ns=link_latency_ns if link_latency_ns is not None else 330.0,
+                   name="cxl0.link")
+
+    # Rebuild the machine with the variant device.
+    new = Machine(f"{machine.name}-variant",
+                  machine.sockets.values(),
+                  (machine.upi(0, 1),))
+    new.add_dram_nodes()
+    new.add_resource("cxl0.link", link.effective_data_gbps(0.6))
+    new.add_resource("cxl0.mc", media.effective_stream_gbps)
+    node_mc = MemoryController(
+        name="cxl0-hdm",
+        channels=media.channels,
+        dimms=tuple(DimmSpec(grade, media.module_capacity)
+                    for _ in range(media.modules)),
+        effective_stream_gbps=media.effective_stream_gbps,
+        idle_latency_ns=media.media_latency_ns,
+    )
+    new.add_node(NumaNode(
+        node_id=2,
+        kind=NodeKind.CXL,
+        home_socket=0,
+        controller=node_mc,
+        persistent=battery_backed,
+        extra_resources=("cxl0.link", "cxl0.mc"),
+        extra_latency_ns=link.latency_ns,
+        label=f"node2:CXL-{grade.name}",
+    ))
+    new.metadata["calibration"] = SETUP1_CALIBRATION
+
+    bridge = HostBridge(socket_id=0)
+    bridge.add_port(RootPort(port_id=0, link=link))
+    bridge.port(0).attach(device)
+
+    return Testbed(
+        name="setup1-variant",
+        machine=new,
+        host_bridges=[bridge],
+        cxl_devices=[device],
+        cxl_links={"cxl0.link": link},
+        description=f"Setup #1 variant: {media.name} x{ch}ch over CXL {version.label}",
+    )
+
+
+def optane_reference() -> OptaneReference:
+    """Published Optane DCPMM bandwidth the paper benchmarks against."""
+    return OptaneReference()
+
+
+def setup1_with_dcpmm() -> Testbed:
+    """Setup #1 plus an emulated Optane DCPMM DIMM on socket 0.
+
+    The paper compares against *published* DCPMM numbers (6.6 GB/s max
+    read, 2.3 GB/s max write for a single module).  This preset puts an
+    asymmetric-media node with exactly those capacities into the Setup #1
+    machine (node 3), so the comparison can be made as full thread-scaling
+    curves rather than two constants.  DCPMM idle latency is set to the
+    commonly measured ~350 ns.
+    """
+    base = setup1()
+    machine = base.machine
+
+    dcpmm_mc = MemoryController(
+        name="dcpmm0",
+        channels=1,
+        dimms=(DimmSpec(DDR4_2666, units.gib(128)),),   # DDR-T on a DDR4 bus
+        effective_stream_gbps=6.6,
+        idle_latency_ns=350.0,
+        write_stream_gbps=2.3,
+    )
+    machine.add_asymmetric_resource("dcpmm0.media", dcpmm_mc)
+    machine.add_node(NumaNode(
+        node_id=3,
+        kind=NodeKind.PMEM,
+        home_socket=0,
+        controller=dcpmm_mc,
+        persistent=True,
+        extra_resources=("dcpmm0.media",),
+        extra_latency_ns=0.0,
+        label="node3:DCPMM",
+    ))
+    base.name = "setup1-dcpmm"
+    base.description += " + emulated Optane DCPMM DIMM (node3)"
+    return base
+
+
+def multihost_cxl(n_hosts: int = 2, battery_backed: bool = True) -> Testbed:
+    """Several single-socket hosts sharing one CXL memory device.
+
+    The paper's first future-work item: "explore the scalability of
+    CXL-enabled memory in larger HPC clusters, with more than one node
+    accessing the CXL memory."  Each host gets its own CXL link to the
+    device (the prototype already exposes its memory to two NUMA nodes;
+    a CXL 2.0 switch generalizes that), but the FPGA media controller is
+    one shared resource — which is exactly the contention this preset
+    lets the benches measure.
+
+    Hosts are sockets 0..n-1 with their own DDR5 and no UPI between them
+    (they are separate nodes, coherent only within themselves).  Host i's
+    view of the far memory is NUMA node ``100 + i``.
+    """
+    from repro.cxl.device import MediaController, Type3Device
+    from repro.cxl.link import CxlLink
+    from repro.cxl.port import HostBridge, RootPort
+    from repro.cxl.spec import CxlVersion
+
+    if n_hosts < 1:
+        raise TopologyError("need at least one host")
+    sockets = []
+    for sid in range(n_hosts):
+        mc = MemoryController(
+            name=f"spr{sid}-ddr5",
+            channels=1,
+            dimms=(DimmSpec(DDR5_4800, units.gib(64)),),
+            effective_stream_gbps=33.0,
+            idle_latency_ns=126.0,
+        )
+        sockets.append(Socket(
+            socket_id=sid,
+            model="Intel Xeon 4th Gen (Sapphire Rapids), 2.1 GHz",
+            cores=_cores(sid, 10, sid * 10, 2.1, lfb=16),
+            caches=_spr_caches(),
+            controller=mc,
+        ))
+    machine = Machine(f"multihost-cxl-{n_hosts}", sockets)
+    machine.add_dram_nodes()
+
+    media = MediaController(
+        name="fpga-ddr4",
+        grade=DDR4_1333,
+        channels=2,
+        modules=2,
+        module_capacity=units.gib(8),
+        controller_efficiency=0.635,
+        media_latency_ns=130.0,
+    )
+    device = Type3Device("cxl0", media, battery_backed=battery_backed,
+                         gpf_supported=True)
+    machine.add_resource("cxl0.mc", media.effective_stream_gbps)
+
+    bridges = []
+    links = {}
+    for sid in range(n_hosts):
+        link = CxlLink(CxlVersion.CXL_2_0, lanes=16, latency_ns=330.0,
+                       name=f"cxl.h{sid}.link")
+        machine.add_resource(link.name, link.effective_data_gbps(0.6))
+        links[link.name] = link
+        node_mc = MemoryController(
+            name="cxl0-hdm",
+            channels=media.channels,
+            dimms=tuple(DimmSpec(DDR4_1333, media.module_capacity)
+                        for _ in range(media.modules)),
+            effective_stream_gbps=media.effective_stream_gbps,
+            idle_latency_ns=media.media_latency_ns,
+        )
+        machine.add_node(NumaNode(
+            node_id=100 + sid,
+            kind=NodeKind.CXL,
+            home_socket=sid,
+            controller=node_mc,
+            persistent=battery_backed,
+            extra_resources=(link.name, "cxl0.mc"),
+            extra_latency_ns=link.latency_ns,
+            label=f"node{100 + sid}:CXL-shared(host{sid})",
+        ))
+        bridge = HostBridge(socket_id=sid)
+        bridge.add_port(RootPort(port_id=0, link=link))
+        bridge.port(0).attach(device)
+        bridges.append(bridge)
+
+    machine.metadata["calibration"] = SETUP1_CALIBRATION
+    return Testbed(
+        name=f"multihost-cxl-{n_hosts}",
+        machine=machine,
+        host_bridges=bridges,
+        cxl_devices=[device],
+        cxl_links=links,
+        description=(f"{n_hosts} single-socket SPR hosts sharing one CXL "
+                     "DDR4 device (per-host links, shared media)"),
+    )
+
+
+def setup1_switched(switch_latency_ns: float = 60.0) -> Testbed:
+    """Setup #1 with the expander behind a CXL 2.0 switch.
+
+    CXL 2.0 pooling (Section 1.3) inserts a switch between host and
+    device.  The switch costs a store-and-forward latency hop each way
+    and becomes another shared resource; bandwidth-wise a single-device
+    pool is unaffected (the switch fabric far outruns one x16 link).
+    This preset quantifies the latency price of pool-ability — compare
+    against plain :func:`setup1` in the ablation bench.
+    """
+    from repro.cxl.device import MediaController, Type3Device
+    from repro.cxl.link import CxlLink
+    from repro.cxl.port import HostBridge, RootPort
+    from repro.cxl.spec import CxlVersion
+    from repro.cxl.switch import CxlSwitch
+
+    base = setup1()
+    machine = base.machine
+
+    # rebuild with the switched far node
+    new = Machine("setup1-switched",
+                  machine.sockets.values(),
+                  (machine.upi(0, 1),))
+    new.add_dram_nodes()
+
+    media = MediaController(
+        name="fpga-ddr4",
+        grade=DDR4_1333,
+        channels=2,
+        modules=2,
+        module_capacity=units.gib(8),
+        controller_efficiency=0.635,
+        media_latency_ns=130.0,
+    )
+    device = Type3Device("cxl0", media, battery_backed=True,
+                         gpf_supported=True)
+    link = CxlLink(CxlVersion.CXL_2_0, lanes=16, latency_ns=330.0,
+                   name="cxl0.link")
+    new.add_resource("cxl0.link", link.effective_data_gbps(0.6))
+    # switch fabric: plenty of bandwidth, but a real resource
+    new.add_resource("cxl0.switch", 2 * link.effective_data_gbps(0.6))
+    new.add_resource("cxl0.mc", media.effective_stream_gbps)
+
+    node_mc = MemoryController(
+        name="cxl0-hdm",
+        channels=media.channels,
+        dimms=tuple(DimmSpec(DDR4_1333, media.module_capacity)
+                    for _ in range(media.modules)),
+        effective_stream_gbps=media.effective_stream_gbps,
+        idle_latency_ns=media.media_latency_ns,
+    )
+    new.add_node(NumaNode(
+        node_id=2,
+        kind=NodeKind.CXL,
+        home_socket=0,
+        controller=node_mc,
+        persistent=True,
+        extra_resources=("cxl0.link", "cxl0.switch", "cxl0.mc"),
+        extra_latency_ns=link.latency_ns + 2 * switch_latency_ns,
+        label="node2:CXL-DDR4(switched)",
+    ))
+    new.metadata["calibration"] = SETUP1_CALIBRATION
+
+    switch = CxlSwitch("pool-switch", CxlVersion.CXL_2_0)
+    switch.connect_host(0)
+    switch.bind(0, 0, device)
+    bridge = HostBridge(socket_id=0)
+    bridge.add_port(RootPort(port_id=0, link=link))
+    bridge.port(0).attach(switch)
+
+    return Testbed(
+        name="setup1-switched",
+        machine=new,
+        host_bridges=[bridge],
+        cxl_devices=[device],
+        cxl_links={"cxl0.link": link},
+        description=("Setup #1 with the expander behind a CXL 2.0 switch "
+                     f"(+{switch_latency_ns:.0f} ns per hop)"),
+    )

@@ -1,0 +1,47 @@
+"""Per-thread bandwidth caps from memory-level parallelism.
+
+A core sustains at most ``LFB_entries`` cacheline misses in flight; by
+Little's law its demand bandwidth is bounded by
+``entries * 64 B / latency``.  This single mechanism produces the paper's
+most visible shapes: one thread cannot saturate even the slow CXL device,
+high-latency paths (CXL ≈ 430 ns on the FPGA prototype) need several
+threads to reach their ceiling, and SMT siblings that share fill buffers
+split the cap.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.errors import SimulationError
+from repro.machine.topology import Core
+
+
+def thread_bandwidth_cap(core: Core, latency_ns: float,
+                         smt_sharers: int = 1,
+                         prefetch_boost: float = 1.6) -> float:
+    """Maximum actual-traffic bandwidth (GB/s) one thread can demand.
+
+    Args:
+        core: the core the thread is pinned to.
+        latency_ns: composed access latency of the thread's memory path.
+        smt_sharers: threads currently sharing this core's fill buffers.
+        prefetch_boost: effective multiplier on the architectural LFB count
+            from L2 hardware prefetchers keeping extra lines in flight
+            (real cores sustain more MLP than their LFB count suggests).
+
+    Raises:
+        SimulationError: nonsensical inputs.
+    """
+    if smt_sharers < 1:
+        raise SimulationError(f"smt_sharers must be >= 1, got {smt_sharers}")
+    if smt_sharers > core.smt:
+        raise SimulationError(
+            f"core {core.core_id} supports {core.smt} SMT threads, "
+            f"got {smt_sharers}"
+        )
+    if latency_ns <= 0:
+        raise SimulationError(f"latency must be positive, got {latency_ns}")
+    if prefetch_boost <= 0:
+        raise SimulationError("prefetch_boost must be positive")
+    effective_entries = core.lfb_entries * prefetch_boost / smt_sharers
+    return units.bw_from_concurrency(effective_entries, latency_ns)

@@ -1,0 +1,201 @@
+"""Discrete-event cross-validation of the analytic bandwidth model.
+
+The analytic engine (:mod:`repro.memsim.engine`) computes allocations in
+closed form: Little's-law per-thread caps + max-min fair sharing.  This
+module reaches the same quantities by *simulation*: threads are
+closed-loop request generators with a bounded number of outstanding
+cacheline requests; every resource on a path is a FIFO service station
+whose service time per line is ``64 B / capacity``; requests carry the
+path's fixed propagation latency.  Nothing is shared with the analytic
+code except the topology — which is the point: when both models agree,
+the curves in Figures 5–8 are not an artifact of either formulation.
+
+The DES reproduces, from first principles:
+
+* the concurrency-limited regime (throughput = MLP × 64 B / latency);
+* saturation at the bottleneck station's capacity;
+* fair sharing among symmetric threads, and bottleneck-dependent sharing
+  for heterogeneous mixes (FIFO approximates max-min).
+
+`benchmarks/bench_model_validation.py` sweeps both models across the
+paper's configurations and reports the deviation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.calibration import DEFAULT_CALIBRATION, CalibrationProfile
+from repro.errors import SimulationError
+from repro.machine.numa import NumaPolicy
+from repro.machine.topology import Core, Machine
+from repro.memsim.latency import path_latency_ns
+from repro.memsim.traffic import reported_fraction
+from repro.units import CACHELINE
+
+#: simulated line size (bytes) — one CXL.mem / DDR burst
+LINE = CACHELINE
+
+
+class _Station:
+    """A deterministic single-server FIFO station."""
+
+    __slots__ = ("name", "service_ns", "next_free", "busy_ns")
+
+    def __init__(self, name: str, capacity_gbps: float) -> None:
+        self.name = name
+        self.service_ns = LINE / capacity_gbps      # ns per 64B line
+        self.next_free = 0.0
+        self.busy_ns = 0.0
+
+    def serve(self, arrival: float) -> float:
+        """Admit a line at ``arrival``; returns its departure time."""
+        start = max(arrival, self.next_free)
+        departure = start + self.service_ns
+        self.next_free = departure
+        self.busy_ns += self.service_ns
+        return departure
+
+
+@dataclass
+class _ThreadState:
+    """One closed-loop requester."""
+
+    thread_id: int
+    stations: tuple[_Station, ...]
+    fixed_latency_ns: float
+    mlp: int
+    outstanding: int = 0
+    completed: int = 0
+    completed_after_warmup: int = 0
+
+
+@dataclass(frozen=True)
+class DesResult:
+    """Outcome of one DES run."""
+
+    reported_gbps: float
+    actual_gbps: float
+    per_thread_gbps: dict[int, float]
+    simulated_ns: float
+    station_utilization: dict[str, float]
+    #: mean request round-trip (issue -> data) after warmup — the
+    #: *loaded* latency, which exceeds the idle latency once queues form
+    mean_latency_ns: float = 0.0
+
+
+def _effective_mlp(core: Core, smt_sharers: int,
+                   prefetch_boost: float = 1.6) -> int:
+    return max(1, round(core.lfb_entries * prefetch_boost / smt_sharers))
+
+
+def simulate_stream_des(machine: Machine, kernel_name: str,
+                        placement: Sequence[Core], policy: NumaPolicy,
+                        app_direct: bool = False,
+                        sim_ns: float = 200_000.0,
+                        warmup_ns: float = 40_000.0) -> DesResult:
+    """Event-driven counterpart of
+    :func:`repro.memsim.engine.simulate_stream`.
+
+    Limitations relative to the analytic engine (documented, deliberate):
+    single-target policies only (BIND / single-node LOCAL), no snoop
+    weighting — it validates the *core* scaling/saturation/sharing
+    mechanics, not every calibration refinement.
+
+    Raises:
+        SimulationError: empty placement or a multi-target policy.
+    """
+    if not placement:
+        raise SimulationError("placement must contain at least one thread")
+    if warmup_ns >= sim_ns:
+        raise SimulationError("warmup must be shorter than the simulation")
+    cal = machine.metadata.get("calibration", DEFAULT_CALIBRATION)
+    if not isinstance(cal, CalibrationProfile):
+        cal = DEFAULT_CALIBRATION
+
+    stations: dict[str, _Station] = {}
+    smt: dict[int, int] = {}
+    for core in placement:
+        smt[core.core_id] = smt.get(core.core_id, 0) + 1
+
+    threads: list[_ThreadState] = []
+    for i, core in enumerate(placement):
+        targets = policy.targets_for(machine, core)
+        if len(targets) != 1:
+            raise SimulationError(
+                "the DES validates single-target policies; got "
+                f"{policy.describe()}"
+            )
+        node_id = next(iter(targets))
+        path = machine.route(core.socket_id, node_id)
+        path_stations = []
+        for res in path.resources:
+            if res not in stations:
+                stations[res] = _Station(res, machine.resources[res])
+            path_stations.append(stations[res])
+        service_total = sum(s.service_ns for s in path_stations)
+        latency = path_latency_ns(path, app_direct, cal)
+        threads.append(_ThreadState(
+            thread_id=i,
+            stations=tuple(path_stations),
+            fixed_latency_ns=max(0.0, latency - service_total),
+            mlp=_effective_mlp(core, smt[core.core_id]),
+        ))
+
+    # event queue: (completion time, seq, thread id, issue time)
+    events: list[tuple[float, int, int, float]] = []
+    seq = itertools.count()
+
+    def issue(thread: _ThreadState, now: float) -> None:
+        """Send one request down the thread's path."""
+        thread.outstanding += 1
+        t = now
+        for station in thread.stations:
+            t = station.serve(t)
+        t += thread.fixed_latency_ns
+        heapq.heappush(events, (t, next(seq), thread.thread_id, now))
+
+    # prime: every thread fills its MLP window at t=0
+    for thread in threads:
+        for _ in range(thread.mlp):
+            issue(thread, 0.0)
+
+    now = 0.0
+    latency_sum = 0.0
+    latency_count = 0
+    while events:
+        now, _, tid, issued_at = heapq.heappop(events)
+        if now > sim_ns:
+            break
+        thread = threads[tid]
+        thread.outstanding -= 1
+        thread.completed += 1
+        if now >= warmup_ns:
+            thread.completed_after_warmup += 1
+            latency_sum += now - issued_at
+            latency_count += 1
+        # closed loop: immediately reissue
+        issue(thread, now)
+
+    window = sim_ns - warmup_ns
+    per_thread = {
+        t.thread_id: t.completed_after_warmup * LINE / window
+        for t in threads
+    }
+    actual = sum(per_thread.values())
+    ratio = reported_fraction(kernel_name)
+    eff = cal.pmdk_bw_efficiency if app_direct else 1.0
+    utilization = {
+        name: min(1.0, s.busy_ns / sim_ns) for name, s in stations.items()
+    }
+    return DesResult(
+        reported_gbps=actual * ratio * eff,
+        actual_gbps=actual,
+        per_thread_gbps=per_thread,
+        simulated_ns=sim_ns,
+        station_utilization=utilization,
+        mean_latency_ns=latency_sum / latency_count if latency_count else 0.0,
+    )

@@ -1,0 +1,239 @@
+"""The simulation engine: STREAM on a modelled machine.
+
+:func:`simulate_stream` turns (machine, kernel, thread placement, memory
+policy, access mode) into a bandwidth figure the way the real benchmark
+would produce one:
+
+1. resolve each thread's access path(s) through the topology;
+2. bound each thread by its concurrency limit (latency-dependent);
+3. share every crossed resource max-min fairly;
+4. convert the allocated *actual* bus traffic into the STREAM-*reported*
+   figure (write-allocate accounting);
+5. apply the PMDK software cost in App-Direct mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.calibration import DEFAULT_CALIBRATION, CalibrationProfile
+from repro.errors import SimulationError
+from repro.machine.numa import NumaPolicy
+from repro.machine.topology import Core, Machine
+from repro.memsim.bwmodel import Flow, FlowAllocation, solve_max_min
+from repro.memsim.concurrency import thread_bandwidth_cap
+from repro.memsim.latency import path_latency_ns, weighted_latency_ns
+from repro.memsim.traffic import ELEMENT_BYTES, kernel as kernel_traffic, reported_fraction
+
+#: STREAM uses three arrays.
+N_ARRAYS = 3
+
+
+class AccessMode(enum.Enum):
+    """The paper's two access classes."""
+
+    NUMA = "numa"            # Memory Mode: plain CC-NUMA loads/stores
+    APP_DIRECT = "pmem"      # App-Direct: PMDK pmemobj access
+
+
+@dataclass(frozen=True)
+class StreamSimResult:
+    """Outcome of one simulated STREAM configuration."""
+
+    machine: str
+    kernel: str
+    mode: AccessMode
+    n_threads: int
+    reported_gbps: float
+    actual_gbps: float
+    per_thread_gbps: dict[str, float]
+    bottlenecks: dict[str, str]
+    policy: str
+    placement: str
+    cache_resident: bool = False
+    resource_load: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.machine} {self.kernel:>5s} {self.mode.value:>4s} "
+                f"x{self.n_threads:<3d} -> {self.reported_gbps:7.2f} GB/s "
+                f"({self.policy})")
+
+
+def _calibration(machine: Machine) -> CalibrationProfile:
+    cal = machine.metadata.get("calibration", DEFAULT_CALIBRATION)
+    if not isinstance(cal, CalibrationProfile):
+        raise SimulationError(
+            f"machine {machine.name} carries a bad calibration object"
+        )
+    return cal
+
+
+def _smt_sharers(placement: Sequence[Core]) -> dict[int, int]:
+    sharers: dict[int, int] = {}
+    for core in placement:
+        sharers[core.core_id] = sharers.get(core.core_id, 0) + 1
+    return sharers
+
+
+def _validate_capacity(machine: Machine, targets: dict[int, float],
+                       ws_bytes: int) -> None:
+    for node_id, frac in targets.items():
+        node = machine.node(node_id)
+        if ws_bytes * frac > node.capacity_bytes:
+            raise SimulationError(
+                f"working set share {ws_bytes * frac / 1e9:.1f} GB exceeds "
+                f"node{node_id} capacity {node.capacity_bytes / 1e9:.1f} GB"
+            )
+
+
+def _cache_resident_result(machine: Machine, kernel_name: str,
+                           mode: AccessMode, placement: Sequence[Core],
+                           policy: NumaPolicy, cal: CalibrationProfile,
+                           placement_desc: str) -> StreamSimResult:
+    """All arrays fit in the LLC: bandwidth comes from the caches."""
+    capacities: dict[str, float] = {}
+    flows: list[Flow] = []
+    sharers = _smt_sharers(placement)
+    for i, core in enumerate(placement):
+        sock = machine.socket(core.socket_id)
+        llc = sock.caches.llc
+        res = f"s{core.socket_id}.llc"
+        capacities.setdefault(res, llc.bandwidth_gbps)
+        latency = llc.latency_ns + (
+            cal.pmdk_latency_ns if mode is AccessMode.APP_DIRECT else 0.0
+        )
+        cap = thread_bandwidth_cap(core, latency, sharers[core.core_id])
+        flows.append(Flow(f"t{i}@s{core.socket_id}c{core.core_id}",
+                          {res: 1.0}, cap))
+    alloc = solve_max_min(flows, capacities)
+    eff = cal.pmdk_bw_efficiency if mode is AccessMode.APP_DIRECT else 1.0
+    total = alloc.total_gbps * eff
+    return StreamSimResult(
+        machine=machine.name,
+        kernel=kernel_name,
+        mode=mode,
+        n_threads=len(placement),
+        reported_gbps=total,
+        actual_gbps=alloc.total_gbps,
+        per_thread_gbps=alloc.rates,
+        bottlenecks=alloc.bottleneck,
+        policy=policy.describe(),
+        placement=placement_desc,
+        cache_resident=True,
+        resource_load=alloc.resource_load,
+    )
+
+
+def simulate_stream(machine: Machine, kernel_name: str,
+                    placement: Sequence[Core], policy: NumaPolicy,
+                    mode: AccessMode = AccessMode.NUMA,
+                    array_elements: int = 100_000_000,
+                    nt_stores: bool = False) -> StreamSimResult:
+    """Simulate one STREAM kernel at one thread count.
+
+    Args:
+        machine: the modelled testbed.
+        kernel_name: ``copy``/``scale``/``add``/``triad``.
+        placement: one :class:`Core` per thread (see
+            :func:`repro.machine.affinity.place_threads`).
+        policy: where the arrays live.
+        mode: CC-NUMA (Memory Mode) or PMDK App-Direct.
+        array_elements: STREAM array length (paper: 100M doubles).
+        nt_stores: model non-temporal stores (no write-allocate traffic).
+
+    Raises:
+        SimulationError: empty placement, unresolvable policy, or a working
+            set that does not fit its target node.
+    """
+    if not placement:
+        raise SimulationError("placement must contain at least one thread")
+    traffic = kernel_traffic(kernel_name)
+    cal = _calibration(machine)
+
+    from repro.machine.affinity import describe_placement
+    placement_desc = describe_placement(placement)
+
+    ws_bytes = N_ARRAYS * array_elements * ELEMENT_BYTES
+    sockets_in_use = {c.socket_id for c in placement}
+    if all(machine.socket(s).caches.fits_in_llc(ws_bytes)
+           for s in sockets_in_use):
+        return _cache_resident_result(
+            machine, kernel_name, mode, placement, policy, cal,
+            placement_desc)
+
+    sharers = _smt_sharers(placement)
+    app_direct = mode is AccessMode.APP_DIRECT
+
+    capacities = dict(machine.resources)
+    # asymmetric media (DCPMM-style): re-blend capacity for this kernel's
+    # read/write mix
+    rf = traffic.read_fraction(nt_stores)
+    for res, mc in machine.asymmetric_resources.items():
+        capacities[res] = mc.blended_stream_gbps(rf)
+
+    flows: list[Flow] = []
+    mc_initiators: dict[str, set[bool]] = {}   # mc resource -> {is_remote}
+
+    for i, core in enumerate(placement):
+        targets = policy.targets_for(machine, core)
+        _validate_capacity(machine, targets, ws_bytes)
+
+        usage: dict[str, float] = {}
+        lat_parts: list[tuple[float, float]] = []
+        for node_id, frac in targets.items():
+            path = machine.route(core.socket_id, node_id)
+            lat_parts.append(
+                (frac, path_latency_ns(path, app_direct, cal)))
+            for res in path.resources:
+                weight = frac
+                if (path.crosses_upi and not path.crosses_cxl
+                        and res.endswith(".mc")):
+                    weight *= cal.remote_mc_weight
+                usage[res] = usage.get(res, 0.0) + weight
+                if res.endswith(".mc") and res.startswith("s"):
+                    mc_initiators.setdefault(res, set()).add(path.crosses_upi)
+
+        latency = weighted_latency_ns(lat_parts)
+        cap = thread_bandwidth_cap(core, latency, sharers[core.core_id])
+        flows.append(Flow(f"t{i}@s{core.socket_id}c{core.core_id}", usage, cap))
+
+    # Home-agent clamp: mixed local+remote streams against one controller.
+    for res, clamp in cal.snoop_caps.items():
+        kinds = mc_initiators.get(res)
+        if kinds and len(kinds) == 2 and res in capacities:
+            capacities[res] = min(capacities[res], clamp)
+
+    alloc: FlowAllocation = solve_max_min(flows, capacities)
+
+    ratio = reported_fraction(kernel_name, nt_stores)
+    eff = cal.pmdk_bw_efficiency if app_direct else 1.0
+    reported = alloc.total_gbps * ratio * eff
+
+    return StreamSimResult(
+        machine=machine.name,
+        kernel=kernel_name,
+        mode=mode,
+        n_threads=len(placement),
+        reported_gbps=reported,
+        actual_gbps=alloc.total_gbps,
+        per_thread_gbps=alloc.rates,
+        bottlenecks=alloc.bottleneck,
+        policy=policy.describe(),
+        placement=placement_desc,
+        resource_load=alloc.resource_load,
+    )
+
+
+def simulate_all_kernels(machine: Machine, placement: Sequence[Core],
+                         policy: NumaPolicy,
+                         mode: AccessMode = AccessMode.NUMA,
+                         array_elements: int = 100_000_000,
+                         nt_stores: bool = False) -> dict[str, StreamSimResult]:
+    """All four STREAM kernels for one configuration."""
+    return {
+        k: simulate_stream(machine, k, placement, policy, mode,
+                           array_elements, nt_stores)
+        for k in ("copy", "scale", "add", "triad")
+    }

@@ -1,0 +1,33 @@
+"""Access-latency composition for resolved paths."""
+
+from __future__ import annotations
+
+from repro.calibration import CalibrationProfile
+from repro.machine.topology import AccessPath
+
+
+def path_latency_ns(path: AccessPath, app_direct: bool,
+                    calibration: CalibrationProfile) -> float:
+    """Latency a thread observes on ``path``.
+
+    The topology's routed latency already composes DRAM/device, link and
+    UPI-hop terms minus the cache shave; App-Direct (PMDK) access adds the
+    calibrated software cost per access (pointer chasing through the pool
+    layout, flush bookkeeping).
+    """
+    latency = path.latency_ns
+    if app_direct:
+        latency += calibration.pmdk_latency_ns
+    return latency
+
+
+def weighted_latency_ns(parts: list[tuple[float, float]]) -> float:
+    """Average latency of a flow split across targets.
+
+    ``parts`` is ``[(fraction, latency_ns), ...]``; used for interleave
+    policies where one thread's accesses alternate across nodes.
+    """
+    total_frac = sum(f for f, _ in parts)
+    if not parts or total_frac <= 0:
+        raise ValueError("need at least one weighted latency part")
+    return sum(f * lat for f, lat in parts) / total_frac

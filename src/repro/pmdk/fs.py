@@ -1,0 +1,223 @@
+"""A PMem-aware file store.
+
+The paper's storage use case runs through "a PMem-aware file system
+(mainly based on the POSIX API)" (Section 1.2).  This module provides the
+byte-addressable equivalent over any pmem region: named files whose
+*data* lives in pool objects and whose *metadata* (the directory and each
+file's inode) is updated transactionally — so crashes never corrupt the
+namespace, and completed writes are atomic per call.
+
+It intentionally mirrors the POSIX subset scientific codes lean on:
+``create``/``open``/``write``/``read``/``truncate``/``unlink``/
+``listdir``/``stat`` — enough to back diagnostics dumps and
+checkpoint-file workflows without a kernel.
+
+Layout: the pool root anchors a directory (:class:`PersistentList`); each
+entry names a file and points at its inode object; the inode holds the
+size and the OID of a single data extent (grow = allocate-new + copy +
+atomic flip, like small-file DAX filesystems do).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PmemError
+from repro.pmdk.containers import PersistentList
+from repro.pmdk.oid import OID_NULL, PMEMoid, SERIALIZED_SIZE
+from repro.pmdk.pool import PmemObjPool
+
+LAYOUT = "pmem-fs"
+_ROOT_SIZE = SERIALIZED_SIZE
+#: inode: data oid (24B) + size u64 + capacity u64
+_INODE_FMT = "<QQ"
+_INODE_SIZE = SERIALIZED_SIZE + struct.calcsize(_INODE_FMT)
+_MAX_NAME = 200
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """``stat``-like record."""
+
+    name: str
+    size: int
+    capacity: int
+
+
+class PmemFileStore:
+    """Named byte files over a pmemobj pool."""
+
+    def __init__(self, pool: PmemObjPool) -> None:
+        self.pool = pool
+        root = pool.root(_ROOT_SIZE)
+        anchor = PMEMoid.unpack(pool.read(root, SERIALIZED_SIZE))
+        if anchor.is_null:
+            self.directory = PersistentList.create(pool)
+            pool.write(root, self.directory.anchor.pack())
+        else:
+            self.directory = PersistentList(pool, anchor)
+
+    # ------------------------------------------------------------------
+    # directory entries
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _entry(name: str, inode: PMEMoid) -> bytes:
+        return json.dumps({"name": name, "uuid": inode.pool_uuid.hex(),
+                           "off": inode.offset}).encode()
+
+    @staticmethod
+    def _decode(raw: bytes) -> tuple[str, PMEMoid]:
+        try:
+            doc = json.loads(raw.decode())
+            return str(doc["name"]), PMEMoid(bytes.fromhex(doc["uuid"]),
+                                             int(doc["off"]))
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                TypeError, ValueError) as exc:
+            raise PmemError(f"corrupt directory entry: {exc}") from exc
+
+    def _find(self, name: str) -> tuple[PMEMoid, PMEMoid] | None:
+        """(directory node, inode) for a name, or None."""
+        for node in self.directory.nodes():
+            entry_name, inode = self._decode(
+                self.directory._node_value(node))
+            if entry_name == name:
+                return node, inode
+        return None
+
+    def _check_name(self, name: str) -> None:
+        if not name or len(name) > _MAX_NAME or "/" in name:
+            raise PmemError(
+                f"bad file name {name!r} (non-empty, <= {_MAX_NAME} chars, "
+                "no '/')"
+            )
+
+    # ------------------------------------------------------------------
+    # inode access
+    # ------------------------------------------------------------------
+
+    def _read_inode(self, inode: PMEMoid) -> tuple[PMEMoid, int, int]:
+        raw = self.pool.read(inode, _INODE_SIZE)
+        data_oid = PMEMoid.unpack(raw)
+        size, capacity = struct.unpack_from(_INODE_FMT, raw,
+                                            SERIALIZED_SIZE)
+        return data_oid, size, capacity
+
+    def _write_inode(self, tx, inode: PMEMoid, data_oid: PMEMoid,
+                     size: int, capacity: int) -> None:
+        payload = data_oid.pack() + struct.pack(_INODE_FMT, size, capacity)
+        self.pool.tx_write(tx, inode, payload)
+
+    # ------------------------------------------------------------------
+    # the API
+    # ------------------------------------------------------------------
+
+    def create(self, name: str, exist_ok: bool = False) -> None:
+        """Create an empty file.
+
+        Raises:
+            PmemError: the name exists (unless ``exist_ok``) or is invalid.
+        """
+        self._check_name(name)
+        if self._find(name) is not None:
+            if exist_ok:
+                return
+            raise PmemError(f"file {name!r} already exists")
+        with self.pool.transaction() as tx:
+            inode = self.pool.tx_alloc(tx, _INODE_SIZE)
+            self._write_inode(tx, inode, OID_NULL, 0, 0)
+            self.directory.push_front(self._entry(name, inode))
+
+    def write(self, name: str, data: bytes, create: bool = True) -> None:
+        """Replace a file's contents atomically.
+
+        The new extent is written and persisted first; the inode flips in
+        a transaction; the old extent is freed in the same transaction.
+        """
+        data = bytes(data)
+        found = self._find(name)
+        if found is None:
+            if not create:
+                raise PmemError(f"no file named {name!r}")
+            self.create(name)
+            found = self._find(name)
+        _, inode = found
+        old_data, _, _ = self._read_inode(inode)
+
+        if data:
+            new_oid = self.pool.alloc(len(data), zero=False)
+            self.pool.write(new_oid, data)        # persisted by write()
+            capacity = self.pool.size_of(new_oid)
+        else:
+            new_oid, capacity = OID_NULL, 0
+
+        with self.pool.transaction() as tx:
+            self._write_inode(tx, inode, new_oid, len(data), capacity)
+            if not old_data.is_null:
+                self.pool.tx_free(tx, old_data)
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append (read-modify-replace; atomic like :meth:`write`)."""
+        self.write(name, self.read(name) + bytes(data), create=False)
+
+    def read(self, name: str) -> bytes:
+        """Whole-file read.
+
+        Raises:
+            PmemError: no such file.
+        """
+        found = self._find(name)
+        if found is None:
+            raise PmemError(f"no file named {name!r}")
+        _, inode = found
+        data_oid, size, _ = self._read_inode(inode)
+        if size == 0:
+            return b""
+        return self.pool.read(data_oid, size)
+
+    def truncate(self, name: str) -> None:
+        """Atomically empty a file."""
+        self.write(name, b"", create=False)
+
+    def unlink(self, name: str) -> None:
+        """Remove a file (directory unlink + inode + extent free, one tx)."""
+        found = self._find(name)
+        if found is None:
+            raise PmemError(f"no file named {name!r}")
+        node, inode = found
+        data_oid, _, _ = self._read_inode(inode)
+        with self.pool.transaction() as tx:
+            self.directory.unlink(node, tx)
+            if not data_oid.is_null:
+                self.pool.tx_free(tx, data_oid)
+            self.pool.tx_free(tx, inode)
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomic rename (fails if ``new`` exists)."""
+        self._check_name(new)
+        if self._find(new) is not None:
+            raise PmemError(f"file {new!r} already exists")
+        found = self._find(old)
+        if found is None:
+            raise PmemError(f"no file named {old!r}")
+        node, inode = found
+        with self.pool.transaction() as tx:
+            self.directory.unlink(node, tx)
+            self.directory.push_front(self._entry(new, inode))
+
+    def listdir(self) -> list[str]:
+        """All file names, newest first."""
+        return [self._decode(raw)[0] for raw in self.directory]
+
+    def stat(self, name: str) -> FileStat:
+        found = self._find(name)
+        if found is None:
+            raise PmemError(f"no file named {name!r}")
+        _, inode = found
+        _, size, capacity = self._read_inode(inode)
+        return FileStat(name, size, capacity)
+
+    def exists(self, name: str) -> bool:
+        return self._find(name) is not None

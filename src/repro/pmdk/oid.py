@@ -1,0 +1,55 @@
+"""PMEMoid — position-independent persistent pointers.
+
+A persistent pointer cannot hold a virtual address (the pool maps at a
+different address every run), so PMDK represents object references as
+``(pool_uuid, offset)``.  ``pmemobj_direct`` turns one back into usable
+memory against the currently-open pool.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PmemError
+
+_FMT = "<16sQ"
+SERIALIZED_SIZE = struct.calcsize(_FMT)
+
+
+@dataclass(frozen=True, order=True)
+class PMEMoid:
+    """A persistent object identifier."""
+
+    pool_uuid: bytes
+    offset: int
+
+    def __post_init__(self) -> None:
+        if len(self.pool_uuid) != 16:
+            raise PmemError(
+                f"pool uuid must be 16 bytes, got {len(self.pool_uuid)}"
+            )
+        if self.offset < 0:
+            raise PmemError(f"negative OID offset {self.offset}")
+
+    @property
+    def is_null(self) -> bool:
+        return self.offset == 0 and self.pool_uuid == b"\x00" * 16
+
+    def pack(self) -> bytes:
+        """Serialize for embedding inside persistent structures."""
+        return struct.pack(_FMT, self.pool_uuid, self.offset)
+
+    @classmethod
+    def unpack(cls, raw: bytes | memoryview) -> "PMEMoid":
+        if len(raw) < SERIALIZED_SIZE:
+            raise PmemError(
+                f"need {SERIALIZED_SIZE} bytes to unpack a PMEMoid, "
+                f"got {len(raw)}"
+            )
+        uuid, offset = struct.unpack_from(_FMT, raw)
+        return cls(uuid, offset)
+
+
+#: The null persistent pointer.
+OID_NULL = PMEMoid(b"\x00" * 16, 0)

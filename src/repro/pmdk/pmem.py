@@ -1,0 +1,255 @@
+"""The libpmem layer: byte-addressable regions with persist semantics.
+
+A :class:`PmemRegion` is what ``pmem_map_file`` returns in PMDK: a flat
+byte range plus ``persist`` (flush stores to the persistence domain) and
+``drain`` (wait for completion).  Three concrete backends:
+
+* :class:`FileRegion` — mmap-backed, durable across processes (the
+  classic DAX-file model);
+* :class:`VolatileRegion` — RAM-backed, for PMem *emulation* on a remote
+  NUMA socket exactly as the paper does ("emulation of remote sockets …
+  as a direct access device");
+* :class:`repro.core.namespace.CxlRegion` — backed by a CXL Type-3
+  device's media (defined in :mod:`repro.core` to keep the dependency
+  direction clean).
+
+Pools (:mod:`repro.pmdk.pool`) perform all *metadata* accesses through the
+``read``/``write`` API so the crash-injection wrapper can interpose;
+bulk array data additionally gets zero-copy views where the backend
+supports them.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from abc import ABC, abstractmethod
+
+from repro.errors import PmemError
+
+#: flush granularity — one CPU cacheline
+FLUSH_LINE = 64
+
+
+class PmemRegion(ABC):
+    """A byte-addressable, optionally persistent memory region."""
+
+    #: human-readable backend tag ("file", "volatile", "cxl", "crash")
+    backend: str = "abstract"
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Region length in bytes."""
+
+    @property
+    @abstractmethod
+    def persistent(self) -> bool:
+        """Whether persisted data survives power loss / process exit."""
+
+    @property
+    def supports_views(self) -> bool:
+        """Whether :meth:`view` returns zero-copy writable memory."""
+        return True
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise PmemError(
+                f"range [{offset:#x}, {offset + length:#x}) outside region "
+                f"of {self.size:#x} bytes"
+            )
+
+    @abstractmethod
+    def view(self, offset: int, length: int) -> memoryview:
+        """Writable zero-copy view (raises when unsupported)."""
+
+    @abstractmethod
+    def read(self, offset: int, length: int) -> bytes:
+        """Copy bytes out."""
+
+    @abstractmethod
+    def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
+        """Copy bytes in (not yet durable — call :meth:`persist`)."""
+
+    @abstractmethod
+    def persist(self, offset: int, length: int) -> None:
+        """Flush the range to the persistence domain (CLWB+fence moral
+        equivalent)."""
+
+    def drain(self) -> None:
+        """Wait for outstanding flushes (SFENCE equivalent)."""
+
+    def persist_all(self) -> None:
+        self.persist(0, self.size)
+
+    def close(self) -> None:
+        """Release resources; the region must not be used afterwards."""
+
+
+class VolatileRegion(PmemRegion):
+    """RAM-backed region — the paper's remote-socket PMem *emulation*.
+
+    ``persist`` is accepted (programs written for real PMem run unchanged)
+    but :attr:`persistent` is ``False``: nothing survives the process.
+    """
+
+    backend = "volatile"
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise PmemError("region size must be positive")
+        self._buf = bytearray(size)
+        self._mv = memoryview(self._buf)
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return len(self._buf)
+
+    @property
+    def persistent(self) -> bool:
+        return False
+
+    def _alive(self) -> None:
+        if self._closed:
+            raise PmemError("region is closed")
+
+    def view(self, offset: int, length: int) -> memoryview:
+        self._alive()
+        self._check(offset, length)
+        return self._mv[offset:offset + length]
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._alive()
+        self._check(offset, length)
+        return bytes(self._mv[offset:offset + length])
+
+    def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
+        self._alive()
+        data = bytes(data)
+        self._check(offset, len(data))
+        self._mv[offset:offset + len(data)] = data
+
+    def persist(self, offset: int, length: int) -> None:
+        self._alive()
+        self._check(offset, length)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._mv.release()
+        except BufferError:
+            pass   # outstanding views keep the buffer alive until GC
+        self._closed = True
+
+
+class FileRegion(PmemRegion):
+    """mmap-backed region; durable across processes.
+
+    ``persist`` msyncs the containing pages — on a DAX filesystem this
+    would be CLWB; on a regular file it is a page write-back.  Either way
+    the durability contract presented to the pool layer is identical.
+    """
+
+    backend = "file"
+
+    def __init__(self, path: str, size: int | None = None,
+                 create: bool = False) -> None:
+        if create:
+            if size is None or size <= 0:
+                raise PmemError("creating a file region requires a size")
+            flags = os.O_RDWR | os.O_CREAT
+            fd = os.open(path, flags, 0o644)
+            try:
+                os.ftruncate(fd, size)
+            except OSError:
+                os.close(fd)
+                raise
+        else:
+            if not os.path.exists(path):
+                raise PmemError(f"pmem file {path!r} does not exist")
+            fd = os.open(path, os.O_RDWR)
+            actual = os.fstat(fd).st_size
+            if size is None:
+                size = actual
+            elif size != actual:
+                os.close(fd)
+                raise PmemError(
+                    f"pmem file {path!r} is {actual} bytes, expected {size}"
+                )
+        if size == 0:
+            os.close(fd)
+            raise PmemError(f"pmem file {path!r} is empty")
+        self.path = path
+        self._fd = fd
+        self._mm = mmap.mmap(fd, size)
+        self._mv = memoryview(self._mm)
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return len(self._mm)
+
+    @property
+    def persistent(self) -> bool:
+        return True
+
+    def _alive(self) -> None:
+        if self._closed:
+            raise PmemError("region is closed")
+
+    def view(self, offset: int, length: int) -> memoryview:
+        self._alive()
+        self._check(offset, length)
+        return self._mv[offset:offset + length]
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._alive()
+        self._check(offset, length)
+        return bytes(self._mv[offset:offset + length])
+
+    def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
+        self._alive()
+        data = bytes(data)
+        self._check(offset, len(data))
+        self._mv[offset:offset + len(data)] = data
+
+    def persist(self, offset: int, length: int) -> None:
+        self._alive()
+        self._check(offset, length)
+        if length == 0:
+            return
+        page = mmap.PAGESIZE
+        start = (offset // page) * page
+        end = offset + length
+        self._mm.flush(start, min(end, self.size) - start)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._mm.flush()
+        try:
+            self._mv.release()
+            self._mm.close()
+        except BufferError:
+            # NumPy views over the mapping are still alive; the data is
+            # flushed and the mapping is reclaimed at process exit.  This
+            # mirrors pmem_unmap semantics with outstanding pointers.
+            pass
+        else:
+            os.close(self._fd)
+        self._closed = True
+
+
+def map_file(path: str, size: int | None = None,
+             create: bool = False) -> FileRegion:
+    """``pmem_map_file`` equivalent."""
+    return FileRegion(path, size, create)
+
+
+def memcpy_persist(region: PmemRegion, offset: int,
+                   data: bytes | bytearray | memoryview) -> None:
+    """``pmem_memcpy_persist``: store + flush in one call."""
+    region.write(offset, data)
+    region.persist(offset, len(data))

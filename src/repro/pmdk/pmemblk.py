@@ -1,0 +1,221 @@
+"""libpmemblk: an array of atomically-updated blocks (BTT-lite).
+
+PMDK's block library guarantees that a power failure during a block write
+never exposes a torn block — the property checkpoint files need.  The
+mechanism (as in the Block Translation Table): logical blocks are mapped
+to physical blocks through a persistent map; a write goes to a *free*
+physical block first, then the 8-byte map entry flips.  Torn data can only
+exist in a block nothing points to.
+
+Layout::
+
+    [0x00]  header (magic, block size, counts, CRC)
+    [0x40]  map: one u64 per logical block (phys index | used flag, CRC'd)
+    [ ... ] physical blocks (logical count + spares)
+
+The free list is volatile and rebuilt on open, like PMDK's arena state.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import PmemError
+from repro.pmdk.pmem import PmemRegion
+
+MAGIC = b"REPROBLK"
+_HDR_FMT = "<8sQQQI"           # magic, block_size, n_logical, n_physical, crc
+_HDR_LEN = struct.calcsize(_HDR_FMT)
+HEADER_SIZE = 64
+#: map entry: u32 physical index, u16 flags, u16 crc16-of-entry
+_ENTRY_FMT = "<IHH"
+ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)
+FLAG_USED = 0x0001
+#: extra physical blocks beyond the logical count (write destinations)
+DEFAULT_SPARES = 4
+MIN_BLOCK = 64
+
+
+def _hdr_crc(block_size: int, n_logical: int, n_physical: int) -> int:
+    return zlib.crc32(struct.pack("<QQQ", block_size, n_logical,
+                                  n_physical))
+
+
+def _entry_crc(phys: int, flags: int) -> int:
+    return zlib.crc32(struct.pack("<IH", phys, flags)) & 0xFFFF
+
+
+def _pack_entry(phys: int, flags: int) -> bytes:
+    return struct.pack(_ENTRY_FMT, phys, flags, _entry_crc(phys, flags))
+
+
+class PmemBlk:
+    """A fixed-block-size persistent array with failure-atomic writes."""
+
+    def __init__(self, region: PmemRegion, block_size: int,
+                 n_logical: int, n_physical: int) -> None:
+        self.region = region
+        self.block_size = block_size
+        self.n_logical = n_logical
+        self.n_physical = n_physical
+        self._map_base = HEADER_SIZE
+        self._data_base = HEADER_SIZE + self._map_bytes(n_logical)
+        self._free: list[int] = []
+
+    @staticmethod
+    def _map_bytes(n_logical: int) -> int:
+        raw = n_logical * ENTRY_SIZE
+        return raw + (-raw) % 64
+
+    # ------------------------------------------------------------------
+    # create / open
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def usable_blocks(cls, region_size: int, block_size: int,
+                      spares: int = DEFAULT_SPARES) -> int:
+        """Logical blocks a region of this size can hold."""
+        budget = region_size - HEADER_SIZE
+        # solve n: map(n) + (n + spares) * bs <= budget
+        n = max(0, (budget - spares * block_size) // (ENTRY_SIZE + block_size))
+        while n > 0 and (cls._map_bytes(n) + (n + spares) * block_size
+                         > budget):
+            n -= 1
+        return n
+
+    @classmethod
+    def create(cls, region: PmemRegion, block_size: int,
+               spares: int = DEFAULT_SPARES) -> "PmemBlk":
+        """``pmemblk_create``: format the region.
+
+        Raises:
+            PmemError: bad block size or region too small for one block.
+        """
+        if block_size < MIN_BLOCK or block_size % 64:
+            raise PmemError(
+                f"block size must be a multiple of 64 >= {MIN_BLOCK}"
+            )
+        if spares < 1:
+            raise PmemError("need at least one spare physical block")
+        n_logical = cls.usable_blocks(region.size, block_size, spares)
+        if n_logical < 1:
+            raise PmemError(
+                f"region of {region.size} bytes holds no {block_size}-byte "
+                "blocks"
+            )
+        n_physical = n_logical + spares
+        blk = cls(region, block_size, n_logical, n_physical)
+        # empty map: every entry unused (phys 0, no USED flag)
+        empty = _pack_entry(0, 0)
+        region.write(blk._map_base, empty * n_logical)
+        region.persist(blk._map_base, n_logical * ENTRY_SIZE)
+        raw = struct.pack(_HDR_FMT, MAGIC, block_size, n_logical,
+                          n_physical,
+                          _hdr_crc(block_size, n_logical, n_physical))
+        region.write(0, raw)
+        region.persist(0, HEADER_SIZE)
+        blk._rebuild_free()
+        return blk
+
+    @classmethod
+    def open(cls, region: PmemRegion) -> "PmemBlk":
+        """``pmemblk_open``: validate and rebuild the free list."""
+        raw = region.read(0, _HDR_LEN)
+        magic, block_size, n_logical, n_physical, crc = struct.unpack(
+            _HDR_FMT, raw)
+        if magic != MAGIC:
+            raise PmemError("region does not contain a pmemblk")
+        if crc != _hdr_crc(block_size, n_logical, n_physical):
+            raise PmemError("pmemblk header CRC mismatch")
+        blk = cls(region, block_size, n_logical, n_physical)
+        if blk._data_base + n_physical * block_size > region.size:
+            raise PmemError("pmemblk geometry exceeds the region")
+        blk._rebuild_free()
+        return blk
+
+    # ------------------------------------------------------------------
+    # map access
+    # ------------------------------------------------------------------
+
+    def _read_entry(self, lba: int) -> tuple[int, int]:
+        raw = self.region.read(self._map_base + lba * ENTRY_SIZE,
+                               ENTRY_SIZE)
+        phys, flags, crc = struct.unpack(_ENTRY_FMT, raw)
+        if crc != _entry_crc(phys, flags):
+            raise PmemError(f"pmemblk map entry {lba} failed its CRC")
+        if flags & FLAG_USED and phys >= self.n_physical:
+            raise PmemError(f"pmemblk map entry {lba} points out of range")
+        return phys, flags
+
+    def _write_entry(self, lba: int, phys: int, flags: int) -> None:
+        off = self._map_base + lba * ENTRY_SIZE
+        self.region.write(off, _pack_entry(phys, flags))
+        self.region.persist(off, ENTRY_SIZE)
+
+    def _rebuild_free(self) -> None:
+        used = set()
+        for lba in range(self.n_logical):
+            phys, flags = self._read_entry(lba)
+            if flags & FLAG_USED:
+                used.add(phys)
+        self._free = [p for p in range(self.n_physical) if p not in used]
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.n_logical:
+            raise PmemError(
+                f"block index {lba} outside 0..{self.n_logical - 1}"
+            )
+
+    def _phys_offset(self, phys: int) -> int:
+        return self._data_base + phys * self.block_size
+
+    # ------------------------------------------------------------------
+    # the API
+    # ------------------------------------------------------------------
+
+    @property
+    def nblock(self) -> int:
+        """``pmemblk_nblock``."""
+        return self.n_logical
+
+    def read(self, lba: int) -> bytes:
+        """``pmemblk_read``: never-written blocks read as zeros."""
+        self._check_lba(lba)
+        phys, flags = self._read_entry(lba)
+        if not flags & FLAG_USED:
+            return b"\x00" * self.block_size
+        return self.region.read(self._phys_offset(phys), self.block_size)
+
+    def write(self, lba: int, data: bytes) -> None:
+        """``pmemblk_write``: failure-atomic block update.
+
+        Raises:
+            PmemError: wrong payload size or no free physical block
+                (cannot happen after create/open unless the map is torn).
+        """
+        self._check_lba(lba)
+        data = bytes(data)
+        if len(data) != self.block_size:
+            raise PmemError(
+                f"pmemblk write takes exactly {self.block_size} bytes, "
+                f"got {len(data)}"
+            )
+        if not self._free:
+            raise PmemError("pmemblk has no free physical block")
+        target = self._free.pop()
+        self.region.write(self._phys_offset(target), data)
+        self.region.persist(self._phys_offset(target), self.block_size)
+        old_phys, old_flags = self._read_entry(lba)
+        # the atomic flip
+        self._write_entry(lba, target, FLAG_USED)
+        if old_flags & FLAG_USED:
+            self._free.append(old_phys)
+
+    def set_zero(self, lba: int) -> None:
+        """``pmemblk_set_zero``: atomically reset a block to zeros."""
+        self._check_lba(lba)
+        old_phys, old_flags = self._read_entry(lba)
+        self._write_entry(lba, 0, 0)
+        if old_flags & FLAG_USED:
+            self._free.append(old_phys)

@@ -1,0 +1,159 @@
+"""libpmemlog: an append-only persistent log.
+
+The third classic PMDK library (next to libpmem and libpmemobj): a log
+whose ``append`` is failure-atomic.  HPC codes use it for diagnostics
+streams and write-ahead records — the paper's "preserving diagnostics
+throughout computations" storage use case, byte-addressable.
+
+Protocol: data is written and persisted *before* the head pointer moves;
+the head pointer (with CRC) lives in one cacheline, so a crash leaves the
+log at either the old or the new head — an interrupted append simply
+never happened.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Callable, Iterator
+
+from repro.errors import PmemError
+from repro.pmdk.pmem import PmemRegion
+
+MAGIC = b"REPROLOG"
+_HDR_FMT = "<8sQQI"                # magic, capacity, head, crc
+_HDR_LEN = struct.calcsize(_HDR_FMT)
+HEADER_SIZE = 64
+#: each record: length (u32) + crc (u32) + payload, padded to 8 bytes
+_REC_FMT = "<II"
+_REC_LEN = struct.calcsize(_REC_FMT)
+
+
+def _hdr_crc(capacity: int, head: int) -> int:
+    return zlib.crc32(struct.pack("<QQ", capacity, head))
+
+
+class PmemLog:
+    """An append-only log inside a pmem region."""
+
+    def __init__(self, region: PmemRegion, capacity: int,
+                 head: int) -> None:
+        self.region = region
+        self._capacity = capacity
+        self._head = head
+
+    # ------------------------------------------------------------------
+    # create / open
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, region: PmemRegion) -> "PmemLog":
+        """``pmemlog_create``: format a region as an empty log."""
+        if region.size <= HEADER_SIZE + _REC_LEN:
+            raise PmemError(
+                f"region of {region.size} bytes too small for a log"
+            )
+        capacity = region.size - HEADER_SIZE
+        log = cls(region, capacity, 0)
+        log._write_header(0)
+        return log
+
+    @classmethod
+    def open(cls, region: PmemRegion) -> "PmemLog":
+        """``pmemlog_open``: validate the header and resume."""
+        raw = region.read(0, _HDR_LEN)
+        magic, capacity, head, crc = struct.unpack(_HDR_FMT, raw)
+        if magic != MAGIC:
+            raise PmemError("region does not contain a pmemlog")
+        if crc != _hdr_crc(capacity, head):
+            raise PmemError("pmemlog header CRC mismatch")
+        if capacity != region.size - HEADER_SIZE:
+            raise PmemError(
+                f"log capacity {capacity} does not match region size"
+            )
+        if head > capacity:
+            raise PmemError(f"log head {head} beyond capacity {capacity}")
+        return cls(region, capacity, head)
+
+    def _write_header(self, head: int) -> None:
+        raw = struct.pack(_HDR_FMT, MAGIC, self._capacity, head,
+                          _hdr_crc(self._capacity, head))
+        self.region.write(0, raw)
+        self.region.persist(0, HEADER_SIZE)
+        self._head = head
+
+    # ------------------------------------------------------------------
+    # the API
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def tell(self) -> int:
+        """``pmemlog_tell``: bytes currently in the log."""
+        return self._head
+
+    @property
+    def free_bytes(self) -> int:
+        return self._capacity - self._head
+
+    def append(self, data: bytes) -> None:
+        """``pmemlog_append``: failure-atomic append.
+
+        Raises:
+            PmemError: the record does not fit.
+        """
+        data = bytes(data)
+        total = _REC_LEN + len(data)
+        total += (-total) % 8
+        if total > self.free_bytes:
+            raise PmemError(
+                f"pmemlog full: record of {len(data)} bytes needs {total}, "
+                f"{self.free_bytes} free"
+            )
+        pos = HEADER_SIZE + self._head
+        rec = struct.pack(_REC_FMT, len(data), zlib.crc32(data)) + data
+        self.region.write(pos, rec)
+        self.region.persist(pos, total)
+        # the atomic commit: move the head
+        self._write_header(self._head + total)
+
+    def walk(self, callback: Callable[[bytes], bool] | None = None
+             ) -> list[bytes]:
+        """``pmemlog_walk``: visit every record in append order.
+
+        With a callback, walking stops when it returns ``False`` (PMDK
+        semantics); the visited records are returned either way.
+
+        Raises:
+            PmemError: a record fails its CRC (torn media).
+        """
+        out: list[bytes] = []
+        pos = 0
+        while pos < self._head:
+            raw = self.region.read(HEADER_SIZE + pos, _REC_LEN)
+            length, crc = struct.unpack(_REC_FMT, raw)
+            if _REC_LEN + length > self._head - pos:
+                raise PmemError(
+                    f"pmemlog record at {pos} overruns the head"
+                )
+            data = self.region.read(HEADER_SIZE + pos + _REC_LEN, length)
+            if zlib.crc32(data) != crc:
+                raise PmemError(f"pmemlog record at {pos} failed its CRC")
+            out.append(data)
+            if callback is not None and not callback(data):
+                break
+            total = _REC_LEN + length
+            pos += total + (-total) % 8
+        return out
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self.walk())
+
+    def __len__(self) -> int:
+        return len(self.walk())
+
+    def rewind(self) -> None:
+        """``pmemlog_rewind``: atomically discard everything."""
+        self._write_header(0)

@@ -1,0 +1,441 @@
+"""libpmemobj pools: the transactional object store.
+
+A pool lives inside any :class:`repro.pmdk.pmem.PmemRegion` — a DAX-style
+file, the volatile remote-socket emulation, or a CXL Type-3 namespace via
+:mod:`repro.core.provider` (this last combination is the paper's thesis).
+
+On-media layout::
+
+    [0x0000]  primary header  (magic, uuid, layout, geometry, CRC)
+    [0x0800]  backup header   (for failure-atomic header updates)
+    [0x1000]  transaction log (control block + undo entries)
+    [ ... ]   persistent heap (chunked allocator)
+
+Every metadata mutation follows write-backup → persist → write-primary →
+persist, so a torn header is always repairable from the other copy.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import PmemError, PoolCorruptionError, PoolError
+from repro.pmdk.alloc import PersistentHeap, align_up
+from repro.pmdk.oid import OID_NULL, PMEMoid
+from repro.pmdk.pmem import FileRegion, PmemRegion, map_file
+from repro.pmdk.tx import Transaction, UndoLog, recover as tx_recover
+
+POOL_MAGIC = b"REPROPMO"
+POOL_VERSION = 1
+
+_HDR_FMT = "<8sI16s64sQQQQQQQI"
+_HDR_LEN = struct.calcsize(_HDR_FMT)
+HEADER_COPY_SIZE = 2048
+PRIMARY_HEADER_OFF = 0
+BACKUP_HEADER_OFF = HEADER_COPY_SIZE
+METADATA_SIZE = 4096                      # both headers
+DEFAULT_LOG_SIZE = 256 * 1024
+MIN_POOL_SIZE = METADATA_SIZE + DEFAULT_LOG_SIZE + 64 * 1024
+
+
+class _Header:
+    """Decoded pool header."""
+
+    __slots__ = ("uuid", "layout", "pool_size", "log_offset", "log_size",
+                 "heap_offset", "heap_size", "root_offset", "root_size")
+
+    def __init__(self, uuid: bytes, layout: str, pool_size: int,
+                 log_offset: int, log_size: int, heap_offset: int,
+                 heap_size: int, root_offset: int, root_size: int) -> None:
+        self.uuid = uuid
+        self.layout = layout
+        self.pool_size = pool_size
+        self.log_offset = log_offset
+        self.log_size = log_size
+        self.heap_offset = heap_offset
+        self.heap_size = heap_size
+        self.root_offset = root_offset
+        self.root_size = root_size
+
+    def pack(self) -> bytes:
+        layout_b = self.layout.encode()[:64].ljust(64, b"\x00")
+        body = struct.pack(
+            "<8sI16s64sQQQQQQQ", POOL_MAGIC, POOL_VERSION, self.uuid,
+            layout_b, self.pool_size, self.log_offset, self.log_size,
+            self.heap_offset, self.heap_size, self.root_offset,
+            self.root_size,
+        )
+        return body + struct.pack("<I", zlib.crc32(body))
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "_Header":
+        if len(raw) < _HDR_LEN:
+            raise PoolCorruptionError("short pool header")
+        (magic, version, uuid, layout_b, pool_size, log_off, log_size,
+         heap_off, heap_size, root_off, root_size, crc) = struct.unpack(
+            _HDR_FMT, raw[:_HDR_LEN])
+        body = raw[:_HDR_LEN - 4]
+        if magic != POOL_MAGIC:
+            raise PoolCorruptionError(f"bad pool magic {magic!r}")
+        if version != POOL_VERSION:
+            raise PoolCorruptionError(f"unsupported pool version {version}")
+        if crc != zlib.crc32(body):
+            raise PoolCorruptionError("pool header CRC mismatch")
+        return cls(uuid, layout_b.rstrip(b"\x00").decode(), pool_size,
+                   log_off, log_size, heap_off, heap_size, root_off,
+                   root_size)
+
+
+class PmemObjPool:
+    """A transactional persistent object pool (``pmemobj`` equivalent)."""
+
+    def __init__(self, region: PmemRegion, header: _Header,
+                 heap: PersistentHeap, owns_region: bool) -> None:
+        self.region = region
+        self._hdr = header
+        self._heap = heap
+        self._log = UndoLog(region, header.log_offset, header.log_size)
+        self._owns_region = owns_region
+        self._tx: Transaction | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # create / open
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, target: str | PmemRegion, layout: str = "",
+               size: int | None = None,
+               log_size: int = DEFAULT_LOG_SIZE) -> "PmemObjPool":
+        """``pmemobj_create``: format a new pool.
+
+        ``target`` is a path (a file region is created, like
+        ``pmemobj_create(path, ...)``) or an existing region.
+
+        Raises:
+            PoolError: target too small or already formatted.
+        """
+        owns = isinstance(target, str)
+        if owns:
+            if size is None:
+                raise PoolError("creating a pool file requires a size")
+            region = map_file(target, size, create=True)
+        else:
+            region = target
+        try:
+            return cls._format(region, layout, log_size, owns)
+        except Exception:
+            if owns:
+                region.close()
+            raise
+
+    @classmethod
+    def _format(cls, region: PmemRegion, layout: str, log_size: int,
+                owns: bool) -> "PmemObjPool":
+        if region.size < METADATA_SIZE + log_size + 64 * 1024:
+            raise PoolError(
+                f"region of {region.size} bytes too small for a pool "
+                f"(need >= {METADATA_SIZE + log_size + 64 * 1024})"
+            )
+        try:
+            existing = _Header.unpack(region.read(PRIMARY_HEADER_OFF, _HDR_LEN))
+        except PoolCorruptionError:
+            existing = None
+        if existing is not None:
+            raise PoolError(
+                f"region already contains a pool (layout={existing.layout!r}); "
+                "open it instead"
+            )
+        log_size = align_up(log_size)
+        heap_offset = METADATA_SIZE + log_size
+        heap_size = (region.size - heap_offset) // 64 * 64
+        header = _Header(
+            uuid=os.urandom(16),
+            layout=layout,
+            pool_size=region.size,
+            log_offset=METADATA_SIZE,
+            log_size=log_size,
+            heap_offset=heap_offset,
+            heap_size=heap_size,
+            root_offset=0,
+            root_size=0,
+        )
+        heap = PersistentHeap.format(region, heap_offset, heap_size)
+        log = UndoLog(region, header.log_offset, header.log_size)
+        log.format()
+        pool = cls(region, header, heap, owns)
+        pool._write_header()
+        return pool
+
+    @classmethod
+    def open(cls, target: str | PmemRegion, layout: str | None = None
+             ) -> "PmemObjPool":
+        """``pmemobj_open``: open + recover an existing pool.
+
+        Raises:
+            PoolError: layout mismatch.
+            PoolCorruptionError: both header copies are damaged.
+        """
+        owns = isinstance(target, str)
+        region = map_file(target) if owns else target
+        try:
+            header = cls._read_header_with_repair(region)
+            if layout is not None and header.layout != layout:
+                raise PoolError(
+                    f"pool layout is {header.layout!r}, expected {layout!r}"
+                )
+            heap = PersistentHeap.open(region, header.heap_offset,
+                                       header.heap_size)
+            log = UndoLog(region, header.log_offset, header.log_size)
+            tx_recover(log, heap)
+            # recovery may have freed chunks; rebuild the heap index
+            heap = PersistentHeap.open(region, header.heap_offset,
+                                       header.heap_size)
+            return cls(region, header, heap, owns)
+        except Exception:
+            if owns:
+                region.close()
+            raise
+
+    @classmethod
+    def _read_header_with_repair(cls, region: PmemRegion) -> _Header:
+        primary_exc: Exception | None = None
+        try:
+            hdr = _Header.unpack(region.read(PRIMARY_HEADER_OFF, _HDR_LEN))
+            return hdr
+        except PoolCorruptionError as exc:
+            primary_exc = exc
+        try:
+            hdr = _Header.unpack(region.read(BACKUP_HEADER_OFF, _HDR_LEN))
+        except PoolCorruptionError:
+            raise PoolCorruptionError(
+                f"both pool header copies are corrupt ({primary_exc})"
+            ) from primary_exc
+        # repair the primary from the backup
+        region.write(PRIMARY_HEADER_OFF, hdr.pack())
+        region.persist(PRIMARY_HEADER_OFF, _HDR_LEN)
+        return hdr
+
+    def _write_header(self) -> None:
+        raw = self._hdr.pack()
+        self.region.write(BACKUP_HEADER_OFF, raw)
+        self.region.persist(BACKUP_HEADER_OFF, len(raw))
+        self.region.write(PRIMARY_HEADER_OFF, raw)
+        self.region.persist(PRIMARY_HEADER_OFF, len(raw))
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def uuid(self) -> bytes:
+        return self._hdr.uuid
+
+    @property
+    def layout(self) -> str:
+        return self._hdr.layout
+
+    @property
+    def persistent(self) -> bool:
+        return self.region.persistent
+
+    @property
+    def free_bytes(self) -> int:
+        return self._heap.free_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self._heap.used_bytes
+
+    @property
+    def heap(self) -> PersistentHeap:
+        return self._heap
+
+    @property
+    def log_capacity(self) -> int:
+        """Bytes of undo-log space available to one transaction."""
+        return self._hdr.log_size - 64
+
+    def _alive(self) -> None:
+        if self._closed:
+            raise PoolError("pool is closed")
+
+    # ------------------------------------------------------------------
+    # object management
+    # ------------------------------------------------------------------
+
+    def alloc(self, size: int, zero: bool = True) -> PMEMoid:
+        """Atomic (non-transactional) allocation, ``pmemobj_alloc``."""
+        self._alive()
+        off = self._heap.alloc(size)
+        if zero:
+            self.region.write(off, b"\x00" * self._heap.payload_size(off))
+            self.region.persist(off, self._heap.payload_size(off))
+        return PMEMoid(self.uuid, off)
+
+    def free(self, oid: PMEMoid) -> None:
+        """Atomic free, ``pmemobj_free``."""
+        self._alive()
+        self._check_oid(oid)
+        self._heap.free(oid.offset)
+
+    def root(self, size: int) -> PMEMoid:
+        """``pmemobj_root``: allocate-once root object of >= ``size`` bytes."""
+        self._alive()
+        if size <= 0:
+            raise PoolError("root size must be positive")
+        if self._hdr.root_offset:
+            if size > self._hdr.root_size:
+                raise PoolError(
+                    f"root object is {self._hdr.root_size} bytes; "
+                    f"cannot grow to {size}"
+                )
+            return PMEMoid(self.uuid, self._hdr.root_offset)
+        oid = self.alloc(size, zero=True)
+        self._hdr.root_offset = oid.offset
+        self._hdr.root_size = self._heap.payload_size(oid.offset)
+        self._write_header()
+        return oid
+
+    @property
+    def root_oid(self) -> PMEMoid:
+        if not self._hdr.root_offset:
+            return OID_NULL
+        return PMEMoid(self.uuid, self._hdr.root_offset)
+
+    def _check_oid(self, oid: PMEMoid) -> int:
+        if oid.is_null:
+            raise PmemError("null PMEMoid dereferenced")
+        if oid.pool_uuid != self.uuid:
+            raise PmemError(
+                "PMEMoid belongs to a different pool "
+                f"({oid.pool_uuid.hex()} != {self.uuid.hex()})"
+            )
+        return oid.offset
+
+    def size_of(self, oid: PMEMoid) -> int:
+        """Allocated size of an object."""
+        return self._heap.payload_size(self._check_oid(oid))
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+
+    def direct(self, oid: PMEMoid, length: int | None = None) -> memoryview:
+        """``pmemobj_direct``: zero-copy view of an object's payload."""
+        self._alive()
+        off = self._check_oid(oid)
+        if length is None:
+            length = self._heap.payload_size(off)
+        return self.region.view(off, length)
+
+    def np_view(self, oid: PMEMoid, dtype, count: int,
+                byte_offset: int = 0) -> np.ndarray:
+        """NumPy array aliasing an object's payload (STREAM-PMem's view)."""
+        self._alive()
+        off = self._check_oid(oid)
+        dt = np.dtype(dtype)
+        need = byte_offset + count * dt.itemsize
+        avail = self._heap.payload_size(off)
+        if need > avail:
+            raise PmemError(
+                f"view of {need} bytes exceeds object payload {avail}"
+            )
+        mv = self.region.view(off + byte_offset, count * dt.itemsize)
+        return np.frombuffer(mv, dtype=dt, count=count)
+
+    def read(self, oid: PMEMoid, length: int | None = None,
+             offset: int = 0) -> bytes:
+        off = self._check_oid(oid)
+        if length is None:
+            length = self._heap.payload_size(off) - offset
+        self._bounds(off, offset, length)
+        return self.region.read(off + offset, length)
+
+    def write(self, oid: PMEMoid, data: bytes | bytearray | memoryview,
+              offset: int = 0, persist: bool = True) -> None:
+        """Store into an object (non-transactional unless wrapped by the
+        caller with :meth:`Transaction.add_range`)."""
+        off = self._check_oid(oid)
+        self._bounds(off, offset, len(data))
+        self.region.write(off + offset, data)
+        if persist:
+            self.region.persist(off + offset, len(data))
+
+    def persist(self, oid: PMEMoid, length: int | None = None,
+                offset: int = 0) -> None:
+        off = self._check_oid(oid)
+        if length is None:
+            length = self._heap.payload_size(off) - offset
+        self._bounds(off, offset, length)
+        self.region.persist(off + offset, length)
+
+    def _bounds(self, payload_off: int, offset: int, length: int) -> None:
+        size = self._heap.payload_size(payload_off)
+        if offset < 0 or length < 0 or offset + length > size:
+            raise PmemError(
+                f"access [{offset}, {offset + length}) outside object of "
+                f"{size} bytes"
+            )
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Begin (or nest into) a transaction; use as a context manager."""
+        self._alive()
+        if self._tx is None or not self._tx.active:
+            self._tx = Transaction(self._log, self._heap)
+        return self._tx
+
+    def tx_add(self, tx: Transaction, oid: PMEMoid, offset: int = 0,
+               length: int | None = None) -> None:
+        """Snapshot part of an object into the transaction's undo log."""
+        off = self._check_oid(oid)
+        if length is None:
+            length = self._heap.payload_size(off) - offset
+        self._bounds(off, offset, length)
+        tx.add_range(off + offset, length)
+
+    def tx_write(self, tx: Transaction, oid: PMEMoid,
+                 data: bytes | bytearray | memoryview,
+                 offset: int = 0) -> None:
+        """Snapshot + store in one call."""
+        self.tx_add(tx, oid, offset, len(data))
+        self.write(oid, data, offset, persist=False)
+
+    def tx_alloc(self, tx: Transaction, size: int) -> PMEMoid:
+        """Transactional allocation returning a PMEMoid."""
+        off = tx.alloc(size)
+        self.region.write(off, b"\x00" * self._heap.payload_size(off))
+        tx.log_modified(off, self._heap.payload_size(off))
+        return PMEMoid(self.uuid, off)
+
+    def tx_free(self, tx: Transaction, oid: PMEMoid) -> None:
+        tx.free(self._check_oid(oid))
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """``pmemobj_close``; flushes everything owned by the pool."""
+        if self._closed:
+            return
+        if self._tx is not None and self._tx.active:
+            raise PoolError("cannot close a pool with an active transaction")
+        self.region.persist(0, min(self.region.size, self._hdr.pool_size))
+        if self._owns_region:
+            self.region.close()
+        self._closed = True
+
+    def __enter__(self) -> "PmemObjPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

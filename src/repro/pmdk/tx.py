@@ -1,0 +1,354 @@
+"""Undo-log transactions — the libpmemobj ``TX_BEGIN`` machinery.
+
+The paper leans on pmemobj transactions for STREAM-PMem: "*it offers a
+transaction function that can encompass various modifications made to
+persistent objects.  This function ensures that either all of the
+modifications are successfully applied or none of them take effect.*"
+
+Design (mirrors libpmemobj's undo log):
+
+* ``tx.add_range(offset, len)`` snapshots the *old* contents into the
+  pool's log area **before** the caller modifies the range;
+* commit persists the modified ranges, marks the log ``COMMITTED``,
+  applies deferred frees, then truncates the log;
+* abort — explicit, by exception, or by crash — restores every snapshot
+  (newest first), releases transaction-time allocations, and truncates.
+
+The log's control word (tail + state + CRC) lives in a single cacheline,
+so each step of the protocol is failure-atomic under the cacheline-granular
+crash model of :mod:`repro.pmdk.crash`.
+
+Allocation/free atomicity:
+
+* ``tx.alloc`` performs the heap allocation immediately but records an
+  ``ALLOC`` entry — abort/recovery of an uncommitted transaction frees it;
+* ``tx.free`` only records a ``FREE`` intent — the heap free is applied
+  during commit (and re-applied idempotently by recovery if the crash
+  lands between the commit record and the truncation).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.errors import CrashInjected, TransactionAborted, TransactionError
+from repro.pmdk.alloc import HEADER_SIZE as _HEAP_HEADER_SIZE, PersistentHeap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pmdk.pmem import PmemRegion
+
+# control block (one cacheline)
+_CTRL_FMT = "<QII"
+_CTRL_LEN = struct.calcsize(_CTRL_FMT)
+CTRL_SIZE = 64
+
+STATE_CLEAN = 0
+STATE_ACTIVE = 1
+STATE_COMMITTED = 2
+
+# entry header: type u32, pad u32, target u64, length u64, crc u32 → pad to 32
+_ENTRY_FMT = "<IIQQI"
+_ENTRY_LEN = struct.calcsize(_ENTRY_FMT)
+ENTRY_HEADER = 32
+
+ENTRY_DATA = 1
+ENTRY_ALLOC = 2
+ENTRY_FREE = 3
+
+
+def _ctrl_crc(tail: int, state: int) -> int:
+    return zlib.crc32(struct.pack("<QI", tail, state))
+
+
+def _entry_crc(etype: int, target: int, length: int, data: bytes) -> int:
+    return zlib.crc32(struct.pack("<IQQ", etype, target, length) + data)
+
+
+class UndoLog:
+    """The persistent log area of one pool."""
+
+    def __init__(self, region: "PmemRegion", log_offset: int,
+                 log_size: int) -> None:
+        if log_size < CTRL_SIZE + ENTRY_HEADER:
+            raise TransactionError(f"log area of {log_size} bytes is too small")
+        self.region = region
+        self.log_offset = log_offset
+        self.log_size = log_size
+        self._entries_base = log_offset + CTRL_SIZE
+        self._capacity = log_size - CTRL_SIZE
+
+    # -- control block --------------------------------------------------
+
+    def read_ctrl(self) -> tuple[int, int]:
+        raw = self.region.read(self.log_offset, _CTRL_LEN)
+        tail, state, crc = struct.unpack(_CTRL_FMT, raw)
+        if crc != _ctrl_crc(tail, state):
+            raise TransactionError("transaction log control block corrupted")
+        return tail, state
+
+    def write_ctrl(self, tail: int, state: int) -> None:
+        raw = struct.pack(_CTRL_FMT, tail, state, _ctrl_crc(tail, state))
+        self.region.write(self.log_offset, raw)
+        self.region.persist(self.log_offset, CTRL_SIZE)
+
+    def format(self) -> None:
+        self.write_ctrl(0, STATE_CLEAN)
+
+    # -- entries ---------------------------------------------------------
+
+    def append(self, tail: int, etype: int, target: int,
+               data: bytes) -> int:
+        """Write one entry at ``tail``; returns the new tail.
+
+        The control block is *not* updated here — the caller persists the
+        entry first, then bumps the tail, preserving the
+        entry-before-visibility ordering.
+        """
+        length = len(data)
+        total = ENTRY_HEADER + ((length + 7) // 8) * 8
+        if tail + total > self._capacity:
+            raise TransactionError(
+                f"transaction log full: need {total} bytes, "
+                f"{self._capacity - tail} remain (log_size={self.log_size})"
+            )
+        pos = self._entries_base + tail
+        hdr = struct.pack(_ENTRY_FMT, etype, 0, target, length,
+                          _entry_crc(etype, target, length, data))
+        self.region.write(pos, hdr + b"\x00" * (ENTRY_HEADER - _ENTRY_LEN))
+        if data:
+            self.region.write(pos + ENTRY_HEADER, data)
+        self.region.persist(pos, total)
+        return tail + total
+
+    def entries(self, tail: int) -> list[tuple[int, int, bytes]]:
+        """Decode entries up to ``tail`` → ``[(type, target, data), ...]``."""
+        out: list[tuple[int, int, bytes]] = []
+        pos = 0
+        while pos < tail:
+            raw = self.region.read(self._entries_base + pos, _ENTRY_LEN)
+            etype, _, target, length, crc = struct.unpack(_ENTRY_FMT, raw)
+            data = self.region.read(
+                self._entries_base + pos + ENTRY_HEADER, length
+            ) if length else b""
+            if crc != _entry_crc(etype, target, length, data):
+                raise TransactionError(
+                    f"undo log entry at {pos:#x} failed its CRC"
+                )
+            out.append((etype, target, data))
+            pos += ENTRY_HEADER + ((length + 7) // 8) * 8
+        return out
+
+
+class Transaction:
+    """One (possibly nested) transaction against a pool.
+
+    Use as a context manager::
+
+        with pool.transaction() as tx:
+            tx.add_range(off, 8)
+            pool.write(off, new_bytes)
+    """
+
+    def __init__(self, log: UndoLog, heap: PersistentHeap) -> None:
+        self._log = log
+        self._heap = heap
+        self._tail = 0
+        self._depth = 0
+        self._aborted = False
+        self._snapshots: list[tuple[int, int]] = []
+        self._tx_allocs: list[int] = []
+        self._deferred_frees: list[int] = []
+        self._modified: list[tuple[int, int]] = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._depth > 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def begin(self) -> "Transaction":
+        if self._aborted:
+            raise TransactionError("transaction already aborted")
+        if self._depth == 0:
+            tail, state = self._log.read_ctrl()
+            if state != STATE_CLEAN or tail != 0:
+                raise TransactionError(
+                    "pool has an unrecovered transaction log; reopen the pool"
+                )
+        self._depth += 1
+        return self
+
+    def commit(self) -> None:
+        if not self.active:
+            raise TransactionError("commit outside an active transaction")
+        if self._aborted:
+            raise TransactionError("cannot commit an aborted transaction")
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        # 1. make every modified range durable
+        for off, length in self._modified:
+            self._log.region.persist(off, length)
+        for off, length in self._snapshots:
+            self._log.region.persist(off, length)
+        # 2. commit record
+        if self._tail:
+            self._log.write_ctrl(self._tail, STATE_COMMITTED)
+        # 3. apply deferred frees (idempotent wrt recovery replay)
+        for off in self._deferred_frees:
+            if self._heap.is_allocated(off):
+                self._heap.free(off)
+        # 4. truncate
+        if self._tail:
+            self._log.write_ctrl(0, STATE_CLEAN)
+        self._reset()
+
+    def abort(self) -> None:
+        """Roll back and raise :class:`TransactionAborted`."""
+        if not self.active:
+            raise TransactionError("abort outside an active transaction")
+        self._rollback()
+        self._depth = 0
+        self._aborted = True
+        raise TransactionAborted("transaction aborted by user")
+
+    def _rollback(self) -> None:
+        for etype, target, data in reversed(self._log.entries(self._tail)):
+            if etype == ENTRY_DATA:
+                self._log.region.write(target, data)
+                self._log.region.persist(target, len(data))
+            elif etype == ENTRY_ALLOC and self._heap.is_allocated(target):
+                self._heap.free(target)
+        self._log.write_ctrl(0, STATE_CLEAN)
+        self._reset()
+
+    def _reset(self) -> None:
+        self._tail = 0
+        self._snapshots.clear()
+        self._tx_allocs.clear()
+        self._deferred_frees.clear()
+        self._modified.clear()
+
+    # -- operations --------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise TransactionError("operation outside an active transaction")
+        if self._aborted:
+            raise TransactionError("transaction already aborted")
+
+    def _covered(self, offset: int, length: int) -> bool:
+        return any(o <= offset and offset + length <= o + n
+                   for o, n in self._snapshots)
+
+    def add_range(self, offset: int, length: int) -> None:
+        """Snapshot ``[offset, offset+length)`` before the caller modifies it."""
+        self._require_active()
+        if length <= 0:
+            raise TransactionError("add_range length must be positive")
+        if self._covered(offset, length):
+            return
+        old = self._log.region.read(offset, length)
+        new_tail = self._log.append(self._tail, ENTRY_DATA, offset, old)
+        self._log.write_ctrl(new_tail, STATE_ACTIVE)
+        self._tail = new_tail
+        self._snapshots.append((offset, length))
+
+    def log_modified(self, offset: int, length: int) -> None:
+        """Note a range modified without snapshotting (freshly allocated
+        memory needs no undo, but must still be persisted at commit)."""
+        self._require_active()
+        self._modified.append((offset, length))
+
+    def alloc(self, size: int) -> int:
+        """Transactional allocation; freed automatically on abort/crash.
+
+        The ALLOC intent is journaled *before* the heap mutation becomes
+        persistent (reserve → journal → complete), so a crash at any point
+        either leaves the chunk free or leaves it allocated-and-journaled —
+        never allocated-and-forgotten.
+        """
+        self._require_active()
+        reservation = self._heap.reserve(size)
+        payload = reservation[0] + _HEAP_HEADER_SIZE
+        try:
+            new_tail = self._log.append(self._tail, ENTRY_ALLOC, payload, b"")
+            self._log.write_ctrl(new_tail, STATE_ACTIVE)
+        except TransactionError:
+            self._heap.cancel(reservation)
+            raise
+        self._tail = new_tail
+        self._heap.complete(reservation)
+        self._tx_allocs.append(payload)
+        return payload
+
+    def free(self, payload_offset: int) -> None:
+        """Transactional free; applied only if the transaction commits."""
+        self._require_active()
+        if not self._heap.is_allocated(payload_offset):
+            raise TransactionError(
+                f"tx.free of unallocated offset {payload_offset:#x}"
+            )
+        new_tail = self._log.append(self._tail, ENTRY_FREE, payload_offset, b"")
+        self._log.write_ctrl(new_tail, STATE_ACTIVE)
+        self._tail = new_tail
+        self._deferred_frees.append(payload_offset)
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.commit()
+            return False
+        if exc_type is TransactionAborted:
+            # abort() already rolled back; let the exception propagate so
+            # callers can observe the abort explicitly
+            return False
+        if issubclass(exc_type, CrashInjected):
+            # the "machine" lost power mid-transaction: no rollback is
+            # possible now — recovery happens when the pool is reopened
+            self._depth = 0
+            self._aborted = True
+            return False
+        if self.active:
+            try:
+                self._rollback()
+            finally:
+                self._depth = 0
+                self._aborted = True
+        return False
+
+
+def recover(log: UndoLog, heap: PersistentHeap) -> str:
+    """Pool-open recovery of an interrupted transaction.
+
+    Returns one of ``"clean"``, ``"rolled_back"``, ``"completed"``.
+    """
+    tail, state = log.read_ctrl()
+    if state == STATE_CLEAN and tail == 0:
+        return "clean"
+    if state == STATE_COMMITTED:
+        # finish the commit: replay deferred frees, truncate
+        for etype, target, _ in log.entries(tail):
+            if etype == ENTRY_FREE and heap.is_allocated(target):
+                heap.free(target)
+        log.write_ctrl(0, STATE_CLEAN)
+        return "completed"
+    # ACTIVE (or CLEAN with nonzero tail — treat as active): roll back
+    for etype, target, data in reversed(log.entries(tail)):
+        if etype == ENTRY_DATA:
+            log.region.write(target, data)
+            log.region.persist(target, len(data))
+        elif etype == ENTRY_ALLOC and heap.is_allocated(target):
+            heap.free(target)
+    log.write_ctrl(0, STATE_CLEAN)
+    return "rolled_back"

@@ -1,0 +1,192 @@
+"""Native STREAM runners — measure the machine this code runs on.
+
+Two modes, mirroring the original's serial and OpenMP builds:
+
+* :func:`run_single` — one process, NumPy-vectorized kernels;
+* :func:`run_parallel` — N worker processes over ``multiprocessing``
+  shared memory, each owning a contiguous slice of the arrays (the
+  OpenMP static-chunking analogue), synchronized per kernel invocation
+  with barriers.
+
+Rates follow STREAM's reporting exactly: the *best* time over
+``ntimes - 1`` timed repetitions (the first is a warm-up), with the
+counted-bytes formula from :class:`repro.stream.config.StreamConfig`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.stream.config import StreamConfig
+from repro.stream.kernels import KERNELS, init_arrays
+from repro.stream.validation import check_stream_results
+
+_KERNEL_ORDER = ("copy", "scale", "add", "triad")
+
+
+@dataclass
+class NativeResult:
+    """Per-kernel timing like STREAM's output table."""
+
+    config: StreamConfig
+    n_threads: int
+    times: dict[str, list[float]] = field(default_factory=dict)
+
+    def best_rate_gbps(self, kernel: str) -> float:
+        """Best rate over the timed iterations (STREAM's headline number)."""
+        timed = self.times[kernel][1:]
+        return self.config.counted_bytes(kernel) / min(timed) / 1e9
+
+    def avg_time(self, kernel: str) -> float:
+        timed = self.times[kernel][1:]
+        return sum(timed) / len(timed)
+
+    def table(self) -> str:
+        lines = [f"{'Function':<10}{'BestRate GB/s':>14}{'AvgTime':>10}"
+                 f"{'MinTime':>10}{'MaxTime':>10}"]
+        for k in _KERNEL_ORDER:
+            timed = self.times[k][1:]
+            lines.append(
+                f"{k.capitalize():<10}{self.best_rate_gbps(k):>14.2f}"
+                f"{self.avg_time(k):>10.6f}{min(timed):>10.6f}"
+                f"{max(timed):>10.6f}"
+            )
+        return "\n".join(lines)
+
+
+def run_single(config: StreamConfig,
+               arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+               validate: bool = True) -> NativeResult:
+    """Single-threaded STREAM over (optionally caller-provided) arrays.
+
+    Passing ``arrays`` lets STREAM-PMem run the identical timing loop over
+    pool-backed views — the Listing-2 substitution.
+    """
+    if arrays is None:
+        a = np.empty(config.array_size, dtype=config.np_dtype)
+        b = np.empty_like(a)
+        c = np.empty_like(a)
+    else:
+        a, b, c = arrays
+        for name, arr in (("a", a), ("b", b), ("c", c)):
+            if arr.size != config.array_size:
+                raise BenchmarkError(
+                    f"array {name} has {arr.size} elements, expected "
+                    f"{config.array_size}"
+                )
+
+    init_arrays(a, b, c)
+    result = NativeResult(config, n_threads=1,
+                          times={k: [] for k in _KERNEL_ORDER})
+    for _ in range(config.ntimes):
+        for k in _KERNEL_ORDER:
+            t0 = time.perf_counter()
+            KERNELS[k](a, b, c, config.scalar)
+            result.times[k].append(time.perf_counter() - t0)
+    if validate:
+        check_stream_results(a, b, c, config)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# parallel runner
+# ---------------------------------------------------------------------------
+
+def _worker(names: tuple[str, str, str], dtype: str, n: int,
+            lo: int, hi: int, ntimes: int, scalar: float,
+            start_barrier, end_barrier) -> None:
+    shms = [shared_memory.SharedMemory(name=nm) for nm in names]
+    try:
+        dt = np.dtype(dtype)
+        a, b, c = (np.frombuffer(s.buf, dtype=dt, count=n) for s in shms)
+        av, bv, cv = a[lo:hi], b[lo:hi], c[lo:hi]
+        for _ in range(ntimes):
+            for k in _KERNEL_ORDER:
+                start_barrier.wait()
+                KERNELS[k](av, bv, cv, scalar)
+                end_barrier.wait()
+        del a, b, c, av, bv, cv
+    finally:
+        for s in shms:
+            s.close()
+
+
+def run_parallel(config: StreamConfig, n_workers: int,
+                 validate: bool = True) -> NativeResult:
+    """Multiprocess STREAM over shared memory.
+
+    Workers split the arrays into contiguous slices (first-touch style);
+    the parent times each kernel between the start and end barriers.
+
+    Raises:
+        BenchmarkError: fewer elements than workers.
+    """
+    if n_workers < 1:
+        raise BenchmarkError("need at least one worker")
+    if config.array_size < n_workers:
+        raise BenchmarkError(
+            f"{config.array_size} elements cannot be split across "
+            f"{n_workers} workers"
+        )
+
+    ctx = mp.get_context("fork")
+    nbytes = config.array_bytes
+    shms = [shared_memory.SharedMemory(create=True, size=nbytes)
+            for _ in range(3)]
+    procs: list = []
+    try:
+        dt = config.np_dtype
+        a, b, c = (np.frombuffer(s.buf, dtype=dt, count=config.array_size)
+                   for s in shms)
+        init_arrays(a, b, c)
+
+        start_barrier = ctx.Barrier(n_workers + 1)
+        end_barrier = ctx.Barrier(n_workers + 1)
+        bounds = np.linspace(0, config.array_size, n_workers + 1,
+                             dtype=np.int64)
+        names = tuple(s.name for s in shms)
+        for w in range(n_workers):
+            p = ctx.Process(
+                target=_worker,
+                args=(names, config.dtype, config.array_size,
+                      int(bounds[w]), int(bounds[w + 1]), config.ntimes,
+                      config.scalar, start_barrier, end_barrier),
+            )
+            p.daemon = True
+            p.start()
+            procs.append(p)
+
+        result = NativeResult(config, n_threads=n_workers,
+                              times={k: [] for k in _KERNEL_ORDER})
+        for _ in range(config.ntimes):
+            for k in _KERNEL_ORDER:
+                start_barrier.wait()
+                t0 = time.perf_counter()
+                end_barrier.wait()
+                result.times[k].append(time.perf_counter() - t0)
+
+        for p in procs:
+            p.join(timeout=60)
+            if p.is_alive():  # pragma: no cover - hang safety
+                p.terminate()
+                raise BenchmarkError("parallel STREAM worker hung")
+        if validate:
+            check_stream_results(a, b, c, config)
+        del a, b, c
+        return result
+    finally:
+        for p in procs:
+            if p.is_alive():   # pragma: no cover - error paths
+                p.terminate()
+        for s in shms:
+            s.close()
+            try:
+                s.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass

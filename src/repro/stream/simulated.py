@@ -1,0 +1,63 @@
+"""STREAM on the modelled testbeds — the figure-regenerating mode.
+
+Thin sweep layer over :func:`repro.memsim.engine.simulate_stream`:
+one call produces the bandwidth-vs-threads series that each subfigure of
+Figures 5–8 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.machine.affinity import AffinityMode, place_threads
+from repro.machine.numa import NumaPolicy
+from repro.machine.topology import Machine
+from repro.memsim.engine import AccessMode, StreamSimResult, simulate_stream
+from repro.stream.config import StreamConfig
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One bandwidth-vs-threads series."""
+
+    label: str
+    policy: NumaPolicy
+    mode: AccessMode
+    affinity: AffinityMode = AffinityMode.CLOSE
+    sockets: tuple[int, ...] | None = None
+
+
+def simulate_sweep(machine: Machine, kernel: str, spec: SweepSpec,
+                   thread_counts: Sequence[int],
+                   config: StreamConfig | None = None
+                   ) -> list[StreamSimResult]:
+    """Simulate one series across ``thread_counts``."""
+    cfg = config or StreamConfig.paper()
+    sockets = list(spec.sockets) if spec.sockets is not None else None
+    out: list[StreamSimResult] = []
+    for n in thread_counts:
+        cores = place_threads(machine, n, spec.affinity, sockets=sockets)
+        out.append(simulate_stream(
+            machine, kernel, cores, spec.policy, spec.mode,
+            array_elements=cfg.array_size,
+        ))
+    return out
+
+
+def sweep_result_table(series: dict[str, list[StreamSimResult]]) -> str:
+    """ASCII table: one row per thread count, one column per series."""
+    if not series:
+        return "(empty sweep)"
+    labels = list(series)
+    counts = [r.n_threads for r in series[labels[0]]]
+    widths = [max(10, len(lb) + 2) for lb in labels]
+    header = f"{'threads':>8}" + "".join(
+        f"{lb:>{w}}" for lb, w in zip(labels, widths))
+    lines = [header]
+    for i, n in enumerate(counts):
+        row = f"{n:>8}"
+        for lb, w in zip(labels, widths):
+            row += f"{series[lb][i].reported_gbps:>{w}.2f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""``checkSTREAMresults``, ported.
+
+STREAM tracks what the three arrays must equal after NTIMES iterations by
+evolving three scalars through the same operations, then compares the
+array averages against them with a dtype-dependent epsilon.  Identical
+logic here — it is the property every runner (native, parallel, pmem)
+must satisfy to count as a valid STREAM execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.stream.config import StreamConfig
+
+
+def expected_values(config: StreamConfig) -> tuple[float, float, float]:
+    """Evolve the scalar images of a, b, c through the benchmark."""
+    aj, bj, cj = 1.0, 2.0, 0.0
+    aj = 2.0 * aj                     # the post-init doubling
+    for _ in range(config.ntimes):
+        cj = aj                       # copy
+        bj = config.scalar * cj       # scale
+        cj = aj + bj                  # add
+        aj = bj + config.scalar * cj  # triad
+    return aj, bj, cj
+
+
+def _epsilon(dtype: np.dtype) -> float:
+    if dtype.itemsize == 4:
+        return 1.0e-6
+    return 1.0e-13
+
+
+def check_stream_results(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                         config: StreamConfig) -> None:
+    """Validate final array contents.
+
+    Raises:
+        ValidationError: any array's relative error exceeds epsilon,
+            with the same diagnostics STREAM prints (expected/observed
+            averages and the error magnitude).
+    """
+    aj, bj, cj = expected_values(config)
+    eps = _epsilon(config.np_dtype)
+    failures: list[str] = []
+    for name, arr, expect in (("a", a, aj), ("b", b, bj), ("c", c, cj)):
+        if arr.size != config.array_size:
+            raise ValidationError(
+                f"array {name} has {arr.size} elements, expected "
+                f"{config.array_size}"
+            )
+        avg_err = float(np.abs(arr - expect).mean() / abs(expect))
+        if avg_err > eps:
+            failures.append(
+                f"array {name}: expected {expect:.10g}, observed avg "
+                f"{float(arr.mean()):.10g}, rel err {avg_err:.3e} > {eps:g}"
+            )
+    if failures:
+        raise ValidationError(
+            "STREAM validation failed: " + "; ".join(failures)
+        )

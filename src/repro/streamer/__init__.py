@@ -1,0 +1,40 @@
+"""STREAMer — the automated benchmarking methodology the paper open-sources.
+
+"Finally, we open-sourced the entire benchmarking methodology as an
+easy-to-use and automated tool named STREAMer for future CXL memory device
+evaluations for HPC purposes."
+
+* :mod:`repro.streamer.configs` — the five test groups of Section 3.2
+  (Class 1 App-Direct a–c, Class 2 Memory Mode a–b) with the paper's
+  series annotations (symbol / active sockets / ``pmem#``/``numa#``);
+* :mod:`repro.streamer.runner` — executes sweeps on the modelled testbeds;
+* :mod:`repro.streamer.results` — result records, CSV round-tripping;
+* :mod:`repro.streamer.report` — the Figures 5–8 tables and the Figure 9
+  data-flow listing;
+* :mod:`repro.streamer.compare` — the quantitative paper-shape checks;
+* :mod:`repro.streamer.cli` — ``python -m repro.streamer`` / ``streamer``.
+"""
+
+from repro.streamer.configs import FIGURE_KERNELS, TestGroup, TestSeries, test_groups
+from repro.streamer.results import ResultRecord, ResultSet
+from repro.streamer.runner import StreamerRunner
+from repro.streamer.report import dataflow_report, figure_report, full_report
+from repro.streamer.compare import ClaimCheck, compare_to_paper
+from repro.streamer.plots import gnuplot_script, write_all_figures
+
+__all__ = [
+    "ClaimCheck",
+    "FIGURE_KERNELS",
+    "ResultRecord",
+    "ResultSet",
+    "StreamerRunner",
+    "TestGroup",
+    "TestSeries",
+    "compare_to_paper",
+    "dataflow_report",
+    "figure_report",
+    "full_report",
+    "gnuplot_script",
+    "test_groups",
+    "write_all_figures",
+]

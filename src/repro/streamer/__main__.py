@@ -1,0 +1,3 @@
+import sys
+from repro.streamer.cli import main
+sys.exit(main())

@@ -1,0 +1,210 @@
+"""The ``streamer`` command-line tool.
+
+Usage::
+
+    streamer run      [--figure N | --group ID] [--out results.csv] [-n SIZE]
+    streamer report   [--figure N] [--results results.csv]
+    streamer compare  [--results results.csv] [--kernel triad]
+    streamer dataflow
+    streamer describe
+
+``run`` without a stored-results file feeds straight into ``report`` /
+``compare``; with ``--out`` the CSV can be re-reported later without
+re-running.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.stream.config import StreamConfig
+from repro.streamer.compare import comparison_report
+from repro.streamer.configs import FIGURE_KERNELS
+from repro.streamer.report import dataflow_report, figure_report, full_report
+from repro.streamer.results import ResultSet
+from repro.streamer.runner import StreamerRunner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="streamer",
+        description="STREAMer — automated CXL/PMem bandwidth evaluation "
+                    "(reproduction of the SC'23 paper's tool)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run sweeps on the modelled testbeds")
+    run.add_argument("--figure", type=int, choices=sorted(FIGURE_KERNELS),
+                     help="regenerate one paper figure (5-8)")
+    run.add_argument("--group", help="run a single test group (1a..2b)")
+    run.add_argument("-n", "--array-size", type=int, default=None,
+                     help="STREAM array elements (default: the paper's 100M)")
+    run.add_argument("--out", help="write results CSV here")
+    run.add_argument("--gnuplot", metavar="DIR",
+                     help="emit gnuplot scripts for the swept figures here")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the report, print only a summary")
+
+    rep = sub.add_parser("report", help="render figure tables from a CSV")
+    rep.add_argument("--results", required=True, help="results CSV path")
+    rep.add_argument("--figure", type=int, choices=sorted(FIGURE_KERNELS))
+
+    cmp_ = sub.add_parser("compare",
+                          help="check the paper's Section-4 claims")
+    cmp_.add_argument("--results", help="results CSV (else: run now)")
+    cmp_.add_argument("--kernel", default="triad",
+                      choices=["copy", "scale", "add", "triad"])
+    cmp_.add_argument("--json", action="store_true",
+                      help="machine-readable verdicts (for CI gates)")
+
+    sub.add_parser("dataflow", help="print the Figure-9 data flows")
+    sub.add_parser("latency", help="print the idle-latency matrix")
+    sub.add_parser("describe", help="describe the modelled testbeds")
+
+    nat = sub.add_parser(
+        "native",
+        help="run STREAM on THIS machine (the tool's original purpose)")
+    nat.add_argument("-n", "--array-size", type=int, default=2_000_000)
+    nat.add_argument("-t", "--threads", type=int, default=1,
+                     help="worker processes (1 = single-threaded)")
+    nat.add_argument("--ntimes", type=int, default=10)
+    nat.add_argument("--pmem", metavar="URI",
+                     help="run STREAM-PMem over a pool at this URI "
+                          "(file://..., mem://SIZE)")
+
+    abl = sub.add_parser(
+        "ablation",
+        help="sweep the paper's proposed prototype upgrades")
+    abl.add_argument("--threads", type=int, default=10)
+    return p
+
+
+def _runner(args) -> StreamerRunner:
+    config = (StreamConfig(array_size=args.array_size)
+              if getattr(args, "array_size", None) else StreamConfig.paper())
+    return StreamerRunner(config=config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "run":
+        runner = _runner(args)
+        if args.group:
+            results = runner.run_group(args.group)
+        elif args.figure:
+            results = runner.run_figure(args.figure)
+        else:
+            results = runner.run_all()
+        if args.out:
+            results.to_csv(args.out)
+            print(f"wrote {len(results)} records to {args.out}")
+        if args.gnuplot:
+            from repro.streamer.plots import write_all_figures
+            for path in write_all_figures(results, args.gnuplot):
+                print(f"wrote {path}")
+        if not args.quiet:
+            figures = ([args.figure] if args.figure
+                       else sorted(FIGURE_KERNELS))
+            for f in figures:
+                kernel = FIGURE_KERNELS[f]
+                if results.filter(kernel=kernel):
+                    print(figure_report(results, f))
+                    print()
+        return 0
+
+    if args.command == "report":
+        results = ResultSet.from_csv(args.results)
+        if args.figure:
+            print(figure_report(results, args.figure))
+        else:
+            print(full_report(results))
+        return 0
+
+    if args.command == "compare":
+        if args.results:
+            results = ResultSet.from_csv(args.results)
+        else:
+            results = StreamerRunner().run_all(kernels=(args.kernel,))
+        if args.json:
+            import json
+
+            from repro.streamer.compare import compare_to_paper
+            checks = compare_to_paper(results, args.kernel)
+            doc = {
+                "kernel": args.kernel,
+                "passed": sum(c.passed for c in checks),
+                "total": len(checks),
+                "claims": [
+                    {"claim": c.claim, "expected": c.expected,
+                     "measured": c.measured, "passed": c.passed}
+                    for c in checks
+                ],
+            }
+            print(json.dumps(doc, indent=2))
+            return 0 if doc["passed"] == doc["total"] else 1
+        report = comparison_report(results, args.kernel)
+        print(report)
+        return 0 if "FAIL" not in report else 1
+
+    if args.command == "dataflow":
+        print(dataflow_report())
+        return 0
+
+    if args.command == "latency":
+        from repro.streamer.report import latency_report
+        print(latency_report())
+        return 0
+
+    if args.command == "describe":
+        from repro.machine.presets import setup1, setup2
+        for tb in (setup1(), setup2()):
+            print(f"## {tb.name}: {tb.description}")
+            print(tb.machine.describe())
+            print()
+        return 0
+
+    if args.command == "native":
+        from repro.stream.native import run_parallel, run_single
+        from repro.stream.pmem_stream import StreamPmem
+        cfg = StreamConfig(array_size=args.array_size, ntimes=args.ntimes)
+        print(f"native STREAM on this host: {cfg.describe()}")
+        if args.pmem:
+            sp = StreamPmem.create(args.pmem, cfg)
+            result = sp.run()
+            print(f"backend: {result.backend} "
+                  f"(persistent={result.persistent})")
+            print(result.native.table())
+            sp.close()
+        elif args.threads > 1:
+            print(run_parallel(cfg, args.threads).table())
+        else:
+            print(run_single(cfg).table())
+        return 0
+
+    if args.command == "ablation":
+        from repro.machine.affinity import place_threads
+        from repro.machine.dram import DDR4_3200, DDR5_5600
+        from repro.machine.numa import NumaPolicy
+        from repro.machine.presets import setup1_variant
+        from repro.memsim.engine import AccessMode, simulate_stream
+        variants = {
+            "baseline (DDR4-1333 x2ch)": {},
+            "media DDR4-3200": {"media_grade": DDR4_3200},
+            "media DDR5-5600": {"media_grade": DDR5_5600},
+            "channels 4": {"channels": 4},
+        }
+        print(f"{'variant':<28}{'triad GB/s':>12}")
+        for name, kw in variants.items():
+            tb = setup1_variant(**kw)
+            cores = place_threads(tb.machine, args.threads, sockets=[0])
+            r = simulate_stream(tb.machine, "triad", cores,
+                                NumaPolicy.bind(2), AccessMode.NUMA)
+            print(f"{name:<28}{r.reported_gbps:>12.2f}")
+        return 0
+
+    return 2    # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":     # pragma: no cover
+    sys.exit(main())

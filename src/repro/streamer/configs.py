@@ -1,0 +1,173 @@
+"""The paper's test configurations (Section 3.2).
+
+Five groups in two classes, each a set of bandwidth-vs-threads series:
+
+Class 1 — App-Direct (STREAM-PMem via PMDK):
+  1a  local memory access as PMem;
+  1b  remote memory access as PMem (alternate socket, and CXL);
+  1c  remote memory as PMem with ``close``/``spread`` thread affinity.
+
+Class 2 — Memory Mode (plain CC-NUMA):
+  2a  remote CC-NUMA from a single socket;
+  2b  remote CC-NUMA with all cores of both sockets.
+
+Series carry the paper's legend convention: the *symbol* distinguishes
+on-node DDR4 (▲), on-node DDR5 (●) and CXL-attached DDR4 (×); the *color*
+names the active sockets; the annotation is ``pmem#{0,1,2}`` or
+``numa#{0,1,2}`` for the accessed memory (0/1 = socket nodes, 2 = CXL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.affinity import AffinityMode
+from repro.machine.numa import NumaPolicy
+from repro.memsim.engine import AccessMode
+from repro.stream.simulated import SweepSpec
+
+#: figure number → STREAM kernel, as in the paper
+FIGURE_KERNELS: dict[int, str] = {5: "scale", 6: "add", 7: "copy", 8: "triad"}
+
+SYMBOL_DDR4 = "▲"      # on-node DDR4 (Setup #2)
+SYMBOL_DDR5 = "●"      # on-node DDR5 (Setup #1)
+SYMBOL_CXL = "×"       # CXL-attached DDR4 (Setup #1)
+
+
+@dataclass(frozen=True)
+class TestSeries:
+    """One trend line in one subfigure."""
+
+    key: str                  # stable id, e.g. "1b.cxl"
+    label: str                # paper-style legend, e.g. "s0->pmem#2 ×"
+    testbed: str              # "setup1" | "setup2"
+    symbol: str
+    spec: SweepSpec
+
+    @property
+    def memory_annotation(self) -> str:
+        return self.label.split("->")[-1].split()[0]
+
+
+@dataclass(frozen=True)
+class TestGroup:
+    """One subfigure: a set of series over a thread sweep."""
+
+    group_id: str
+    title: str
+    description: str
+    series: tuple[TestSeries, ...]
+    thread_counts: tuple[int, ...] = field(
+        default=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+
+
+def _ad(policy_node: int, *, sockets: tuple[int, ...] | None,
+        affinity: AffinityMode = AffinityMode.CLOSE) -> SweepSpec:
+    return SweepSpec(
+        label="",
+        policy=NumaPolicy.bind(policy_node),
+        mode=AccessMode.APP_DIRECT,
+        affinity=affinity,
+        sockets=sockets,
+    )
+
+
+def _numa(policy_node: int, *, sockets: tuple[int, ...] | None,
+          affinity: AffinityMode = AffinityMode.CLOSE) -> SweepSpec:
+    return SweepSpec(
+        label="",
+        policy=NumaPolicy.bind(policy_node),
+        mode=AccessMode.NUMA,
+        affinity=affinity,
+        sockets=sockets,
+    )
+
+
+def test_groups() -> dict[str, TestGroup]:
+    """All five groups, keyed '1a'..'2b'."""
+    both = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+            19, 20)
+
+    g1a = TestGroup(
+        group_id="1a",
+        title="Local memory access as PMem",
+        description=("Cores access their own socket's memory in App-Direct "
+                     "mode (STREAM-PMem baseline for the remote groups)"),
+        series=(
+            TestSeries("1a.ddr5", "s0->pmem#0 ● DDR5", "setup1", SYMBOL_DDR5,
+                       _ad(0, sockets=(0,))),
+            TestSeries("1a.ddr4", "s0->pmem#0 ▲ DDR4", "setup2", SYMBOL_DDR4,
+                       _ad(0, sockets=(0,))),
+        ),
+    )
+
+    g1b = TestGroup(
+        group_id="1b",
+        title="Remote memory access as PMem",
+        description=("Single-socket cores access remote memory in "
+                     "App-Direct mode: the alternate socket over UPI, and "
+                     "the CXL device"),
+        series=(
+            TestSeries("1b.ddr5", "s0->pmem#1 ● DDR5 (UPI)", "setup1",
+                       SYMBOL_DDR5, _ad(1, sockets=(0,))),
+            TestSeries("1b.cxl", "s0->pmem#2 × CXL-DDR4", "setup1",
+                       SYMBOL_CXL, _ad(2, sockets=(0,))),
+            TestSeries("1b.ddr4", "s0->pmem#1 ▲ DDR4 (UPI)", "setup2",
+                       SYMBOL_DDR4, _ad(1, sockets=(0,))),
+        ),
+    )
+
+    g1c = TestGroup(
+        group_id="1c",
+        title="Remote memory as PMem (thread affinity)",
+        description=("Cores of both sockets access one memory in App-Direct "
+                     "mode under close vs spread OpenMP affinity"),
+        series=(
+            TestSeries("1c.ddr5.close", "both->pmem#0 ● close", "setup1",
+                       SYMBOL_DDR5, _ad(0, sockets=(0, 1),
+                                        affinity=AffinityMode.CLOSE)),
+            TestSeries("1c.ddr5.spread", "both->pmem#0 ● spread", "setup1",
+                       SYMBOL_DDR5, _ad(0, sockets=(0, 1),
+                                        affinity=AffinityMode.SPREAD)),
+            TestSeries("1c.cxl.close", "both->pmem#2 × close", "setup1",
+                       SYMBOL_CXL, _ad(2, sockets=(0, 1),
+                                       affinity=AffinityMode.CLOSE)),
+            TestSeries("1c.cxl.spread", "both->pmem#2 × spread", "setup1",
+                       SYMBOL_CXL, _ad(2, sockets=(0, 1),
+                                       affinity=AffinityMode.SPREAD)),
+        ),
+        thread_counts=both,
+    )
+
+    g2a = TestGroup(
+        group_id="2a",
+        title="Remote CC-NUMA",
+        description=("Single-socket cores access remote memory as plain "
+                     "CC-NUMA (the PMem Memory-Mode analogue)"),
+        series=(
+            TestSeries("2a.ddr5", "s0->numa#1 ● DDR5 (UPI)", "setup1",
+                       SYMBOL_DDR5, _numa(1, sockets=(0,))),
+            TestSeries("2a.cxl", "s0->numa#2 × CXL-DDR4", "setup1",
+                       SYMBOL_CXL, _numa(2, sockets=(0,))),
+            TestSeries("2a.ddr4", "s0->numa#1 ▲ DDR4 (UPI)", "setup2",
+                       SYMBOL_DDR4, _numa(1, sockets=(0,))),
+        ),
+    )
+
+    g2b = TestGroup(
+        group_id="2b",
+        title="Remote CC-NUMA (all cores)",
+        description=("Cores of both sockets access one memory as CC-NUMA; "
+                     "workloads include remote accesses by construction"),
+        series=(
+            TestSeries("2b.ddr5", "both->numa#0 ● DDR5", "setup1",
+                       SYMBOL_DDR5, _numa(0, sockets=(0, 1))),
+            TestSeries("2b.cxl", "both->numa#2 × CXL-DDR4", "setup1",
+                       SYMBOL_CXL, _numa(2, sockets=(0, 1))),
+            TestSeries("2b.ddr4", "both->numa#1 ▲ DDR4", "setup2",
+                       SYMBOL_DDR4, _numa(1, sockets=(0, 1))),
+        ),
+        thread_counts=both,
+    )
+
+    return {g.group_id: g for g in (g1a, g1b, g1c, g2a, g2b)}

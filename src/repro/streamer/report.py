@@ -1,0 +1,108 @@
+"""Text reports: the Figures 5–8 tables and the Figure 9 data flows."""
+
+from __future__ import annotations
+
+from repro.machine.presets import Testbed, setup1, setup2
+from repro.streamer.configs import FIGURE_KERNELS, test_groups
+from repro.streamer.results import ResultSet
+
+
+def _group_table(results: ResultSet, group_id: str, kernel: str) -> str:
+    series = results.series_in(group_id, kernel)
+    if not series:
+        return f"(no data for group {group_id} / {kernel})"
+    labels = {}
+    for r in results:
+        if r.group == group_id and r.kernel == kernel:
+            labels[r.series] = r.label
+    curves = {s: dict(results.series_curve(s, kernel)) for s in series}
+    threads = sorted({n for c in curves.values() for n in c})
+    width = {s: max(12, len(labels[s]) + 2) for s in series}
+    lines = [f"{'threads':>8}" + "".join(
+        f"{labels[s]:>{width[s]}}" for s in series)]
+    for n in threads:
+        row = f"{n:>8}"
+        for s in series:
+            v = curves[s].get(n)
+            row += f"{v:>{width[s]}.2f}" if v is not None else " " * width[s]
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def figure_report(results: ResultSet, figure: int) -> str:
+    """One paper figure as text: the kernel's five group tables."""
+    kernel = FIGURE_KERNELS[figure]
+    groups = test_groups()
+    out = [f"=== Figure {figure}: {kernel.upper()} — STREAM bandwidth (GB/s) ==="]
+    for gid in sorted(groups):
+        g = groups[gid]
+        out.append("")
+        out.append(f"--- group {gid}: {g.title} ---")
+        out.append(g.description)
+        out.append(_group_table(results, gid, kernel))
+    return "\n".join(out)
+
+
+def full_report(results: ResultSet) -> str:
+    """All four figures."""
+    return "\n\n".join(figure_report(results, f)
+                       for f in sorted(FIGURE_KERNELS))
+
+
+def dataflow_report(testbeds: dict[str, Testbed] | None = None) -> str:
+    """Figure 9: the data flow of every test configuration.
+
+    Resolved from the actual topology routing, so this doubles as an
+    assertion that our modelled paths match the paper's arrows.
+    """
+    if testbeds is None:
+        testbeds = {"setup1": setup1(), "setup2": setup2()}
+    groups = test_groups()
+    lines = ["=== Figure 9: data flows per test group ==="]
+    for gid in sorted(groups):
+        g = groups[gid]
+        lines.append("")
+        lines.append(f"--- group {gid}: {g.title} ---")
+        for s in g.series:
+            tb = testbeds[s.testbed]
+            machine = tb.machine
+            node_id = s.spec.policy.nodes[0]
+            sockets = s.spec.sockets or tuple(sorted(machine.sockets))
+            for sid in sockets:
+                path = machine.route(sid, node_id)
+                lines.append(
+                    f"  {s.label:<28} [{s.testbed}] {path.describe()}"
+                )
+    return "\n".join(lines)
+
+
+def latency_report(testbeds: dict[str, Testbed] | None = None) -> str:
+    """Idle-latency matrix (socket × NUMA node) for both testbeds.
+
+    Two views: absolute nanoseconds from the machine model, and the
+    ACPI-SLIT-style relative distances an OS would publish.
+    """
+    if testbeds is None:
+        testbeds = {"setup1": setup1(), "setup2": setup2()}
+    lines = ["=== idle latency matrix (model, ns) ==="]
+    for name in sorted(testbeds):
+        tb = testbeds[name]
+        m = tb.machine
+        nodes = sorted(m.nodes)
+        lines.append(f"\n-- {name} --")
+        header = f"{'':>10}" + "".join(f"{'node' + str(n):>10}"
+                                       for n in nodes)
+        lines.append(header)
+        for sid in sorted(m.sockets):
+            row = f"{'socket' + str(sid):>10}"
+            for nid in nodes:
+                row += f"{m.route(sid, nid).latency_ns:>10.0f}"
+            lines.append(row)
+        lines.append("SLIT-style relative distances (local = 10):")
+        slit = m.distance_matrix()
+        for sid in sorted(m.sockets):
+            row = f"{'socket' + str(sid):>10}"
+            for nid in nodes:
+                row += f"{slit[(sid, nid)]:>10.1f}"
+            lines.append(row)
+    return "\n".join(lines)

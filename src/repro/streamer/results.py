@@ -1,0 +1,150 @@
+"""Result records and persistence for STREAMer sweeps."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, fields
+from typing import Iterable, Iterator
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One measured point: a (group, series, kernel, threads) cell."""
+
+    group: str
+    series: str
+    label: str
+    kernel: str
+    mode: str
+    testbed: str
+    n_threads: int
+    gbps: float
+
+    def key(self) -> tuple:
+        return (self.group, self.series, self.kernel, self.n_threads)
+
+
+class ResultSet:
+    """An ordered, queryable collection of result records."""
+
+    def __init__(self, records: Iterable[ResultRecord] = ()) -> None:
+        self._records: list[ResultRecord] = list(records)
+
+    def add(self, record: ResultRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ResultRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ResultRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def filter(self, group: str | None = None, series: str | None = None,
+               kernel: str | None = None,
+               n_threads: int | None = None) -> "ResultSet":
+        out = [
+            r for r in self._records
+            if (group is None or r.group == group)
+            and (series is None or r.series == series)
+            and (kernel is None or r.kernel == kernel)
+            and (n_threads is None or r.n_threads == n_threads)
+        ]
+        return ResultSet(out)
+
+    def series_curve(self, series: str, kernel: str) -> list[tuple[int, float]]:
+        """The (threads, GB/s) points of one trend, thread-ordered."""
+        pts = [(r.n_threads, r.gbps) for r in self._records
+               if r.series == series and r.kernel == kernel]
+        return sorted(pts)
+
+    def value(self, series: str, kernel: str, n_threads: int) -> float:
+        """One cell; raises if absent or ambiguous."""
+        hits = [r.gbps for r in self._records
+                if r.series == series and r.kernel == kernel
+                and r.n_threads == n_threads]
+        if not hits:
+            raise BenchmarkError(
+                f"no result for series={series} kernel={kernel} "
+                f"threads={n_threads}"
+            )
+        if len(hits) > 1:
+            raise BenchmarkError(
+                f"{len(hits)} results for series={series} kernel={kernel} "
+                f"threads={n_threads}"
+            )
+        return hits[0]
+
+    def max_value(self, series: str, kernel: str) -> float:
+        curve = self.series_curve(series, kernel)
+        if not curve:
+            raise BenchmarkError(f"empty series {series}/{kernel}")
+        return max(v for _, v in curve)
+
+    def saturation(self, series: str, kernel: str) -> float:
+        """Value at the highest measured thread count."""
+        curve = self.series_curve(series, kernel)
+        if not curve:
+            raise BenchmarkError(f"empty series {series}/{kernel}")
+        return curve[-1][1]
+
+    def groups(self) -> list[str]:
+        return sorted({r.group for r in self._records})
+
+    def kernels(self) -> list[str]:
+        return sorted({r.kernel for r in self._records})
+
+    def series_in(self, group: str, kernel: str) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self._records:
+            if r.group == group and r.kernel == kernel:
+                seen.setdefault(r.series)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # CSV round trip
+    # ------------------------------------------------------------------
+
+    _COLUMNS = [f.name for f in fields(ResultRecord)]
+
+    def to_csv(self, path: str | None = None) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self._COLUMNS)
+        for r in self._records:
+            writer.writerow([getattr(r, c) for c in self._COLUMNS])
+        text = buf.getvalue()
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    @classmethod
+    def from_csv(cls, source: str) -> "ResultSet":
+        """Load from CSV text or a file path."""
+        if "\n" not in source:
+            with open(source) as fh:
+                source = fh.read()
+        reader = csv.DictReader(io.StringIO(source))
+        records = []
+        for row in reader:
+            records.append(ResultRecord(
+                group=row["group"],
+                series=row["series"],
+                label=row["label"],
+                kernel=row["kernel"],
+                mode=row["mode"],
+                testbed=row["testbed"],
+                n_threads=int(row["n_threads"]),
+                gbps=float(row["gbps"]),
+            ))
+        return cls(records)

@@ -1,0 +1,90 @@
+"""Sweep execution: test groups × kernels × thread counts → results."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import BenchmarkError
+from repro.machine.presets import Testbed, setup1, setup2
+from repro.stream.config import StreamConfig
+from repro.stream.simulated import simulate_sweep
+from repro.streamer.configs import (
+    FIGURE_KERNELS,
+    TestGroup,
+    test_groups,
+)
+from repro.streamer.results import ResultRecord, ResultSet
+
+
+class StreamerRunner:
+    """Runs the paper's evaluation matrix on the modelled testbeds.
+
+    Testbeds are constructed once and shared across sweeps; a custom
+    mapping can be injected to run the same groups against prototype
+    variants (the ablation benches do exactly that).
+    """
+
+    def __init__(self, testbeds: dict[str, Testbed] | None = None,
+                 config: StreamConfig | None = None) -> None:
+        if testbeds is None:
+            testbeds = {"setup1": setup1(), "setup2": setup2()}
+        self.testbeds = testbeds
+        self.config = config or StreamConfig.paper()
+        self.groups = test_groups()
+
+    def _testbed(self, name: str) -> Testbed:
+        try:
+            return self.testbeds[name]
+        except KeyError:
+            raise BenchmarkError(
+                f"no testbed {name!r}; have {sorted(self.testbeds)}"
+            ) from None
+
+    def run_group(self, group: TestGroup | str,
+                  kernels: Iterable[str] = ("copy", "scale", "add", "triad"),
+                  ) -> ResultSet:
+        """Run one test group for the given kernels."""
+        if isinstance(group, str):
+            try:
+                group = self.groups[group]
+            except KeyError:
+                raise BenchmarkError(
+                    f"unknown test group {group!r}; have {sorted(self.groups)}"
+                ) from None
+        out = ResultSet()
+        for kernel in kernels:
+            for series in group.series:
+                tb = self._testbed(series.testbed)
+                results = simulate_sweep(
+                    tb.machine, kernel, series.spec, group.thread_counts,
+                    self.config)
+                for r in results:
+                    out.add(ResultRecord(
+                        group=group.group_id,
+                        series=series.key,
+                        label=series.label,
+                        kernel=kernel,
+                        mode=r.mode.value,
+                        testbed=series.testbed,
+                        n_threads=r.n_threads,
+                        gbps=round(r.reported_gbps, 4),
+                    ))
+        return out
+
+    def run_all(self, kernels: Iterable[str] = ("copy", "scale", "add",
+                                                "triad")) -> ResultSet:
+        """The full evaluation: every group, every kernel."""
+        out = ResultSet()
+        for gid in sorted(self.groups):
+            out.extend(self.run_group(self.groups[gid], kernels))
+        return out
+
+    def run_figure(self, figure: int) -> ResultSet:
+        """Regenerate one of Figures 5–8 (all five groups, one kernel)."""
+        try:
+            kernel = FIGURE_KERNELS[figure]
+        except KeyError:
+            raise BenchmarkError(
+                f"figure must be one of {sorted(FIGURE_KERNELS)}, got {figure}"
+            ) from None
+        return self.run_all(kernels=(kernel,))

@@ -1,0 +1,38 @@
+"""Scientific workloads on CXL persistent memory.
+
+The paper motivates PMem in HPC with two use cases (Section 1.2): fast
+storage for diagnostics / checkpoint-restart, and frameworks built on PMDK
+such as the NVM-ESR recovery model for iterative solvers (the authors' own
+reference [14]).  Its future work asks for "real-world applications beyond
+benchmarks".  This package supplies both:
+
+* :mod:`repro.workloads.checkpoint` — a transactional checkpoint manager
+  over any pmemobj pool (file, emulated, or CXL namespace);
+* :mod:`repro.workloads.heat2d` — a 2-D Jacobi heat solver with periodic
+  checkpointing and crash-restart;
+* :mod:`repro.workloads.solver` — conjugate-gradient and Jacobi solvers
+  (the compute substrate);
+* :mod:`repro.workloads.nvmesr` — exact-state recovery of a CG solver
+  from persistent memory, NVM-ESR style: after a crash the solver resumes
+  and produces bit-identical iterates.
+"""
+
+from repro.workloads.checkpoint import CheckpointManager
+from repro.workloads.diagnostics import DiagnosticRecord, DiagnosticsRecorder
+from repro.workloads.heat2d import HeatSolver2D
+from repro.workloads.solver import cg_solve, jacobi_solve, make_poisson_system
+from repro.workloads.nvmesr import RecoverableCG
+from repro.workloads.outofcore import FarMatrix, OutOfCoreMatmul
+
+__all__ = [
+    "CheckpointManager",
+    "DiagnosticRecord",
+    "DiagnosticsRecorder",
+    "HeatSolver2D",
+    "FarMatrix",
+    "OutOfCoreMatmul",
+    "RecoverableCG",
+    "cg_solve",
+    "jacobi_solve",
+    "make_poisson_system",
+]

@@ -1,0 +1,188 @@
+"""Transactional checkpoint/restart over persistent memory.
+
+The classic PMem-in-HPC use case (paper Section 1.2): application state is
+written to byte-addressable persistent memory instead of a parallel
+filesystem, with transactions guaranteeing that a crash *during*
+checkpointing never destroys the previous good checkpoint.
+
+A checkpoint is a named set of NumPy arrays plus a metadata dict.  The
+catalog is a :class:`repro.pmdk.containers.PersistentList` anchored at the
+pool root; each entry is a JSON document naming the arrays' PMEMoids.
+Writing a checkpoint of the same name replaces the old one atomically:
+the new data is fully persisted *before* the catalog flips, and the old
+arrays are freed in the same transaction.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import PmemError
+from repro.pmdk.containers import PersistentArray, PersistentList
+from repro.pmdk.oid import PMEMoid, SERIALIZED_SIZE
+from repro.pmdk.pool import PmemObjPool
+
+_ROOT_SIZE = SERIALIZED_SIZE     # root holds the catalog anchor oid
+LAYOUT = "checkpoints"
+
+
+class CheckpointManager:
+    """Checkpoint catalog over one pmemobj pool."""
+
+    def __init__(self, pool: PmemObjPool) -> None:
+        self.pool = pool
+        root = pool.root(_ROOT_SIZE)
+        anchor_oid = PMEMoid.unpack(pool.read(root, SERIALIZED_SIZE))
+        if anchor_oid.is_null:
+            catalog = PersistentList.create(pool)
+            pool.write(root, catalog.anchor.pack())
+            self.catalog = catalog
+        else:
+            self.catalog = PersistentList(pool, anchor_oid)
+
+    # ------------------------------------------------------------------
+    # catalog entries
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode_entry(name: str, step: int,
+                      arrays: dict[str, PMEMoid],
+                      meta: dict) -> bytes:
+        doc = {
+            "name": name,
+            "step": step,
+            "meta": meta,
+            "arrays": {k: {"uuid": oid.pool_uuid.hex(), "off": oid.offset}
+                       for k, oid in arrays.items()},
+        }
+        return json.dumps(doc).encode()
+
+    @staticmethod
+    def _decode_entry(raw: bytes) -> dict:
+        try:
+            doc = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise PmemError(f"corrupt checkpoint catalog entry: {exc}") from exc
+        if not isinstance(doc, dict) or "name" not in doc or \
+                not isinstance(doc.get("arrays"), dict):
+            raise PmemError(
+                f"corrupt checkpoint catalog entry: bad shape {doc!r}"
+            )
+        return doc
+
+    def _entries(self) -> list[dict]:
+        return [self._decode_entry(v) for v in self.catalog]
+
+    def list_checkpoints(self) -> list[tuple[str, int]]:
+        """All checkpoints as (name, step), newest first."""
+        return [(e["name"], e["step"]) for e in self._entries()]
+
+    # ------------------------------------------------------------------
+    # save / load
+    # ------------------------------------------------------------------
+
+    def save(self, name: str, arrays: dict[str, np.ndarray],
+             step: int = 0, meta: dict | None = None) -> None:
+        """Write a checkpoint; atomically replaces any same-named one.
+
+        The array *data* is written and persisted outside the transaction
+        (it may exceed any undo log).  The catalog flip — pushing the new
+        entry, unlinking the old one and freeing its arrays — happens in a
+        single transaction, so a crash at any point leaves exactly one
+        intact checkpoint under ``name``: the old one (flip not committed)
+        or the new one (committed).  New arrays orphaned before the flip
+        are reclaimed by :meth:`gc`.
+        """
+        if not arrays:
+            raise PmemError("a checkpoint needs at least one array")
+
+        new_oids: dict[str, PMEMoid] = {}
+        for key, values in arrays.items():
+            pa = PersistentArray.create(self.pool, values.shape,
+                                        values.dtype.str)
+            pa.write(np.ascontiguousarray(values), persist=True)
+            new_oids[key] = pa.oid
+
+        entry = self._encode_entry(name, step, new_oids, meta or {})
+        with self.pool.transaction() as tx:
+            self.catalog.push_front(entry)      # nests into tx
+            self._remove_named(name, tx, skip_matches=1)
+
+    def _find(self, name: str) -> dict | None:
+        for e in self._entries():
+            if e["name"] == name:
+                return e
+        return None
+
+    def _remove_named(self, name: str, tx, skip_matches: int = 0) -> bool:
+        """Unlink and free every ``name`` entry beyond the first
+        ``skip_matches`` matches, inside the caller's transaction."""
+        removed = False
+        matches = 0
+        for node in list(self.catalog.nodes()):
+            doc = self._decode_entry(self.catalog._node_value(node))
+            if doc["name"] != name:
+                continue
+            matches += 1
+            if matches <= skip_matches:
+                continue
+            for spec in doc["arrays"].values():
+                oid = PMEMoid(bytes.fromhex(spec["uuid"]), spec["off"])
+                if self.pool.heap.is_allocated(oid.offset):
+                    self.pool.tx_free(tx, oid)
+            self.catalog.unlink(node, tx)
+            removed = True
+        return removed
+
+    def load(self, name: str) -> tuple[dict[str, np.ndarray], int, dict]:
+        """Load a checkpoint → (arrays, step, meta).
+
+        Raises:
+            PmemError: no such checkpoint.
+        """
+        entry = self._find(name)
+        if entry is None:
+            raise PmemError(f"no checkpoint named {name!r}")
+        arrays: dict[str, np.ndarray] = {}
+        for key, spec in entry["arrays"].items():
+            oid = PMEMoid(bytes.fromhex(spec["uuid"]), spec["off"])
+            arrays[key] = PersistentArray.from_oid(self.pool, oid).read()
+        return arrays, int(entry["step"]), dict(entry["meta"])
+
+    def delete(self, name: str) -> None:
+        """Remove a checkpoint and free its arrays (one transaction)."""
+        with self.pool.transaction() as tx:
+            removed = self._remove_named(name, tx)
+        if not removed:
+            raise PmemError(f"no checkpoint named {name!r}")
+
+    # ------------------------------------------------------------------
+    # hygiene
+    # ------------------------------------------------------------------
+
+    def gc(self) -> int:
+        """Free allocated arrays not referenced by any catalog entry.
+
+        Returns the number of objects reclaimed.  This sweeps the leak
+        window of a crash between array persistence and the catalog flip.
+        """
+        live: set[int] = {self.catalog.anchor.offset}
+        root = self.pool.root_oid
+        if not root.is_null:
+            live.add(root.offset)
+        for node in self.catalog.nodes():
+            live.add(node.offset)
+        for e in self._entries():
+            for spec in e["arrays"].values():
+                live.add(int(spec["off"]))
+        freed = 0
+        from repro.pmdk.alloc import STATE_ALLOCATED
+        for chunk in list(self.pool.heap.chunks()):
+            if chunk.state != STATE_ALLOCATED:
+                continue
+            if chunk.payload_offset not in live:
+                self.pool.heap.free(chunk.payload_offset)
+                freed += 1
+        return freed

@@ -1,0 +1,99 @@
+"""Application diagnostics on persistent memory.
+
+The paper's second storage use case (Section 1.2): PMem as "a fast
+storage device … primarily for application diagnostics and checkpoint
+restart".  The checkpoint half lives in
+:mod:`repro.workloads.checkpoint`; this module covers diagnostics: a
+solver appends one record per step to a :class:`repro.pmdk.pmemlog.PmemLog`
+(on a file, or a CXL namespace), each append failure-atomic, and after a
+crash the surviving records are a clean prefix of the run — exactly what
+post-mortem analysis needs.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import PmemError
+from repro.pmdk.pmem import PmemRegion
+from repro.pmdk.pmemlog import PmemLog
+
+_REC_MAGIC = 0xD1A6
+
+
+@dataclass(frozen=True)
+class DiagnosticRecord:
+    """One decoded diagnostics record."""
+
+    step: int
+    metrics: dict[str, float]
+
+    def pack(self) -> bytes:
+        body = json.dumps(self.metrics, sort_keys=True).encode()
+        return struct.pack("<HIH", _REC_MAGIC, self.step, len(body)) + body
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "DiagnosticRecord":
+        if len(raw) < 8:
+            raise PmemError("short diagnostics record")
+        magic, step, length = struct.unpack_from("<HIH", raw)
+        if magic != _REC_MAGIC:
+            raise PmemError("not a diagnostics record")
+        body = raw[8:8 + length]
+        return cls(step, json.loads(body.decode()))
+
+
+class DiagnosticsRecorder:
+    """Append-only run diagnostics over a pmem region."""
+
+    def __init__(self, log: PmemLog) -> None:
+        self.log = log
+
+    @classmethod
+    def create(cls, region: PmemRegion) -> "DiagnosticsRecorder":
+        return cls(PmemLog.create(region))
+
+    @classmethod
+    def open(cls, region: PmemRegion) -> "DiagnosticsRecorder":
+        return cls(PmemLog.open(region))
+
+    def record(self, step: int, **metrics: Any) -> None:
+        """Append one step's metrics (floats only), failure-atomically.
+
+        Raises:
+            PmemError: the log is full (callers may rotate via
+                :meth:`truncate`), or a non-numeric metric was passed.
+        """
+        clean: dict[str, float] = {}
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float)):
+                raise PmemError(
+                    f"diagnostic metric {key!r} must be numeric, "
+                    f"got {type(value).__name__}"
+                )
+            clean[key] = float(value)
+        self.log.append(DiagnosticRecord(step, clean).pack())
+
+    def replay(self) -> list[DiagnosticRecord]:
+        """All surviving records, in step order of appends."""
+        return [DiagnosticRecord.unpack(raw) for raw in self.log.walk()]
+
+    def last_step(self) -> int | None:
+        records = self.replay()
+        return records[-1].step if records else None
+
+    def series(self, metric: str) -> list[tuple[int, float]]:
+        """(step, value) pairs for one metric, skipping absent steps."""
+        return [(r.step, r.metrics[metric]) for r in self.replay()
+                if metric in r.metrics]
+
+    def truncate(self) -> None:
+        """Drop everything (log rotation after archiving)."""
+        self.log.rewind()
+
+    @property
+    def utilization(self) -> float:
+        return self.log.tell() / self.log.capacity

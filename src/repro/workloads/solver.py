@@ -1,0 +1,116 @@
+"""Iterative linear solvers — the compute substrate for the recovery demos.
+
+Dense/sparse-agnostic conjugate gradient and Jacobi iterations over NumPy,
+plus a standard 2-D Poisson test system.  Deterministic (no RNG inside the
+iteration), which is what makes the NVM-ESR exact-state recovery claim
+testable: resumed runs must reproduce the uninterrupted iterates exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def make_poisson_system(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """The classic 2-D Poisson five-point system on an n×n interior grid.
+
+    Returns (A, b) with A SPD of size (n², n²).  Small n only — this is a
+    dense teaching matrix for the solver demos, not a PDE package.
+    """
+    if n < 2:
+        raise ReproError("grid must be at least 2x2")
+    m = n * n
+    A = np.zeros((m, m))
+    for i in range(n):
+        for j in range(n):
+            k = i * n + j
+            A[k, k] = 4.0
+            if i > 0:
+                A[k, k - n] = -1.0
+            if i < n - 1:
+                A[k, k + n] = -1.0
+            if j > 0:
+                A[k, k - 1] = -1.0
+            if j < n - 1:
+                A[k, k + 1] = -1.0
+    rng = np.random.default_rng(42)
+    b = rng.standard_normal(m)
+    return A, b
+
+
+@dataclass
+class SolveResult:
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    residual_history: list[float]
+
+
+def _validate(A: np.ndarray, b: np.ndarray) -> None:
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ReproError(f"A must be square, got {A.shape}")
+    if b.shape != (A.shape[0],):
+        raise ReproError(f"b must be ({A.shape[0]},), got {b.shape}")
+
+
+def cg_solve(A: np.ndarray, b: np.ndarray, x0: np.ndarray | None = None,
+             tol: float = 1e-10, max_iter: int | None = None) -> SolveResult:
+    """Conjugate gradient for SPD systems."""
+    _validate(A, b)
+    n = b.shape[0]
+    max_iter = max_iter if max_iter is not None else 10 * n
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    r = b - A @ x
+    p = r.copy()
+    rs = float(r @ r)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.sqrt(rs))]
+
+    k = 0
+    while k < max_iter and np.sqrt(rs) / bnorm > tol:
+        Ap = A @ p
+        alpha = rs / float(p @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = float(r @ r)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+        history.append(float(np.sqrt(rs)))
+        k += 1
+
+    return SolveResult(
+        x=x,
+        iterations=k,
+        residual_norm=float(np.sqrt(rs)),
+        converged=np.sqrt(rs) / bnorm <= tol,
+        residual_history=history,
+    )
+
+
+def jacobi_solve(A: np.ndarray, b: np.ndarray,
+                 x0: np.ndarray | None = None, tol: float = 1e-8,
+                 max_iter: int = 10_000) -> SolveResult:
+    """Jacobi iteration (requires non-zero diagonal; converges for
+    diagonally dominant systems such as the Poisson matrix)."""
+    _validate(A, b)
+    d = np.diag(A)
+    if np.any(d == 0.0):
+        raise ReproError("Jacobi needs a non-zero diagonal")
+    R = A - np.diagflat(d)
+    x = np.zeros_like(b) if x0 is None else x0.astype(float).copy()
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history: list[float] = []
+
+    for k in range(1, max_iter + 1):
+        x = (b - R @ x) / d
+        res = float(np.linalg.norm(b - A @ x))
+        history.append(res)
+        if res / bnorm <= tol:
+            return SolveResult(x, k, res, True, history)
+    return SolveResult(x, max_iter, history[-1] if history else np.inf,
+                       False, history)

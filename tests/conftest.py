@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Testbed construction walks the full preset wiring (sockets, UPI, CXL
+device, host bridge); it is cheap but not free, so the module-scoped
+fixtures build each testbed once per test module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.presets import setup1, setup2
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import PmemObjPool
+from repro.stream.config import StreamConfig
+
+POOL_BYTES = 8 * 1024 * 1024
+
+
+@pytest.fixture()
+def volatile_region() -> VolatileRegion:
+    return VolatileRegion(POOL_BYTES)
+
+
+@pytest.fixture()
+def pool(volatile_region) -> PmemObjPool:
+    p = PmemObjPool.create(volatile_region, layout="test")
+    yield p
+    if not p._closed:
+        p.close()
+
+
+@pytest.fixture()
+def file_pool(tmp_path):
+    path = str(tmp_path / "test.pool")
+    p = PmemObjPool.create(path, layout="test", size=POOL_BYTES)
+    yield p, path
+    if not p._closed:
+        p.close()
+
+
+@pytest.fixture(scope="module")
+def tb1():
+    """Setup #1 (SPR + DDR5 + CXL prototype)."""
+    return setup1()
+
+
+@pytest.fixture(scope="module")
+def tb2():
+    """Setup #2 (Xeon Gold + DDR4)."""
+    return setup2()
+
+
+@pytest.fixture()
+def small_config() -> StreamConfig:
+    return StreamConfig(array_size=50_000, ntimes=3)

@@ -1,0 +1,92 @@
+"""The DCPMM→CXL migration planner (Figure 1)."""
+
+import pytest
+
+from repro.core.migration import (
+    MigrationPlanner,
+    PmemWorkload,
+)
+from repro.errors import ReproError
+from repro.machine.presets import setup1, setup1_variant, setup2
+
+GB = 10 ** 9
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return MigrationPlanner(setup1())
+
+
+class TestWorkloadValidation:
+    def test_modes(self):
+        PmemWorkload(GB, "app-direct")
+        PmemWorkload(GB, "memory-mode")
+        with pytest.raises(ReproError):
+            PmemWorkload(GB, "dax")
+
+    def test_capacity_positive(self):
+        with pytest.raises(ReproError):
+            PmemWorkload(0, "app-direct")
+
+    def test_sharing_positive(self):
+        with pytest.raises(ReproError):
+            PmemWorkload(GB, "app-direct", shared_across_nodes=0)
+
+
+class TestPlanning:
+    def test_feasible_plan_has_ordered_steps(self, planner):
+        plan = planner.plan(PmemWorkload(4 * GB, "app-direct"))
+        assert plan.feasible
+        assert [s.order for s in plan.steps] == list(
+            range(1, len(plan.steps) + 1))
+
+    def test_bandwidth_gains_vs_dcpmm(self, planner):
+        plan = planner.plan(PmemWorkload(4 * GB, "app-direct"))
+        # reads improve modestly, writes dramatically (DCPMM writes: 2.3)
+        assert plan.read_bw_gain > 1.5
+        assert plan.write_bw_gain > 4.0
+
+    def test_app_direct_plan_mentions_uri_remap(self, planner):
+        plan = planner.plan(PmemWorkload(4 * GB, "app-direct"))
+        assert any("cxl://" in s.detail for s in plan.steps)
+
+    def test_memory_mode_plan_mentions_numa(self, planner):
+        plan = planner.plan(PmemWorkload(4 * GB, "memory-mode"))
+        assert any("CC-NUMA" in s.detail or "NumaPolicy" in s.detail
+                   for s in plan.steps)
+
+    def test_shared_workload_adds_coherence_step(self, planner):
+        plan = planner.plan(PmemWorkload(4 * GB, "app-direct",
+                                         shared_across_nodes=2))
+        assert any("SharedSegment" in s.detail for s in plan.steps)
+
+    def test_capacity_blocker(self, planner):
+        plan = planner.plan(PmemWorkload(64 * GB, "app-direct"))
+        assert not plan.feasible
+        assert any("GB" in b for b in plan.blockers)
+
+    def test_bandwidth_blocker(self, planner):
+        plan = planner.plan(PmemWorkload(4 * GB, "app-direct",
+                                         min_read_gbps=50.0))
+        assert not plan.feasible
+
+    def test_bandwidth_blocker_lifted_by_variant(self):
+        from repro.machine.dram import DDR5_5600
+        fast = MigrationPlanner(setup1_variant(media_grade=DDR5_5600,
+                                               channels=4))
+        plan = fast.plan(PmemWorkload(4 * GB, "app-direct",
+                                      min_read_gbps=50.0))
+        assert plan.feasible
+
+    def test_many_nodes_needs_a_switch(self, planner):
+        plan = planner.plan(PmemWorkload(4 * GB, "app-direct",
+                                         shared_across_nodes=8))
+        assert any("switch" in b for b in plan.blockers)
+
+    def test_no_cxl_testbed_rejected(self):
+        with pytest.raises(ReproError):
+            MigrationPlanner(setup2()).plan(PmemWorkload(GB, "app-direct"))
+
+    def test_describe_renders(self, planner):
+        text = planner.plan(PmemWorkload(4 * GB, "app-direct")).describe()
+        assert "Migration plan" in text and "bandwidth" in text

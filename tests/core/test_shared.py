@@ -1,0 +1,151 @@
+"""Shared far memory: locks, publish/acquire, stale caches."""
+
+import pytest
+
+from repro.core.shared import HEADER_BYTES, FarMemoryLock, SharedSegment
+from repro.errors import CoherenceError
+from repro.pmdk.pmem import VolatileRegion
+
+
+@pytest.fixture()
+def segment() -> SharedSegment:
+    return SharedSegment(VolatileRegion(64 * 1024))
+
+
+class TestFarMemoryLock:
+    def test_acquire_release(self, segment):
+        lock = segment.lock
+        lock.acquire(1)
+        assert lock.owner == 1
+        lock.release(1)
+        assert lock.owner == 0
+
+    def test_contention_rejected(self, segment):
+        segment.lock.acquire(1)
+        with pytest.raises(CoherenceError):
+            segment.lock.acquire(2)
+
+    def test_reacquire_by_owner_rejected(self, segment):
+        segment.lock.acquire(1)
+        with pytest.raises(CoherenceError):
+            segment.lock.acquire(1)
+
+    def test_release_by_non_owner_rejected(self, segment):
+        segment.lock.acquire(1)
+        with pytest.raises(CoherenceError):
+            segment.lock.release(2)
+
+    def test_publish_bumps_version(self, segment):
+        v0 = segment.lock.version
+        segment.lock.acquire(1)
+        assert segment.lock.release(1, publish=True) == v0 + 1
+
+    def test_release_without_publish_keeps_version(self, segment):
+        v0 = segment.lock.version
+        segment.lock.acquire(1)
+        segment.lock.release(1, publish=False)
+        assert segment.lock.version == v0
+
+    def test_force_release_after_crash(self, segment):
+        segment.lock.acquire(3)
+        segment.lock.force_release(3)
+        assert segment.lock.owner == 0
+
+    def test_force_release_validates_owner(self, segment):
+        segment.lock.acquire(3)
+        with pytest.raises(CoherenceError):
+            segment.lock.force_release(4)
+
+    def test_node_ids_one_based(self, segment):
+        with pytest.raises(CoherenceError):
+            segment.lock.acquire(0)
+
+    def test_corrupted_lock_word_detected(self):
+        region = VolatileRegion(4096)
+        seg = SharedSegment(region)
+        region.write(0, b"\xff" * 20)
+        with pytest.raises(CoherenceError):
+            FarMemoryLock(region).owner
+
+
+class TestCoherenceProtocol:
+    def test_handoff_transfers_data(self, segment):
+        v1 = segment.attach(1)
+        v2 = segment.attach(2)
+        v1.acquire()
+        v1.write(0, b"from node 1")
+        v1.release()
+        v2.refresh()
+        assert v2.read(0, 11) == b"from node 1"
+
+    def test_stale_cache_shows_old_data(self, segment):
+        v1 = segment.attach(1)
+        v2 = segment.attach(2)
+        # node 2 reads first (caches zeroes)
+        assert v2.read(0, 5) == b"\x00" * 5
+        v1.acquire()
+        v1.write(0, b"NEWER")
+        v1.release()
+        # without refresh: stale — the exact hazard the paper warns about
+        assert v2.read(0, 5) == b"\x00" * 5
+        assert v2.refresh() is True
+        assert v2.read(0, 5) == b"NEWER"
+
+    def test_write_without_lock_rejected(self, segment):
+        v1 = segment.attach(1)
+        with pytest.raises(CoherenceError):
+            v1.write(0, b"rogue write")
+
+    def test_writer_sees_own_writes(self, segment):
+        v1 = segment.attach(1)
+        v1.acquire()
+        v1.write(0, b"mine")
+        assert v1.read(0, 4) == b"mine"
+        v1.release()
+
+    def test_refresh_without_publish_is_noop(self, segment):
+        v1 = segment.attach(1)
+        v1.refresh()
+        assert v1.refresh() is False
+
+    def test_ping_pong_handoffs(self, segment):
+        v1, v2 = segment.attach(1), segment.attach(2)
+        for round_no in range(5):
+            writer, reader = (v1, v2) if round_no % 2 == 0 else (v2, v1)
+            writer.refresh()
+            writer.acquire()
+            writer.write(0, bytes([round_no]) * 8)
+            writer.release()
+            reader.refresh()
+            assert reader.read(0, 8) == bytes([round_no]) * 8
+
+    def test_data_offset_bounds(self, segment):
+        v1 = segment.attach(1)
+        with pytest.raises(CoherenceError):
+            v1.read(segment.data_size, 1)
+        with pytest.raises(CoherenceError):
+            v1.read(-1, 1)
+
+
+class TestAttachment:
+    def test_duplicate_attach_rejected(self, segment):
+        segment.attach(1)
+        with pytest.raises(CoherenceError):
+            segment.attach(1)
+
+    def test_detach_releases_held_lock(self, segment):
+        v1 = segment.attach(1)
+        v1.acquire()
+        segment.detach(1)
+        assert segment.lock.owner == 0
+
+    def test_detach_unknown_rejected(self, segment):
+        with pytest.raises(CoherenceError):
+            segment.detach(7)
+
+    def test_segment_too_small_rejected(self):
+        with pytest.raises(CoherenceError):
+            SharedSegment(VolatileRegion(HEADER_BYTES))
+
+    def test_data_size_excludes_header(self, segment):
+        assert segment.data_size == segment.size - HEADER_BYTES

@@ -1,0 +1,134 @@
+"""Memory-Mode tiering: page cache, traces, policy translation."""
+
+import pytest
+
+from repro.core.tiering import (
+    MemoryModeTier,
+    PageCache,
+    sequential_trace,
+    strided_trace,
+    zipf_trace,
+)
+from repro.errors import SimulationError
+from repro.machine.numa import PolicyKind
+
+
+class TestPageCache:
+    def test_hit_after_fill(self):
+        c = PageCache(4)
+        assert not c.access(1)
+        assert c.access(1)
+        assert c.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        c = PageCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)          # 1 becomes MRU
+        c.access(3)          # evicts 2
+        assert c.access(1)
+        assert not c.access(2)
+        assert c.evictions >= 1
+
+    def test_capacity_bound(self):
+        c = PageCache(8)
+        for p in range(100):
+            c.access(p)
+        assert c.resident_pages == 8
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PageCache(0)
+
+
+class TestTraces:
+    def test_sequential_wraps(self):
+        pages = list(sequential_trace(4, 10))
+        assert pages == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_zipf_is_skewed(self):
+        pages = list(zipf_trace(1000, 5000, alpha=1.5, seed=1))
+        # the most popular page dominates
+        top = max(set(pages), key=pages.count)
+        assert pages.count(top) > len(pages) * 0.2
+
+    def test_zipf_deterministic(self):
+        a = list(zipf_trace(100, 200, seed=7))
+        b = list(zipf_trace(100, 200, seed=7))
+        assert a == b
+
+    def test_zipf_validation(self):
+        with pytest.raises(SimulationError):
+            list(zipf_trace(10, 10, alpha=1.0))
+
+    def test_strided(self):
+        assert list(strided_trace(8, 4, 3)) == [0, 3, 6, 1]
+        with pytest.raises(SimulationError):
+            list(strided_trace(8, 4, 0))
+
+
+class TestMemoryModeTier:
+    def _tier(self, tb1, capacity_pages=64):
+        return MemoryModeTier(tb1.machine, near_node=0, far_node=2,
+                              near_capacity_bytes=capacity_pages * 4096)
+
+    def test_streaming_defeats_the_cache(self, tb1):
+        tier = self._tier(tb1, capacity_pages=16)
+        profile = tier.run_trace(sequential_trace(1000, 5000))
+        assert profile.hit_rate < 0.01
+
+    def test_hot_set_mostly_hits(self, tb1):
+        tier = self._tier(tb1, capacity_pages=256)
+        profile = tier.run_trace(zipf_trace(10_000, 20_000, alpha=1.4,
+                                            seed=3))
+        assert profile.hit_rate > 0.5
+
+    def test_working_set_within_cache_hits_fully(self, tb1):
+        tier = self._tier(tb1, capacity_pages=64)
+        tier.run_trace(sequential_trace(32, 3200))
+        assert tier.cache.hit_rate > 0.98
+
+    def test_effective_policy_kinds(self, tb1):
+        cold = self._tier(tb1, capacity_pages=16)
+        cold.run_trace(sequential_trace(1000, 1000))   # ~0% hits
+        pol = cold.effective_policy()
+        assert pol.kind in (PolicyKind.BIND, PolicyKind.WEIGHTED)
+
+        warm = self._tier(tb1, capacity_pages=64)
+        warm.run_trace(sequential_trace(32, 640))
+        pol = warm.effective_policy()
+        # mostly hits → near node dominates
+        targets = pol.targets_for(tb1.machine,
+                                  tb1.machine.socket(0).cores[0])
+        assert targets.get(0, 0.0) > 0.85
+
+    def test_effective_latency_between_extremes(self, tb1):
+        tier = self._tier(tb1, capacity_pages=64)
+        tier.run_trace(zipf_trace(500, 4000, alpha=1.3, seed=5))
+        near = tb1.machine.route(0, 0).latency_ns
+        far = tb1.machine.route(0, 2).latency_ns
+        assert near <= tier.effective_latency_ns(0) <= far
+
+    def test_higher_hit_rate_raises_memory_mode_bandwidth(self, tb1):
+        """The Memory-Mode promise: the DRAM cache recovers bandwidth
+        in proportion to locality."""
+        from repro.machine.affinity import place_threads
+        from repro.memsim.engine import simulate_stream
+
+        cold = self._tier(tb1, capacity_pages=16)
+        cold.run_trace(sequential_trace(4000, 8000))
+        warm = self._tier(tb1, capacity_pages=2048)
+        warm.run_trace(zipf_trace(2000, 20_000, alpha=1.5, seed=2))
+
+        cores = place_threads(tb1.machine, 8, sockets=[0])
+        bw_cold = simulate_stream(tb1.machine, "triad", cores,
+                                  cold.effective_policy()).reported_gbps
+        bw_warm = simulate_stream(tb1.machine, "triad", cores,
+                                  warm.effective_policy()).reported_gbps
+        assert bw_warm > bw_cold
+
+    def test_validation(self, tb1):
+        with pytest.raises(SimulationError):
+            MemoryModeTier(tb1.machine, 0, 0, 1 << 20)
+        with pytest.raises(SimulationError):
+            MemoryModeTier(tb1.machine, 0, 2, 1 << 20, page_bytes=100)

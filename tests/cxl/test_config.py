@@ -1,0 +1,131 @@
+"""CXL.io config space and DVSEC discovery."""
+
+import pytest
+
+from repro import units
+from repro.cxl.config import (
+    CAP_ID_DVSEC,
+    CXL_DVSEC_VENDOR,
+    DVSEC_CXL_DEVICE,
+    DVSEC_FLEX_BUS,
+    DVSEC_GPF_DEVICE,
+    VENDOR_INTEL,
+    ConfigSpace,
+    build_config_space,
+    identify_cxl_function,
+    walk_dvsecs,
+)
+from repro.cxl.device import MediaController, Type3Device
+from repro.cxl.spec import CxlVersion, DeviceType
+from repro.errors import CxlEnumerationError
+from repro.machine.dram import DDR4_1333
+
+
+def _cs(device_type=DeviceType.TYPE3, version=CxlVersion.CXL_2_0,
+        gpf=True) -> ConfigSpace:
+    return build_config_space(0x0DDC, device_type, version, gpf)
+
+
+class TestRegisterFile:
+    def test_reads_are_little_endian(self):
+        cs = ConfigSpace()
+        cs.write32(0x10, 0x11223344)
+        assert cs.read16(0x10) == 0x3344
+        assert cs.read16(0x12) == 0x1122
+
+    def test_alignment_enforced(self):
+        cs = ConfigSpace()
+        with pytest.raises(CxlEnumerationError):
+            cs.read32(0x11)
+        with pytest.raises(CxlEnumerationError):
+            cs.read16(0x03)
+
+    def test_bounds_enforced(self):
+        cs = ConfigSpace()
+        with pytest.raises(CxlEnumerationError):
+            cs.read32(4096)
+
+
+class TestBuildAndWalk:
+    def test_standard_header(self):
+        cs = _cs()
+        assert cs.vendor_id == VENDOR_INTEL
+        assert cs.device_id == 0x0DDC
+        assert cs.class_code >> 8 == 0x0502   # memory controller / CXL
+
+    def test_dvsec_chain_complete(self):
+        dvsecs = walk_dvsecs(_cs())
+        ids = {d.dvsec_id for d in dvsecs}
+        assert ids == {DVSEC_CXL_DEVICE, DVSEC_FLEX_BUS, DVSEC_GPF_DEVICE}
+        assert all(d.vendor == CXL_DVSEC_VENDOR for d in dvsecs)
+
+    def test_no_gpf_no_dvsec(self):
+        ids = {d.dvsec_id for d in walk_dvsecs(_cs(gpf=False))}
+        assert DVSEC_GPF_DEVICE not in ids
+
+    def test_loop_detection(self):
+        cs = _cs()
+        # rewrite the first capability header to point at itself
+        cs.write32(0x100, CAP_ID_DVSEC | (1 << 16) | (0x100 << 20))
+        with pytest.raises(CxlEnumerationError):
+            walk_dvsecs(cs)
+
+    def test_empty_space_has_no_dvsecs(self):
+        assert walk_dvsecs(ConfigSpace()) == []
+
+
+class TestIdentify:
+    def test_type3_identity(self):
+        ident = identify_cxl_function(_cs())
+        assert ident is not None
+        assert ident.device_type is DeviceType.TYPE3
+        assert ident.version is CxlVersion.CXL_2_0
+        assert ident.gpf_supported
+
+    def test_plain_pcie_function_is_none(self):
+        assert identify_cxl_function(ConfigSpace()) is None
+
+    @pytest.mark.parametrize("version", list(CxlVersion))
+    def test_flex_bus_version_roundtrip(self, version):
+        ident = identify_cxl_function(_cs(version=version))
+        assert ident.version is version
+
+    @pytest.mark.parametrize("dtype", list(DeviceType))
+    def test_device_type_roundtrip(self, dtype):
+        ident = identify_cxl_function(_cs(device_type=dtype))
+        assert ident.device_type is dtype
+
+    def test_missing_device_dvsec_rejected(self):
+        cs = _cs()
+        # corrupt the Device DVSEC id field
+        first = walk_dvsecs(cs)[0]
+        cs.write16(first.offset + 8, 0x7777)
+        with pytest.raises(CxlEnumerationError):
+            identify_cxl_function(cs)
+
+
+class TestDeviceIntegration:
+    def _device(self, gpf=True) -> Type3Device:
+        media = MediaController("m", DDR4_1333, 2, 2, units.mib(64),
+                                0.6, 130.0)
+        return Type3Device("cfg-dut", media, gpf_supported=gpf,
+                           serial=0xBEEF)
+
+    def test_device_builds_its_config_space(self):
+        dev = self._device()
+        ident = identify_cxl_function(dev.config_space)
+        assert ident.device_type is DeviceType.TYPE3
+        assert dev.config_space.device_id == 0xBEEF
+
+    def test_gpf_capability_matches_device(self):
+        assert identify_cxl_function(
+            self._device(gpf=True).config_space).gpf_supported
+        assert not identify_cxl_function(
+            self._device(gpf=False).config_space).gpf_supported
+
+    def test_enumeration_reports_cxl_version(self):
+        from repro.machine.presets import setup1
+        from repro.cxl.enumeration import _identify
+        tb = setup1()
+        payload = _identify(tb.cxl_devices[0])
+        assert payload["cxl_version"] == "2.0"

@@ -1,0 +1,129 @@
+"""CXL.io enumeration across bridges, ports and switches."""
+
+import pytest
+
+from repro import units
+from repro.cxl.device import MediaController, Type3Device
+from repro.cxl.enumeration import enumerate_endpoints
+from repro.cxl.link import CxlLink
+from repro.cxl.port import HostBridge, RootPort
+from repro.cxl.spec import CxlVersion
+from repro.cxl.switch import CxlSwitch, MultiLogicalDevice
+from repro.errors import CxlError
+from repro.machine.dram import DDR4_1333
+
+
+def _device(name="ep0", battery=True) -> Type3Device:
+    media = MediaController("m", DDR4_1333, 2, 2, units.gib(8), 0.6, 130.0)
+    return Type3Device(name, media, battery_backed=battery)
+
+
+def _link() -> CxlLink:
+    return CxlLink(CxlVersion.CXL_2_0, 16, 330.0)
+
+
+class TestDirectAttach:
+    def test_single_endpoint_found(self):
+        bridge = HostBridge(0)
+        bridge.add_port(RootPort(0, _link()))
+        dev = _device()
+        bridge.port(0).attach(dev)
+        eps = enumerate_endpoints([bridge])
+        assert len(eps) == 1
+        ep = eps[0]
+        assert ep.device is dev
+        assert ep.capacity_bytes == units.gib(16)
+        assert ep.persistent_capable
+
+    def test_empty_port_skipped(self):
+        bridge = HostBridge(0)
+        bridge.add_port(RootPort(0, _link()))
+        assert enumerate_endpoints([bridge]) == []
+
+    def test_deterministic_ordering(self):
+        b0, b1 = HostBridge(0), HostBridge(1)
+        b0.add_port(RootPort(1, _link()))
+        b0.add_port(RootPort(0, _link()))
+        b1.add_port(RootPort(0, _link()))
+        b0.port(1).attach(_device("late"))
+        b0.port(0).attach(_device("early"))
+        b1.port(0).attach(_device("other-socket"))
+        eps = enumerate_endpoints([b1, b0])
+        assert [e.device.name for e in eps] == ["early", "late",
+                                                "other-socket"]
+
+    def test_persistence_capability_reported(self):
+        bridge = HostBridge(0)
+        bridge.add_port(RootPort(0, _link()))
+        dev = Type3Device(
+            "vol",
+            MediaController("m", DDR4_1333, 1, 1, units.gib(1), 0.6, 130.0),
+            battery_backed=False, gpf_supported=False)
+        bridge.port(0).attach(dev)
+        assert not enumerate_endpoints([bridge])[0].persistent_capable
+
+
+class TestThroughSwitch:
+    def test_lds_enumerated_per_host(self):
+        sw = CxlSwitch("sw0")
+        sw.connect_host(0)
+        sw.connect_host(1)
+        mld = MultiLogicalDevice(_device("pool"))
+        ld0, ld1 = mld.carve(units.gib(8)), mld.carve(units.gib(4))
+        sw.bind(0, 0, ld0)
+        sw.bind(1, 1, ld1)
+
+        b0 = HostBridge(0)
+        b0.add_port(RootPort(0, _link()))
+        b0.port(0).attach(sw)
+
+        eps = enumerate_endpoints([b0])
+        assert len(eps) == 1            # host 0 sees only its binding
+        assert eps[0].ld_id == 0
+        assert eps[0].capacity_bytes == units.gib(8)
+        assert eps[0].via_switch == "sw0"
+        assert eps[0].name == "pool.ld0"
+
+    def test_whole_device_through_switch(self):
+        sw = CxlSwitch("sw0")
+        sw.connect_host(0)
+        dev = _device("direct-pool")
+        sw.bind(0, 0, dev)
+        b0 = HostBridge(0)
+        b0.add_port(RootPort(0, _link()))
+        b0.port(0).attach(sw)
+        eps = enumerate_endpoints([b0])
+        assert eps[0].ld_id is None
+        assert eps[0].via_switch == "sw0"
+
+
+class TestPortValidation:
+    def test_double_attach_rejected(self):
+        port = RootPort(0, _link())
+        port.attach(_device())
+        with pytest.raises(CxlError):
+            port.attach(_device("second"))
+
+    def test_detach_then_attach(self):
+        port = RootPort(0, _link())
+        port.attach(_device())
+        port.detach()
+        port.attach(_device("replacement"))
+        assert port.occupied
+
+    def test_duplicate_port_id_rejected(self):
+        bridge = HostBridge(0)
+        bridge.add_port(RootPort(0, _link()))
+        with pytest.raises(CxlError):
+            bridge.add_port(RootPort(0, _link()))
+
+    def test_unknown_port_lookup(self):
+        with pytest.raises(CxlError):
+            HostBridge(0).port(5)
+
+    def test_unknown_attachment_type_rejected(self):
+        bridge = HostBridge(0)
+        bridge.add_port(RootPort(0, _link()))
+        bridge.port(0).attached = object()   # bypass attach validation
+        with pytest.raises(CxlError):
+            enumerate_endpoints([bridge])

@@ -1,0 +1,128 @@
+"""Flit packing and wire efficiency."""
+
+import pytest
+
+from repro.cxl.flit import (
+    Flit,
+    FlitPacker,
+    packing_efficiency,
+    stream_efficiency,
+    wire_bytes,
+)
+from repro.cxl.spec import (
+    FLIT_BYTES,
+    M2SReqOpcode,
+    M2SRwDOpcode,
+    S2MDRSOpcode,
+    S2MNDROpcode,
+)
+from repro.cxl.transaction import M2SReq, M2SRwD, S2MDRS, S2MNDR
+from repro.errors import CxlError
+
+LINE = b"\x55" * 64
+
+
+def _req(tag=0):
+    return M2SReq(M2SReqOpcode.MEM_RD, tag * 64, tag)
+
+
+def _wr(tag=0):
+    return M2SRwD(M2SRwDOpcode.MEM_WR, tag * 64, tag, LINE)
+
+
+def _drs(tag=0):
+    return S2MDRS(S2MDRSOpcode.MEM_DATA, tag, LINE)
+
+
+def _ndr(tag=0):
+    return S2MNDR(S2MNDROpcode.CMP, tag)
+
+
+class TestPacking:
+    def test_single_request_fits_one_flit(self):
+        flits = FlitPacker().pack([_req()])
+        assert len(flits) == 1
+
+    def test_three_requests_share_one_flit(self):
+        # 3 free slots after the flit header; a Req costs one slot
+        flits = FlitPacker().pack([_req(i) for i in range(3)])
+        assert len(flits) == 1
+
+    def test_fourth_request_spills(self):
+        flits = FlitPacker().pack([_req(i) for i in range(4)])
+        assert len(flits) == 2
+
+    def test_six_ndr_share_one_flit(self):
+        # NDRs cost half a slot
+        flits = FlitPacker().pack([_ndr(i) for i in range(6)])
+        assert len(flits) == 1
+
+    def test_write_needs_two_flits(self):
+        # header + 4 data slots cannot fit in 3 free slots
+        flits = FlitPacker().pack([_wr()])
+        assert len(flits) == 2
+
+    def test_order_preserved(self):
+        msgs = [_req(0), _ndr(1), _req(2), _drs(3)]
+        flits = FlitPacker().pack(msgs)
+        assert FlitPacker.unpack(flits) == msgs
+
+    def test_sequence_numbers_increase(self):
+        packer = FlitPacker()
+        a = packer.pack([_wr(0)])
+        b = packer.pack([_wr(1)])
+        assert b[0].seq > a[-1].seq
+
+    def test_empty_sequence(self):
+        assert FlitPacker().pack([]) == []
+
+    def test_rejects_non_message(self):
+        from repro.cxl.flit import message_half_slots
+        with pytest.raises(CxlError):
+            message_half_slots("not a message")
+
+
+class TestAccounting:
+    def test_wire_bytes(self):
+        flits = FlitPacker().pack([_drs(i) for i in range(2)])
+        assert wire_bytes(flits) == len(flits) * FLIT_BYTES
+
+    def test_payload_bytes_counts_data_messages_only(self):
+        flits = FlitPacker().pack([_req(0), _drs(1)])
+        assert sum(f.payload_bytes for f in flits) == 64
+
+    def test_packing_efficiency_bounds(self):
+        flits = FlitPacker().pack([_drs(i) for i in range(16)])
+        eff = packing_efficiency(flits)
+        assert 0.3 < eff < 1.0
+
+    def test_efficiency_of_nothing_is_zero(self):
+        assert packing_efficiency([]) == 0.0
+
+    def test_flit_free_accounting(self):
+        f = Flit()
+        assert f.free_half_slots == 6     # header slot consumed
+
+
+class TestStreamEfficiency:
+    def test_pure_read_efficiency(self):
+        eff = stream_efficiency(1.0)
+        assert 0.5 < eff < 0.95
+
+    def test_pure_write_efficiency(self):
+        eff = stream_efficiency(0.0)
+        assert 0.4 < eff < 0.95
+
+    def test_reads_pack_tighter_than_writes(self):
+        # DRS headers share slots; RwD headers do not
+        assert stream_efficiency(1.0) >= stream_efficiency(0.0)
+
+    def test_mixed_is_bounded_by_extremes(self):
+        lo = min(stream_efficiency(0.0), stream_efficiency(1.0))
+        assert stream_efficiency(0.5) >= lo * 0.9
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CxlError):
+            stream_efficiency(1.5)
+        with pytest.raises(CxlError):
+            stream_efficiency(-0.1)

@@ -1,0 +1,128 @@
+"""HDM decoders: HPA↔DPA mapping and interleave."""
+
+import pytest
+
+from repro.cxl.hdm import HdmDecoder, HdmDecoderSet
+from repro.errors import CxlDecodeError
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+class TestSingleTarget:
+    def test_identity_offsetting(self):
+        d = HdmDecoder(base_hpa=MIB, size=MIB, targets=("dev0",))
+        target, dpa = d.decode(MIB + 4096)
+        assert target == "dev0" and dpa == 4096
+
+    def test_bounds(self):
+        d = HdmDecoder(0, MIB, ("dev0",))
+        assert d.contains(0) and d.contains(MIB - 1)
+        assert not d.contains(MIB)
+        with pytest.raises(CxlDecodeError):
+            d.decode(MIB)
+
+    def test_encode_roundtrip(self):
+        d = HdmDecoder(2 * MIB, MIB, ("dev0",))
+        hpa = 2 * MIB + 123456
+        target, dpa = d.decode(hpa)
+        assert d.encode(target, dpa) == hpa
+
+
+class TestInterleave:
+    def test_two_way_rotation(self):
+        d = HdmDecoder(0, 4 * KIB, ("a", "b"), granularity=256)
+        assert d.decode(0)[0] == "a"
+        assert d.decode(256)[0] == "b"
+        assert d.decode(512)[0] == "a"
+
+    def test_dpa_dense_per_target(self):
+        d = HdmDecoder(0, 4 * KIB, ("a", "b"), granularity=256)
+        # chunks 0,2,4 land on "a" at dpa 0,256,512
+        assert d.decode(0) == ("a", 0)
+        assert d.decode(512) == ("a", 256)
+        assert d.decode(1024) == ("a", 512)
+
+    def test_within_chunk_offsets_preserved(self):
+        d = HdmDecoder(0, 4 * KIB, ("a", "b"), granularity=256)
+        assert d.decode(256 + 17) == ("b", 17)
+
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8])
+    def test_roundtrip_exhaustive(self, ways):
+        targets = tuple(f"t{i}" for i in range(ways))
+        d = HdmDecoder(0, 8 * KIB * ways, targets, granularity=512)
+        for hpa in range(0, d.size, 128):
+            t, dpa = d.decode(hpa)
+            assert d.encode(t, dpa) == hpa
+
+    def test_capacity_split_evenly(self):
+        d = HdmDecoder(0, 8 * MIB, ("a", "b", "c", "d"), granularity=4096)
+        assert d.capacity_per_target == 2 * MIB
+
+    def test_encode_validates_target_and_dpa(self):
+        d = HdmDecoder(0, 4 * KIB, ("a", "b"), granularity=256)
+        with pytest.raises(CxlDecodeError):
+            d.encode("z", 0)
+        with pytest.raises(CxlDecodeError):
+            d.encode("a", d.capacity_per_target)
+
+
+class TestValidation:
+    def test_bad_ways(self):
+        with pytest.raises(CxlDecodeError):
+            HdmDecoder(0, 3 * 256, ("a", "b", "c"))
+
+    def test_duplicate_targets(self):
+        with pytest.raises(CxlDecodeError):
+            HdmDecoder(0, 4 * KIB, ("a", "a"))
+
+    def test_bad_granularity(self):
+        with pytest.raises(CxlDecodeError):
+            HdmDecoder(0, 4 * KIB, ("a",), granularity=100)
+
+    def test_size_alignment(self):
+        with pytest.raises(CxlDecodeError):
+            HdmDecoder(0, 4 * KIB + 256, ("a", "b"), granularity=4096)
+
+    def test_negative_base(self):
+        with pytest.raises(CxlDecodeError):
+            HdmDecoder(-1, 4 * KIB, ("a",))
+
+
+class TestDecoderSet:
+    def test_routes_to_correct_window(self):
+        s = HdmDecoderSet([
+            HdmDecoder(0, MIB, ("a",)),
+            HdmDecoder(2 * MIB, MIB, ("b",)),
+        ])
+        assert s.decode(100)[0] == "a"
+        assert s.decode(2 * MIB + 100)[0] == "b"
+
+    def test_miss_raises(self):
+        s = HdmDecoderSet([HdmDecoder(0, MIB, ("a",))])
+        with pytest.raises(CxlDecodeError):
+            s.decode(5 * MIB)
+
+    def test_overlap_rejected(self):
+        s = HdmDecoderSet([HdmDecoder(0, MIB, ("a",))])
+        with pytest.raises(CxlDecodeError):
+            s.add(HdmDecoder(512 * KIB, MIB, ("b",)))
+
+    def test_adjacent_windows_allowed(self):
+        s = HdmDecoderSet([HdmDecoder(0, MIB, ("a",))])
+        s.add(HdmDecoder(MIB, MIB, ("b",)))
+        assert len(s) == 2
+
+    def test_total_capacity(self):
+        s = HdmDecoderSet([
+            HdmDecoder(0, MIB, ("a",)),
+            HdmDecoder(4 * MIB, 2 * MIB, ("b", "c")),
+        ])
+        assert s.total_capacity == 3 * MIB
+
+    def test_iteration_sorted_by_base(self):
+        s = HdmDecoderSet([
+            HdmDecoder(4 * MIB, MIB, ("b",)),
+            HdmDecoder(0, MIB, ("a",)),
+        ])
+        assert [d.base_hpa for d in s] == [0, 4 * MIB]

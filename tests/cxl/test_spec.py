@@ -1,0 +1,67 @@
+"""Protocol constants and version properties."""
+
+import pytest
+
+from repro.cxl.spec import (
+    CACHELINE_BYTES,
+    FLIT_BYTES,
+    FLIT_SLOTS,
+    SLOT_BYTES,
+    CxlVersion,
+    DeviceType,
+    M2SReqOpcode,
+)
+
+
+class TestConstants:
+    def test_flit_geometry(self):
+        assert FLIT_BYTES == 68
+        assert FLIT_SLOTS * SLOT_BYTES == 64
+        assert CACHELINE_BYTES == 64
+
+
+class TestVersions:
+    def test_phy_bindings(self):
+        assert CxlVersion.CXL_1_1.pcie_gen == 5
+        assert CxlVersion.CXL_2_0.pcie_gen == 5
+        assert CxlVersion.CXL_3_0.pcie_gen == 6
+
+    def test_cxl3_doubles_rate(self):
+        assert CxlVersion.CXL_3_0.gt_per_s == 2 * CxlVersion.CXL_2_0.gt_per_s
+
+    def test_switching_capability(self):
+        assert not CxlVersion.CXL_1_1.supports_switching
+        assert CxlVersion.CXL_2_0.supports_switching
+        assert CxlVersion.CXL_3_0.supports_switching
+
+    def test_fabric_capability(self):
+        assert not CxlVersion.CXL_2_0.supports_fabric
+        assert CxlVersion.CXL_3_0.supports_fabric
+
+    def test_labels(self):
+        assert CxlVersion.CXL_1_1.label == "1.1"
+        assert CxlVersion.CXL_3_0.label == "3.0"
+
+
+class TestDeviceTypes:
+    def test_type3_speaks_io_and_mem_only(self):
+        assert DeviceType.TYPE3.protocols == ("cxl.io", "cxl.mem")
+
+    def test_type1_caches_without_memory(self):
+        assert "cxl.cache" in DeviceType.TYPE1.protocols
+        assert "cxl.mem" not in DeviceType.TYPE1.protocols
+
+    def test_type2_speaks_everything(self):
+        assert len(DeviceType.TYPE2.protocols) == 3
+
+
+class TestOpcodes:
+    @pytest.mark.parametrize("op,expects", [
+        (M2SReqOpcode.MEM_RD, True),
+        (M2SReqOpcode.MEM_RD_DATA, True),
+        (M2SReqOpcode.MEM_SPEC_RD, True),
+        (M2SReqOpcode.MEM_INV, False),
+        (M2SReqOpcode.MEM_WR_FWD, False),
+    ])
+    def test_expects_data(self, op, expects):
+        assert op.expects_data is expects

@@ -1,0 +1,127 @@
+"""CXL 2.0 switching and multi-logical-device pooling."""
+
+import pytest
+
+from repro import units
+from repro.cxl.device import MediaController, Type3Device
+from repro.cxl.spec import CxlVersion
+from repro.cxl.switch import CxlSwitch, MultiLogicalDevice
+from repro.errors import CxlError
+from repro.machine.dram import DDR4_1333
+
+
+def _device(name="pool0", cap=units.gib(16)) -> Type3Device:
+    media = MediaController("m", DDR4_1333, 2, 2, cap // 2, 0.6, 130.0)
+    return Type3Device(name, media)
+
+
+class TestMld:
+    def test_carving_is_sequential(self):
+        mld = MultiLogicalDevice(_device())
+        ld0 = mld.carve(units.gib(4))
+        ld1 = mld.carve(units.gib(4))
+        assert ld0.base_dpa == 0
+        assert ld1.base_dpa == units.gib(4)
+        assert mld.unallocated_bytes == units.gib(8)
+
+    def test_over_carving_rejected(self):
+        mld = MultiLogicalDevice(_device())
+        mld.carve(units.gib(12))
+        with pytest.raises(CxlError):
+            mld.carve(units.gib(8))
+
+    def test_ld_limit(self):
+        mld = MultiLogicalDevice(_device())
+        for _ in range(16):
+            mld.carve(units.mib(64))
+        with pytest.raises(CxlError):
+            mld.carve(units.mib(64))
+
+    def test_ld_names(self):
+        mld = MultiLogicalDevice(_device("poolX"))
+        assert mld.carve(units.gib(1)).name == "poolX.ld0"
+
+    def test_ld_bounds_validated(self):
+        from repro.cxl.switch import LogicalDevice
+        dev = _device()
+        with pytest.raises(CxlError):
+            LogicalDevice(dev, 0, 0, dev.capacity_bytes + 1)
+        with pytest.raises(CxlError):
+            LogicalDevice(dev, 0, 0, 0)
+
+
+class TestSwitch:
+    def test_cxl11_cannot_switch(self):
+        with pytest.raises(CxlError):
+            CxlSwitch("sw", CxlVersion.CXL_1_1)
+
+    def test_bind_requires_connected_host(self):
+        sw = CxlSwitch("sw")
+        with pytest.raises(CxlError):
+            sw.bind(0, host=0, target=_device())
+
+    def test_single_device_binds_once(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        sw.connect_host(1)
+        dev = _device()
+        sw.bind(0, 0, dev)
+        with pytest.raises(CxlError):
+            sw.bind(1, 1, dev)
+
+    def test_mld_serves_two_hosts(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        sw.connect_host(1)
+        mld = MultiLogicalDevice(_device())
+        ld0, ld1 = mld.carve(units.gib(8)), mld.carve(units.gib(8))
+        sw.bind(0, 0, ld0)
+        sw.bind(1, 1, ld1)
+        assert sw.pooled_capacity(0) == units.gib(8)
+        assert sw.pooled_capacity(1) == units.gib(8)
+
+    def test_same_ld_cannot_double_bind(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        sw.connect_host(1)
+        mld = MultiLogicalDevice(_device())
+        ld = mld.carve(units.gib(8))
+        sw.bind(0, 0, ld)
+        with pytest.raises(CxlError):
+            sw.bind(1, 1, ld)
+
+    def test_unbind_frees_vppb(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        dev = _device()
+        sw.bind(0, 0, dev)
+        sw.unbind(0)
+        sw.bind(1, 0, dev)     # rebind through another vPPB works
+        assert sw.pooled_capacity(0) == dev.capacity_bytes
+
+    def test_occupied_vppb_rejected(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        sw.bind(0, 0, _device("a"))
+        with pytest.raises(CxlError):
+            sw.bind(0, 0, _device("b"))
+
+    def test_bad_vppb_id(self):
+        sw = CxlSwitch("sw", n_vppbs=2)
+        sw.connect_host(0)
+        with pytest.raises(CxlError):
+            sw.bind(7, 0, _device())
+
+    def test_duplicate_host_rejected(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        with pytest.raises(CxlError):
+            sw.connect_host(0)
+
+    def test_bindings_for_host(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        sw.bind(0, 0, _device("a"))
+        sw.bind(1, 0, _device("b"))
+        assert len(sw.bindings_for_host(0)) == 2
+        assert sw.bindings_for_host(1) == []

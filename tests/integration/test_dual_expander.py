@@ -1,0 +1,94 @@
+"""Two CXL expanders on one host: hot-add, enumeration, independent pools."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.provider import pool_from_uri
+from repro.core.runtime import CxlPmemRuntime
+from repro.cxl.device import MediaController, Type3Device
+from repro.cxl.link import CxlLink
+from repro.cxl.port import RootPort
+from repro.cxl.spec import CxlVersion
+from repro.machine.dram import DDR4_3200
+from repro.machine.presets import setup1
+from repro.pmdk.containers import PersistentArray
+
+MB = 1 << 20
+
+
+def _second_device() -> Type3Device:
+    media = MediaController("fast-media", DDR4_3200, 2, 2, units.gib(4),
+                            0.8, 110.0)
+    return Type3Device("cxl1", media, battery_backed=True)
+
+
+@pytest.fixture()
+def dual():
+    tb = setup1()
+    bridge = tb.host_bridges[0]
+    dev2 = _second_device()
+    link2 = CxlLink(CxlVersion.CXL_2_0, 16, 250.0, name="cxl1.link")
+    bridge.add_port(RootPort(port_id=1, link=link2))
+    bridge.port(1).attach(dev2)
+    tb.cxl_devices.append(dev2)
+    return tb
+
+
+class TestHotAdd:
+    def test_rescan_discovers_the_new_device(self):
+        tb = setup1()
+        rt = CxlPmemRuntime(tb.host_bridges)
+        assert len(rt.endpoints) == 1
+
+        dev2 = _second_device()
+        link2 = CxlLink(CxlVersion.CXL_2_0, 16, 250.0)
+        tb.host_bridges[0].add_port(RootPort(port_id=1, link=link2))
+        tb.host_bridges[0].port(1).attach(dev2)
+
+        assert len(rt.rescan()) == 2
+
+    def test_both_devices_enumerated_in_port_order(self, dual):
+        rt = CxlPmemRuntime(dual.host_bridges)
+        assert [e.device.name for e in rt.endpoints] == ["cxl0", "cxl1"]
+
+
+class TestIndependentPools:
+    def test_namespaces_are_per_device(self, dual):
+        rt = CxlPmemRuntime(dual.host_bridges)
+        rt.create_namespace("cxl0", "same-name", 2 * MB)
+        rt.create_namespace("cxl1", "same-name", 2 * MB)   # no clash
+        assert len(rt.namespaces("cxl0")) == 1
+        assert len(rt.namespaces("cxl1")) == 1
+
+    def test_pools_on_both_devices(self, dual):
+        rt = CxlPmemRuntime(dual.host_bridges)
+        pools = {}
+        for dev in ("cxl0", "cxl1"):
+            pools[dev] = pool_from_uri(f"cxl://{dev}/data", layout="app",
+                                       size=4 * MB, create=True, runtime=rt)
+        a0 = PersistentArray.create(pools["cxl0"], 64, "int64")
+        a1 = PersistentArray.create(pools["cxl1"], 64, "int64")
+        a0.write(np.zeros(64, dtype=np.int64))
+        a1.write(np.arange(64))
+        assert np.array_equal(a0.read(), np.zeros(64))
+        assert np.array_equal(a1.read(), np.arange(64))
+
+    def test_power_failure_is_per_device(self, dual):
+        rt = CxlPmemRuntime(dual.host_bridges)
+        ns1 = rt.create_namespace("cxl1", "live", 2 * MB)
+        region = ns1.region()
+        region.write(0, b"on cxl1")
+        region.persist(0, 7)
+
+        dual.cxl_devices[0].power_fail()
+        # cxl1 unaffected
+        assert region.read(0, 7) == b"on cxl1"
+        dual.cxl_devices[0].power_on()
+
+    def test_clean_shutdown_covers_the_fleet(self, dual):
+        rt = CxlPmemRuntime(dual.host_bridges)
+        flushed = rt.clean_shutdown()
+        assert set(flushed) == {"cxl0", "cxl1"}
+        for dev in dual.cxl_devices:
+            assert dev.shutdown_state.value == "clean"

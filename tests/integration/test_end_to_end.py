@@ -1,0 +1,161 @@
+"""End-to-end scenarios across subsystems.
+
+Each test is a miniature of the paper's story: discover the CXL device,
+carve a persistent namespace, run PMDK-style code on it unchanged, survive
+power failures, share the segment between nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.provider import pool_from_uri
+from repro.core.runtime import CxlPmemRuntime
+from repro.core.shared import SharedSegment
+from repro.machine.presets import setup1
+from repro.pmdk.check import check_pool
+from repro.pmdk.containers import PersistentArray
+from repro.stream.config import StreamConfig
+from repro.stream.pmem_stream import StreamPmem
+from repro.workloads.heat2d import HeatSolver2D
+from repro.workloads.nvmesr import RecoverableCG
+from repro.workloads.solver import make_poisson_system
+
+MB = 1 << 20
+
+
+@pytest.fixture()
+def testbed():
+    return setup1()
+
+
+@pytest.fixture()
+def rt(testbed):
+    return CxlPmemRuntime(testbed.host_bridges)
+
+
+class TestCxlPmemLifecycle:
+    def test_full_stack_discover_to_pool(self, rt):
+        eps = rt.persistent_endpoints()
+        assert eps
+        ns = rt.create_namespace(eps[0].device, "e2e", 8 * MB)
+        pool = pool_from_uri("cxl://cxl0/e2e", layout="app", size=8 * MB,
+                             create=True, runtime=rt)
+        arr = PersistentArray.create(pool, 1024, "float64")
+        with pool.transaction() as tx:
+            arr.write(np.linspace(0, 1, 1024), tx=tx)
+        assert check_pool(pool.region).ok
+
+    def test_battery_power_cycle_preserves_pool(self, testbed, rt):
+        rt.create_namespace("cxl0", "cycle", 4 * MB)
+        pool = pool_from_uri("cxl://cxl0/cycle", layout="app", size=4 * MB,
+                             create=True, runtime=rt)
+        arr = PersistentArray.create(pool, 256, "int64")
+        arr.write(np.arange(256))
+        arr.persist()
+
+        dev = testbed.cxl_devices[0]
+        assert dev.power_fail() == 0       # battery drains the buffer
+        dev.power_on()
+
+        # a rebooted host re-enumerates and reopens by label
+        rt2 = CxlPmemRuntime(testbed.host_bridges)
+        pool2 = pool_from_uri("cxl://cxl0/cycle", layout="app", runtime=rt2)
+        back = PersistentArray.from_oid(pool2, arr.oid)
+        assert np.array_equal(back.read(), np.arange(256))
+
+    def test_clean_shutdown_protocol(self, testbed, rt):
+        rt.create_namespace("cxl0", "shut", 2 * MB)
+        ns = rt.open_namespace("cxl0", "shut")
+        region = ns.region()
+        region.write(0, b"dirty data")
+        rt.clean_shutdown()
+        dev = testbed.cxl_devices[0]
+        assert dev.shutdown_state.value == "clean"
+        assert dev.dirty_lines == 0
+
+
+class TestStreamPmemOnCxl:
+    def test_listing2_on_all_three_backends(self, rt, tmp_path):
+        """The paper's Listing 2 executed verbatim against a DAX file,
+        emulated remote-socket PMem, and the CXL namespace."""
+        cfg = StreamConfig(array_size=30_000, ntimes=3)
+        outcomes = {}
+        for name, uri in [
+            ("dax", f"file://{tmp_path}/dax.pool"),
+            ("emulated", "mem://8m"),
+            ("cxl", "cxl://cxl0/listing2"),
+        ]:
+            sp = StreamPmem.create(uri, cfg, runtime=rt)
+            outcomes[name] = sp.run()
+        assert outcomes["dax"].persistent
+        assert not outcomes["emulated"].persistent
+        assert outcomes["cxl"].persistent
+        for res in outcomes.values():
+            assert res.best_rate_gbps("triad") > 0
+
+
+class TestWorkloadsOnCxl:
+    def test_heat_solver_on_cxl_namespace(self, rt):
+        rt.create_namespace("cxl0", "heat", 8 * MB)
+        pool = pool_from_uri("cxl://cxl0/heat", layout="checkpoints",
+                             size=8 * MB, create=True, runtime=rt)
+        h = HeatSolver2D(pool, n=24, checkpoint_every=5)
+        h.run(12)
+        h2 = HeatSolver2D(pool, n=24, checkpoint_every=5)
+        assert h2.restarted and h2.step_count == 10
+
+    def test_recoverable_cg_on_cxl_namespace(self, rt):
+        A, b = make_poisson_system(5)
+        rt.create_namespace("cxl0", "cg", 8 * MB)
+        pool = pool_from_uri("cxl://cxl0/cg", layout="nvm-esr-cg",
+                             size=8 * MB, create=True, runtime=rt)
+        cg = RecoverableCG(pool, A, b, commit_every=2)
+        cg.step(8)
+        resumed = RecoverableCG(pool, A, b)
+        assert resumed.iteration == 8
+        x = resumed.solve(tol=1e-9)
+        assert np.allclose(A @ x, b, atol=1e-6)
+
+
+class TestSharedFarMemory:
+    def test_two_nodes_one_namespace(self, rt):
+        """The prototype's headline trick: the same HDM segment visible to
+        two NUMA nodes with software-managed coherence."""
+        rt.create_namespace("cxl0", "shared", 4 * MB)
+        ns = rt.open_namespace("cxl0", "shared")
+        seg = SharedSegment(ns.region())
+        node1, node2 = seg.attach(1), seg.attach(2)
+
+        payload = np.arange(100, dtype=np.float64).tobytes()
+        node1.acquire()
+        node1.write(0, payload)
+        node1.release()
+
+        node2.refresh()
+        got = np.frombuffer(node2.read(0, len(payload)), dtype=np.float64)
+        assert np.array_equal(got, np.arange(100.0))
+
+    def test_writer_crash_recovery(self, rt):
+        rt.create_namespace("cxl0", "crashy", 2 * MB)
+        seg = SharedSegment(rt.open_namespace("cxl0", "crashy").region())
+        node1, node2 = seg.attach(1), seg.attach(2)
+        node1.acquire()
+        node1.write(0, b"half-done")
+        # node1 "dies" holding the lock; node2 breaks it
+        seg.lock.force_release(1)
+        node2.acquire()
+        node2.write(0, b"recovered")
+        node2.release()
+        node2.refresh()
+        assert node2.read(0, 9) == b"recovered"
+
+
+class TestMachineAndRuntimeAgree:
+    def test_node_capacity_matches_device(self, testbed, rt):
+        node = testbed.machine.node(2)
+        ep = rt.endpoints[0]
+        assert node.capacity_bytes == ep.capacity_bytes
+
+    def test_persistence_flags_agree(self, testbed, rt):
+        assert testbed.machine.node(2).persistent == (
+            rt.endpoints[0].persistent_capable)

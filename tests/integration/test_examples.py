@@ -1,0 +1,50 @@
+"""Smoke: the shipped examples run against the current API.
+
+Each example is executed in-process (runpy) so an API drift that breaks a
+shipped script fails the suite, not a user.  Slow examples are exercised
+through their main() with reduced parameters where they support it; the
+heaviest (memory_expansion, streamer_sweep at paper scale) are covered by
+the CI workflow instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "shared_far_memory.py",
+    "pmem_to_cxl_migration.py",
+    "solver_recovery.py",
+    "hybrid_tiering.py",
+    "diagnostics_and_files.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_checkpoint_restart_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["checkpoint_restart.py"])
+    runpy.run_path(str(EXAMPLES / "checkpoint_restart.py"),
+                   run_name="__main__")
+    assert "bit-identical to uninterrupted run: True" in (
+        capsys.readouterr().out)
+
+
+def test_streamer_sweep_fast(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["streamer_sweep.py", "--fast"])
+    with pytest.raises(SystemExit) as exc:
+        runpy.run_path(str(EXAMPLES / "streamer_sweep.py"),
+                       run_name="__main__")
+    assert exc.value.code == 0
+    assert "12/12 claims hold" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Cache hierarchy model."""
+
+import pytest
+
+from repro import units
+from repro.errors import TopologyError
+from repro.machine.cache import CacheHierarchy, CacheLevel
+
+
+def _hierarchy() -> CacheHierarchy:
+    return CacheHierarchy.from_levels([
+        CacheLevel(3, units.mib(32), 25.0, 300.0, shared=True),
+        CacheLevel(1, units.kib(48), 1.2, 900.0),
+        CacheLevel(2, units.mib(2), 4.0, 500.0),
+    ])
+
+
+class TestCacheLevel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel(0, 1024, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            CacheLevel(1, 0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            CacheLevel(1, 1024, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            CacheLevel(1, 1024, 1.0, 0.0)
+
+
+class TestHierarchy:
+    def test_from_levels_sorts(self):
+        h = _hierarchy()
+        assert [lv.level for lv in h.levels] == [1, 2, 3]
+
+    def test_llc_is_last(self):
+        assert _hierarchy().llc.level == 3
+
+    def test_contiguity_enforced(self):
+        with pytest.raises(TopologyError):
+            CacheHierarchy.from_levels([
+                CacheLevel(1, 1024, 1.0, 10.0),
+                CacheLevel(3, units.mib(8), 20.0, 100.0),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            CacheHierarchy(())
+
+    def test_containing_level(self):
+        h = _hierarchy()
+        assert h.containing_level(units.kib(16)).level == 1
+        assert h.containing_level(units.mib(1)).level == 2
+        assert h.containing_level(units.mib(10)).level == 3
+        assert h.containing_level(units.mib(100)) is None
+
+    def test_fits_in_llc(self):
+        h = _hierarchy()
+        assert h.fits_in_llc(units.mib(32))
+        assert not h.fits_in_llc(units.mib(33))
+
+
+class TestLatencyShave:
+    def test_bigger_llc_shaves_more(self):
+        small = CacheHierarchy.from_levels(
+            [CacheLevel(1, units.mib(14), 20.0, 200.0)])
+        big = CacheHierarchy.from_levels(
+            [CacheLevel(1, units.mib(105), 33.0, 400.0)])
+        assert big.latency_shave_ns() > small.latency_shave_ns()
+
+    def test_shave_is_bounded(self):
+        huge = CacheHierarchy.from_levels(
+            [CacheLevel(1, units.gib(1), 40.0, 500.0)])
+        assert huge.latency_shave_ns() <= 40.0
+
+    def test_spr_vs_gold_anchor(self):
+        # the paper attributes the CXL low-thread advantage to SPR's
+        # larger caches; the shave difference is the mechanism
+        spr = CacheHierarchy.from_levels(
+            [CacheLevel(1, units.mib(105), 33.0, 400.0)])
+        gold = CacheHierarchy.from_levels(
+            [CacheLevel(1, int(units.mib(13.75)), 20.0, 250.0)])
+        assert spr.latency_shave_ns() - gold.latency_shave_ns() > 10.0

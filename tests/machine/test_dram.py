@@ -1,0 +1,88 @@
+"""DRAM speed grades and DIMM populations."""
+
+import pytest
+
+from repro import units
+from repro.machine.dram import (
+    DDR4_1333,
+    DDR4_2666,
+    DDR4_3200,
+    DDR5_4800,
+    DDR5_5600,
+    DimmSpec,
+    DramGeneration,
+    DramSpeedGrade,
+    population_effective_gbps,
+    population_peak_gbps,
+)
+
+
+class TestSpeedGrades:
+    def test_names(self):
+        assert DDR5_4800.name == "DDR5-4800"
+        assert DDR4_1333.name == "DDR4-1333"
+
+    def test_channel_peaks_match_jedec(self):
+        assert DDR4_3200.channel_peak_gbps == pytest.approx(25.6)
+        assert DDR5_4800.channel_peak_gbps == pytest.approx(38.4)
+        assert DDR4_2666.channel_peak_gbps == pytest.approx(21.328)
+
+    def test_effective_below_peak(self):
+        for g in (DDR4_1333, DDR4_2666, DDR4_3200, DDR5_4800, DDR5_5600):
+            assert g.channel_effective_gbps < g.channel_peak_gbps
+
+    def test_ddr5_has_about_50pct_more_than_ddr4(self):
+        # the paper's "DDR5 inherently has about 50% higher bandwidth"
+        ratio = DDR5_4800.channel_peak_gbps / DDR4_3200.channel_peak_gbps
+        assert 1.4 <= ratio <= 1.6
+
+    def test_generations(self):
+        assert DDR4_1333.generation is DramGeneration.DDR4
+        assert DDR5_5600.generation is DramGeneration.DDR5
+
+    def test_rejects_bad_mts(self):
+        with pytest.raises(ValueError):
+            DramSpeedGrade(DramGeneration.DDR4, 0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            DramSpeedGrade(DramGeneration.DDR4, 3200, stream_efficiency=1.5)
+        with pytest.raises(ValueError):
+            DramSpeedGrade(DramGeneration.DDR4, 3200, stream_efficiency=0.0)
+
+
+class TestDimmSpec:
+    def test_name_includes_capacity_and_grade(self):
+        d = DimmSpec(DDR5_4800, units.gib(64))
+        assert "64.0 GiB" in d.name and "DDR5-4800" in d.name
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DimmSpec(DDR5_4800, 0)
+
+
+class TestPopulations:
+    def test_channels_multiply_bandwidth(self):
+        one = population_peak_gbps(1, 1, DDR4_2666)
+        six = population_peak_gbps(1, 6, DDR4_2666)
+        assert six == pytest.approx(6 * one)
+
+    def test_extra_dimms_per_channel_add_no_bandwidth(self):
+        assert population_peak_gbps(2, 4, DDR4_3200) == population_peak_gbps(
+            1, 4, DDR4_3200)
+
+    def test_controller_efficiency_scales(self):
+        full = population_effective_gbps(2, DDR4_1333, 1.0)
+        fpga = population_effective_gbps(2, DDR4_1333, 0.635)
+        assert fpga == pytest.approx(0.635 * full)
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            population_peak_gbps(0, 1, DDR4_3200)
+        with pytest.raises(ValueError):
+            population_effective_gbps(2, DDR4_3200, 0.0)
+
+    def test_prototype_media_ceiling_matches_calibration(self):
+        # the Setup #1 CXL device: 2x DDR4-1333 behind the FPGA controller
+        got = population_effective_gbps(2, DDR4_1333, 0.635)
+        assert got == pytest.approx(11.5, abs=0.2)

@@ -1,0 +1,62 @@
+"""UPI link model."""
+
+import pytest
+
+from repro.machine.interconnect import UpiLink, upi_raw_bandwidth
+
+
+class TestRawBandwidth:
+    def test_gold_5215(self):
+        assert upi_raw_bandwidth(10.4, links=2) == pytest.approx(41.6)
+
+    def test_sapphire_rapids(self):
+        assert upi_raw_bandwidth(16.0, links=3) == pytest.approx(96.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            upi_raw_bandwidth(0.0, 2)
+        with pytest.raises(ValueError):
+            upi_raw_bandwidth(10.4, 0)
+
+
+class TestUpiLink:
+    def _link(self, **kw) -> UpiLink:
+        base = dict(src=0, dst=1, gt_per_s=16.0, links=3,
+                    effective_stream_gbps=22.0, hop_latency_ns=90.0)
+        base.update(kw)
+        return UpiLink(**base)
+
+    def test_name_derived_from_direction(self):
+        assert self._link().name == "upi.0->1"
+
+    def test_effective_below_raw(self):
+        link = self._link()
+        assert link.effective_stream_gbps < link.raw_gbps
+
+    def test_effective_cannot_exceed_raw(self):
+        with pytest.raises(ValueError):
+            self._link(effective_stream_gbps=1000.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            self._link(dst=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            self._link(hop_latency_ns=-1.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            self._link(effective_stream_gbps=0.0)
+
+    def test_reversed_swaps_endpoints_only(self):
+        fwd = self._link()
+        rev = fwd.reversed()
+        assert (rev.src, rev.dst) == (1, 0)
+        assert rev.name == "upi.1->0"
+        assert rev.effective_stream_gbps == fwd.effective_stream_gbps
+        assert rev.hop_latency_ns == fwd.hop_latency_ns
+
+    def test_double_reverse_roundtrips(self):
+        fwd = self._link()
+        assert fwd.reversed().reversed() == fwd

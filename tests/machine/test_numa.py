@@ -1,0 +1,121 @@
+"""NUMA policies: local / bind / interleave resolution."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.numa import NumaPolicy, PolicyKind
+
+
+class TestConstruction:
+    def test_local_takes_no_nodes(self):
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.LOCAL, (1,))
+
+    def test_bind_takes_exactly_one(self):
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.BIND, ())
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.BIND, (0, 1))
+
+    def test_interleave_needs_nodes(self):
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.INTERLEAVE, ())
+
+    def test_factories(self):
+        assert NumaPolicy.local().kind is PolicyKind.LOCAL
+        assert NumaPolicy.bind(2).nodes == (2,)
+        assert NumaPolicy.interleave(0, 1).nodes == (0, 1)
+
+
+class TestResolution:
+    def test_local_resolves_to_own_socket_node(self, tb1):
+        m = tb1.machine
+        pol = NumaPolicy.local()
+        c0 = m.socket(0).cores[0]
+        c1 = m.socket(1).cores[0]
+        assert pol.targets_for(m, c0) == {0: 1.0}
+        assert pol.targets_for(m, c1) == {1: 1.0}
+
+    def test_local_never_picks_the_cxl_node(self, tb1):
+        # CXL node 2 is homed on socket 0 but is not "local DRAM"
+        m = tb1.machine
+        assert NumaPolicy.local().targets_for(m, m.socket(0).cores[0]) == {0: 1.0}
+
+    def test_bind_resolves_regardless_of_core(self, tb1):
+        m = tb1.machine
+        pol = NumaPolicy.bind(2)
+        for sock in (0, 1):
+            assert pol.targets_for(m, m.socket(sock).cores[0]) == {2: 1.0}
+
+    def test_bind_validates_node(self, tb1):
+        with pytest.raises(TopologyError):
+            NumaPolicy.bind(9).targets_for(tb1.machine,
+                                           tb1.machine.socket(0).cores[0])
+
+    def test_interleave_splits_evenly(self, tb1):
+        m = tb1.machine
+        t = NumaPolicy.interleave(0, 1).targets_for(m, m.socket(0).cores[0])
+        assert t == {0: 0.5, 1: 0.5}
+
+    def test_interleave_three_ways(self, tb1):
+        m = tb1.machine
+        t = NumaPolicy.interleave(0, 1, 2).targets_for(
+            m, m.socket(0).cores[0])
+        assert sum(t.values()) == pytest.approx(1.0)
+        assert all(v == pytest.approx(1 / 3) for v in t.values())
+
+    def test_interleave_repeated_node_accumulates(self, tb1):
+        m = tb1.machine
+        t = NumaPolicy.interleave(0, 0, 1).targets_for(
+            m, m.socket(0).cores[0])
+        assert t[0] == pytest.approx(2 / 3)
+        assert t[1] == pytest.approx(1 / 3)
+
+    def test_fractions_always_sum_to_one(self, tb1):
+        m = tb1.machine
+        for pol in (NumaPolicy.local(), NumaPolicy.bind(1),
+                    NumaPolicy.interleave(0, 1, 2)):
+            total = sum(pol.targets_for(m, m.socket(0).cores[0]).values())
+            assert total == pytest.approx(1.0)
+
+
+class TestDescribe:
+    def test_descriptions(self):
+        assert "local" in NumaPolicy.local().describe()
+        assert "membind node2" == NumaPolicy.bind(2).describe()
+        assert "interleave" in NumaPolicy.interleave(0, 1).describe()
+
+
+class TestWeighted:
+    def test_weighted_shares(self, tb1):
+        m = tb1.machine
+        pol = NumaPolicy.weighted({0: 3, 2: 1})
+        t = pol.targets_for(m, m.socket(0).cores[0])
+        assert t[0] == pytest.approx(0.75)
+        assert t[2] == pytest.approx(0.25)
+
+    def test_weights_need_not_be_normalized(self, tb1):
+        m = tb1.machine
+        a = NumaPolicy.weighted({0: 3, 1: 1})
+        b = NumaPolicy.weighted({0: 0.75, 1: 0.25})
+        core = m.socket(0).cores[0]
+        assert a.targets_for(m, core) == b.targets_for(m, core)
+
+    def test_weighted_validation(self):
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.WEIGHTED, (0, 1), (1.0,))
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.WEIGHTED, (0, 1), (1.0, -1.0))
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.WEIGHTED, (0, 0), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            NumaPolicy(PolicyKind.BIND, (0,), (1.0,))
+
+    def test_weighted_describe(self):
+        text = NumaPolicy.weighted({0: 1, 2: 1}).describe()
+        assert "weighted" in text and "node2:50%" in text
+
+    def test_weighted_validates_nodes(self, tb1):
+        pol = NumaPolicy.weighted({0: 1, 99: 1})
+        with pytest.raises(TopologyError):
+            pol.targets_for(tb1.machine, tb1.machine.socket(0).cores[0])

@@ -1,0 +1,139 @@
+"""The extended presets: emulated DCPMM and multi-host sharing."""
+
+import pytest
+
+from repro.machine.affinity import place_threads
+from repro.machine.numa import NumaPolicy
+from repro.machine.presets import multihost_cxl, setup1_with_dcpmm
+from repro.machine.topology import NodeKind
+from repro.memsim.engine import AccessMode, simulate_stream
+
+
+@pytest.fixture(scope="module")
+def dcpmm_tb():
+    return setup1_with_dcpmm()
+
+
+@pytest.fixture(scope="module")
+def mh4():
+    return multihost_cxl(4)
+
+
+class TestDcpmmPreset:
+    def test_node3_is_persistent_pmem(self, dcpmm_tb):
+        node = dcpmm_tb.machine.node(3)
+        assert node.kind is NodeKind.PMEM
+        assert node.persistent
+
+    def test_asymmetric_resource_registered(self, dcpmm_tb):
+        asym = dcpmm_tb.machine.asymmetric_resources
+        assert "dcpmm0.media" in asym
+        mc = asym["dcpmm0.media"]
+        assert mc.effective_stream_gbps == 6.6
+        assert mc.write_stream_gbps == 2.3
+
+    def test_blended_capacity_between_read_and_write(self, dcpmm_tb):
+        mc = dcpmm_tb.machine.asymmetric_resources["dcpmm0.media"]
+        assert mc.blended_stream_gbps(1.0) == pytest.approx(6.6)
+        assert mc.blended_stream_gbps(0.0) == pytest.approx(2.3)
+        mixed = mc.blended_stream_gbps(0.75)
+        assert 2.3 < mixed < 6.6
+
+    def test_symmetric_controller_ignores_mix(self, dcpmm_tb):
+        mc = dcpmm_tb.machine.socket(0).controller
+        assert mc.blended_stream_gbps(0.1) == mc.effective_stream_gbps
+
+    def test_cxl_beats_dcpmm_across_kernels(self, dcpmm_tb):
+        """The paper's headline claim as curves, not constants."""
+        m = dcpmm_tb.machine
+        cores = place_threads(m, 8, sockets=[0])
+        for kernel in ("copy", "scale", "add", "triad"):
+            dcpmm = simulate_stream(m, kernel, cores, NumaPolicy.bind(3),
+                                    AccessMode.APP_DIRECT).reported_gbps
+            cxl = simulate_stream(m, kernel, cores, NumaPolicy.bind(2),
+                                  AccessMode.APP_DIRECT).reported_gbps
+            assert cxl > 2 * dcpmm, kernel
+
+    def test_write_heavy_kernels_hurt_dcpmm_more(self, dcpmm_tb):
+        m = dcpmm_tb.machine
+        cores = place_threads(m, 8, sockets=[0])
+        # copy is 2/3 reads, triad 3/4 reads → copy hits the weak write
+        # path harder
+        copy = simulate_stream(m, "copy", cores, NumaPolicy.bind(3)).actual_gbps
+        triad = simulate_stream(m, "triad", cores, NumaPolicy.bind(3)).actual_gbps
+        assert copy < triad
+
+    def test_dcpmm_latency_above_cxl(self, dcpmm_tb):
+        m = dcpmm_tb.machine
+        assert m.route(0, 3).latency_ns < m.route(0, 2).latency_ns + 200
+        assert m.route(0, 3).latency_ns > m.route(0, 0).latency_ns
+
+
+class TestMultihostPreset:
+    def test_topology_shape(self, mh4):
+        m = mh4.machine
+        assert len(m.sockets) == 4
+        assert len(m.cxl_nodes()) == 4
+        assert len(mh4.host_bridges) == 4
+        assert len(mh4.cxl_devices) == 1    # one shared device
+
+    def test_every_host_enumerates_the_same_device(self, mh4):
+        from repro.cxl.enumeration import enumerate_endpoints
+        eps = enumerate_endpoints(mh4.host_bridges)
+        assert len(eps) == 4
+        assert len({id(ep.device) for ep in eps}) == 1
+
+    def test_per_host_links_shared_media(self, mh4):
+        res = mh4.machine.resources
+        assert "cxl0.mc" in res
+        for sid in range(4):
+            assert f"cxl.h{sid}.link" in res
+
+    def test_route_stays_host_local(self, mh4):
+        p = mh4.machine.route(2, 102)
+        assert p.resources == ("cxl.h2.link", "cxl0.mc")
+        assert not p.crosses_upi
+
+    def test_shared_media_divides_bandwidth(self, mh4):
+        """Future-work scalability: aggregate saturates the device; each
+        additional host shrinks the per-host share."""
+        m = mh4.machine
+        per_host = {}
+        for active in (1, 2, 4):
+            flows_bw = []
+            # hosts run concurrently: one simulation with all threads
+            cores = []
+            for sid in range(active):
+                cores += place_threads(m, 10, sockets=[sid])
+            # each thread targets its own host's far node — emulate via
+            # per-host LOCAL-like binding using interleave of one node:
+            # run one sim per host is wrong (no shared contention), so
+            # construct a combined sim through the engine API directly.
+            from repro.memsim.bwmodel import Flow, solve_max_min
+            from repro.memsim.concurrency import thread_bandwidth_cap
+            caps = dict(m.resources)
+            flows = []
+            for i, core in enumerate(cores):
+                path = m.route(core.socket_id, 100 + core.socket_id)
+                cap = thread_bandwidth_cap(core, path.latency_ns)
+                flows.append(Flow(f"t{i}", {r: 1.0 for r in path.resources},
+                                  cap))
+            alloc = solve_max_min(flows, caps)
+            per_host[active] = alloc.total_gbps / active
+        assert per_host[2] < per_host[1]
+        assert per_host[4] < per_host[2]
+        # aggregate pinned at the device ceiling
+        assert per_host[4] * 4 == pytest.approx(11.5, abs=0.5)
+
+    def test_validation(self):
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            multihost_cxl(0)
+
+    def test_single_host_degenerates_to_setup1_cxl_path(self):
+        mh1 = multihost_cxl(1)
+        m = mh1.machine
+        cores = place_threads(m, 10, sockets=[0])
+        bw = simulate_stream(m, "triad", cores,
+                             NumaPolicy.bind(100)).reported_gbps
+        assert bw == pytest.approx(8.63, abs=0.2)

@@ -1,0 +1,195 @@
+"""Machine graph construction and access-path routing."""
+
+import pytest
+
+from repro import units
+from repro.errors import TopologyError
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.dram import DDR4_2666, DimmSpec
+from repro.machine.interconnect import UpiLink
+from repro.machine.topology import (
+    Core,
+    Machine,
+    MemoryController,
+    NodeKind,
+    NumaNode,
+    Socket,
+)
+
+
+def _mini_machine(n_sockets: int = 2) -> Machine:
+    sockets = []
+    for sid in range(n_sockets):
+        mc = MemoryController(
+            name=f"mc{sid}", channels=2,
+            dimms=(DimmSpec(DDR4_2666, units.gib(16)),),
+            effective_stream_gbps=30.0, idle_latency_ns=100.0)
+        caches = CacheHierarchy.from_levels([
+            CacheLevel(1, units.kib(32), 1.0, 500.0),
+            CacheLevel(2, units.mib(1), 4.0, 300.0),
+            CacheLevel(3, units.mib(20), 20.0, 200.0, shared=True),
+        ])
+        cores = tuple(Core(sid * 4 + i, sid, 2.0, 12) for i in range(4))
+        sockets.append(Socket(sid, "test-cpu", cores, caches, mc))
+    links = []
+    if n_sockets == 2:
+        links.append(UpiLink(0, 1, 10.4, 2, 15.0, 80.0))
+    m = Machine("mini", sockets, links)
+    m.add_dram_nodes()
+    return m
+
+
+class TestConstruction:
+    def test_basic_lookups(self):
+        m = _mini_machine()
+        assert m.n_cores == 8
+        assert m.socket(1).n_cores == 4
+        assert m.node(0).kind is NodeKind.DRAM
+        assert m.core(5).socket_id == 1
+
+    def test_duplicate_socket_rejected(self):
+        s = _mini_machine().socket(0)
+        with pytest.raises(TopologyError):
+            Machine("dup", [s, s])
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(TopologyError):
+            Machine("empty", [])
+
+    def test_core_socket_mismatch_rejected(self):
+        mc = MemoryController("mc", 1,
+                              (DimmSpec(DDR4_2666, units.gib(8)),),
+                              10.0, 90.0)
+        caches = CacheHierarchy.from_levels(
+            [CacheLevel(1, 1024, 1.0, 10.0)])
+        bad_core = Core(0, socket_id=7, freq_ghz=2.0, lfb_entries=10)
+        with pytest.raises(TopologyError):
+            Socket(0, "x", (bad_core,), caches, mc)
+
+    def test_unknown_lookups_raise(self):
+        m = _mini_machine()
+        with pytest.raises(TopologyError):
+            m.socket(9)
+        with pytest.raises(TopologyError):
+            m.node(9)
+        with pytest.raises(TopologyError):
+            m.core(99)
+        with pytest.raises(TopologyError):
+            m.upi(0, 0)
+
+    def test_duplicate_node_rejected(self):
+        m = _mini_machine()
+        node = m.node(0)
+        with pytest.raises(TopologyError):
+            m.add_node(node)
+
+    def test_dram_node_must_use_socket_controller(self):
+        m = _mini_machine()
+        foreign = MemoryController(
+            "other", 1, (DimmSpec(DDR4_2666, units.gib(8)),), 10.0, 90.0)
+        with pytest.raises(TopologyError):
+            m.add_node(NumaNode(7, NodeKind.DRAM, 0, foreign))
+
+    def test_extra_resources_must_be_registered(self):
+        m = _mini_machine()
+        node = NumaNode(5, NodeKind.CXL, 0, m.socket(0).controller,
+                        extra_resources=("ghost.link",))
+        with pytest.raises(TopologyError):
+            m.add_node(node)
+
+    def test_duplicate_resource_rejected(self):
+        m = _mini_machine()
+        with pytest.raises(TopologyError):
+            m.add_resource("s0.mc", 1.0)
+
+    def test_resource_capacity_must_be_positive(self):
+        m = _mini_machine()
+        with pytest.raises(TopologyError):
+            m.add_resource("zero", 0.0)
+
+
+class TestRouting:
+    def test_local_route_uses_local_mc_only(self):
+        m = _mini_machine()
+        p = m.route(0, 0)
+        assert p.resources == ("s0.mc",)
+        assert not p.crosses_upi and not p.crosses_cxl
+
+    def test_remote_route_crosses_upi_then_mc(self):
+        m = _mini_machine()
+        p = m.route(0, 1)
+        assert p.resources == ("upi.0->1", "s1.mc")
+        assert p.crosses_upi
+
+    def test_remote_latency_exceeds_local(self):
+        m = _mini_machine()
+        assert m.route(0, 1).latency_ns > m.route(0, 0).latency_ns
+
+    def test_reverse_direction_uses_reverse_link(self):
+        m = _mini_machine()
+        p = m.route(1, 0)
+        assert p.resources[0] == "upi.1->0"
+
+    def test_describe_mentions_every_hop(self):
+        m = _mini_machine()
+        text = m.route(0, 1).describe()
+        assert "upi.0->1" in text and "s1.mc" in text
+
+    def test_latency_floor(self):
+        # cache shave can never push latency to zero or below
+        m = _mini_machine()
+        assert m.route(0, 0).latency_ns >= 10.0
+
+
+class TestCxlNode:
+    def _with_cxl(self) -> Machine:
+        m = _mini_machine()
+        m.add_resource("cxl0.link", 40.0)
+        m.add_resource("cxl0.mc", 11.0)
+        mc = MemoryController(
+            "cxl-hdm", 2, (DimmSpec(DDR4_2666, units.gib(8)),),
+            11.0, 130.0)
+        m.add_node(NumaNode(2, NodeKind.CXL, 0, mc, persistent=True,
+                            extra_resources=("cxl0.link", "cxl0.mc"),
+                            extra_latency_ns=300.0))
+        return m
+
+    def test_cxl_route_from_home_socket(self):
+        m = self._with_cxl()
+        p = m.route(0, 2)
+        assert p.resources == ("cxl0.link", "cxl0.mc")
+        assert p.crosses_cxl and not p.crosses_upi
+
+    def test_cxl_route_from_far_socket_adds_upi(self):
+        m = self._with_cxl()
+        p = m.route(1, 2)
+        assert p.resources == ("upi.1->0", "cxl0.link", "cxl0.mc")
+        assert p.crosses_cxl and p.crosses_upi
+
+    def test_cxl_latency_dominates(self):
+        m = self._with_cxl()
+        assert m.route(0, 2).latency_ns > m.route(0, 1).latency_ns
+
+    def test_node_queries(self):
+        m = self._with_cxl()
+        assert [n.node_id for n in m.cxl_nodes()] == [2]
+        assert [n.node_id for n in m.persistent_nodes()] == [2]
+
+
+class TestDistanceMatrix:
+    def test_local_is_smallest(self):
+        m = _mini_machine()
+        d = m.distance_matrix()
+        assert d[(0, 0)] <= d[(0, 1)]
+        assert d[(1, 1)] <= d[(1, 0)]
+
+    def test_normalized_to_ten(self):
+        m = _mini_machine()
+        d = m.distance_matrix()
+        assert min(d.values()) == pytest.approx(10.0)
+
+
+class TestDescribe:
+    def test_mentions_sockets_nodes_resources(self):
+        text = _mini_machine().describe()
+        assert "socket0" in text and "node1" in text and "s0.mc" in text

@@ -1,0 +1,116 @@
+"""The max-min fair bandwidth solver."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim.bwmodel import Flow, solve_max_min
+
+
+def _flow(name, resources, cap=float("inf")):
+    if isinstance(resources, (list, tuple)):
+        resources = {r: 1.0 for r in resources}
+    return Flow(name, resources, cap)
+
+
+class TestBasics:
+    def test_single_flow_takes_min_of_cap_and_resource(self):
+        alloc = solve_max_min([_flow("f", ["r"], cap=5.0)], {"r": 10.0})
+        assert alloc.rates["f"] == pytest.approx(5.0)
+        assert alloc.bottleneck["f"] == "cap"
+
+    def test_single_flow_resource_limited(self):
+        alloc = solve_max_min([_flow("f", ["r"], cap=50.0)], {"r": 10.0})
+        assert alloc.rates["f"] == pytest.approx(10.0)
+        assert alloc.bottleneck["f"] == "r"
+
+    def test_equal_flows_share_equally(self):
+        flows = [_flow(f"f{i}", ["r"]) for i in range(4)]
+        alloc = solve_max_min(flows, {"r": 20.0})
+        for f in flows:
+            assert alloc.rates[f.name] == pytest.approx(5.0)
+
+    def test_total_equals_resource_capacity(self):
+        flows = [_flow(f"f{i}", ["r"], cap=100.0) for i in range(7)]
+        alloc = solve_max_min(flows, {"r": 33.0})
+        assert alloc.total_gbps == pytest.approx(33.0)
+
+
+class TestMaxMinFairness:
+    def test_capped_flow_releases_share(self):
+        flows = [_flow("small", ["r"], cap=2.0), _flow("big", ["r"])]
+        alloc = solve_max_min(flows, {"r": 10.0})
+        assert alloc.rates["small"] == pytest.approx(2.0)
+        assert alloc.rates["big"] == pytest.approx(8.0)
+
+    def test_multi_resource_bottleneck(self):
+        # f1 crosses both upi and mc; f2 only mc
+        flows = [
+            _flow("remote", ["upi", "mc"]),
+            _flow("local", ["mc"]),
+        ]
+        alloc = solve_max_min(flows, {"upi": 3.0, "mc": 10.0})
+        assert alloc.rates["remote"] == pytest.approx(3.0)
+        assert alloc.rates["local"] == pytest.approx(7.0)
+        assert alloc.bottleneck["remote"] == "upi"
+
+    def test_weighted_usage_amplifies_load(self):
+        flows = [Flow("heavy", {"mc": 2.0}, float("inf"))]
+        alloc = solve_max_min(flows, {"mc": 10.0})
+        assert alloc.rates["heavy"] == pytest.approx(5.0)
+
+    def test_never_exceeds_capacity(self):
+        flows = [
+            Flow("a", {"r1": 1.0, "r2": 1.3}, 4.0),
+            Flow("b", {"r1": 1.1}, 9.0),
+            Flow("c", {"r2": 1.0}, 2.0),
+        ]
+        caps = {"r1": 6.0, "r2": 5.0}
+        alloc = solve_max_min(flows, caps)
+        for res, cap in caps.items():
+            load = sum(alloc.rates[f.name] * f.usage.get(res, 0.0)
+                       for f in flows)
+            assert load <= cap + 1e-6
+
+    def test_disjoint_resources_independent(self):
+        flows = [_flow("a", ["r1"]), _flow("b", ["r2"])]
+        alloc = solve_max_min(flows, {"r1": 3.0, "r2": 7.0})
+        assert alloc.rates["a"] == pytest.approx(3.0)
+        assert alloc.rates["b"] == pytest.approx(7.0)
+
+
+class TestDiagnostics:
+    def test_resource_load_reported(self):
+        flows = [_flow("a", ["r"]), _flow("b", ["r"])]
+        alloc = solve_max_min(flows, {"r": 10.0})
+        assert alloc.resource_load["r"] == pytest.approx(10.0)
+
+    def test_utilization(self):
+        alloc = solve_max_min([_flow("a", ["r"], cap=4.0)], {"r": 8.0})
+        assert alloc.utilization({"r": 8.0})["r"] == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(SimulationError):
+            solve_max_min([_flow("f", ["ghost"])], {"r": 1.0})
+
+    def test_duplicate_flow_names_rejected(self):
+        with pytest.raises(SimulationError):
+            solve_max_min([_flow("f", ["r"]), _flow("f", ["r"])],
+                          {"r": 1.0})
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            solve_max_min([_flow("f", ["r"])], {"r": 0.0})
+
+    def test_flow_validation(self):
+        with pytest.raises(SimulationError):
+            Flow("f", {}, 1.0)
+        with pytest.raises(SimulationError):
+            Flow("f", {"r": 0.0}, 1.0)
+        with pytest.raises(SimulationError):
+            Flow("f", {"r": 1.0}, 0.0)
+
+    def test_empty_flow_list(self):
+        alloc = solve_max_min([], {"r": 10.0})
+        assert alloc.total_gbps == 0.0

@@ -1,0 +1,152 @@
+"""The simulation engine: STREAM behaviour on the modelled testbeds.
+
+These tests pin the *mechanisms*; the full paper-shape checks live in
+tests/integration/test_paper_claims.py.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.affinity import AffinityMode, place_threads
+from repro.machine.numa import NumaPolicy
+from repro.memsim.engine import (
+    AccessMode,
+    simulate_all_kernels,
+    simulate_stream,
+)
+
+
+def _run(tb, kernel="triad", n=4, node=0, mode=AccessMode.NUMA,
+         sockets=(0,), affinity=AffinityMode.CLOSE, **kw):
+    cores = place_threads(tb.machine, n, affinity, sockets=list(sockets))
+    return simulate_stream(tb.machine, kernel, cores, NumaPolicy.bind(node),
+                           mode, **kw)
+
+
+class TestScaling:
+    def test_bandwidth_monotone_in_threads(self, tb1):
+        prev = 0.0
+        for n in range(1, 11):
+            got = _run(tb1, n=n).reported_gbps
+            assert got >= prev - 1e-9
+            prev = got
+
+    def test_saturation_reached(self, tb1):
+        r4 = _run(tb1, n=4).reported_gbps
+        r10 = _run(tb1, n=10).reported_gbps
+        assert r10 == pytest.approx(r4, rel=0.05)
+
+    def test_one_thread_concurrency_limited(self, tb1):
+        r = _run(tb1, n=1)
+        assert list(r.bottlenecks.values()) == ["cap"]
+
+    def test_saturated_threads_resource_limited(self, tb1):
+        r = _run(tb1, n=10)
+        assert "s0.mc" in r.bottlenecks.values()
+
+
+class TestOrdering:
+    def test_local_beats_remote_beats_cxl(self, tb1):
+        local = _run(tb1, node=0, n=8).reported_gbps
+        remote = _run(tb1, node=1, n=8).reported_gbps
+        cxl = _run(tb1, node=2, n=8).reported_gbps
+        assert local > remote > cxl
+
+    def test_appdirect_slower_than_numa(self, tb1):
+        numa = _run(tb1, node=1, n=8, mode=AccessMode.NUMA).reported_gbps
+        ad = _run(tb1, node=1, n=8, mode=AccessMode.APP_DIRECT).reported_gbps
+        assert 0.80 < ad / numa < 0.95
+
+    def test_kernel_ordering_triad_reports_highest(self, tb1):
+        rates = {k: r.reported_gbps
+                 for k, r in simulate_all_kernels(
+                     tb1.machine,
+                     place_threads(tb1.machine, 8, sockets=[0]),
+                     NumaPolicy.bind(0)).items()}
+        assert rates["triad"] > rates["copy"]
+        assert rates["add"] == pytest.approx(rates["triad"])
+
+    def test_nt_stores_raise_reported_rate(self, tb1):
+        base = _run(tb1, n=8).reported_gbps
+        nt = _run(tb1, n=8, nt_stores=True).reported_gbps
+        assert nt > base
+
+
+class TestAffinity:
+    def test_close_remote_drag(self, tb1):
+        # target socket0 memory; adding socket1 threads beyond 10 must not
+        # help and (with the snoop weight) slightly hurts
+        r10 = _run(tb1, n=10, node=0, sockets=(0, 1)).reported_gbps
+        r14 = _run(tb1, n=14, node=0, sockets=(0, 1)).reported_gbps
+        assert r14 <= r10 + 1e-6
+
+    def test_spread_between_local_and_remote_at_low_counts(self, tb1):
+        local = _run(tb1, n=2, node=0, sockets=(0,)).reported_gbps
+        remote = _run(tb1, n=2, node=0, sockets=(1,)).reported_gbps
+        spread = _run(tb1, n=2, node=0, sockets=(0, 1),
+                      affinity=AffinityMode.SPREAD).reported_gbps
+        assert remote - 1e-6 <= spread <= local + 1e-6
+
+    def test_close_and_spread_converge_at_full_count(self, tb1):
+        close = _run(tb1, n=20, node=2, sockets=(0, 1),
+                     affinity=AffinityMode.CLOSE).reported_gbps
+        spread = _run(tb1, n=20, node=2, sockets=(0, 1),
+                      affinity=AffinityMode.SPREAD).reported_gbps
+        assert close == pytest.approx(spread, abs=0.3)
+
+
+class TestInterleave:
+    def test_interleave_two_nodes_beats_one(self, tb1):
+        cores = place_threads(tb1.machine, 10, sockets=[0])
+        bind = simulate_stream(tb1.machine, "triad", cores,
+                               NumaPolicy.bind(0)).reported_gbps
+        il = simulate_stream(tb1.machine, "triad", cores,
+                             NumaPolicy.interleave(0, 1)).reported_gbps
+        assert il > bind
+
+    def test_local_policy_uses_own_socket(self, tb1):
+        cores = place_threads(tb1.machine, 4, sockets=[1])
+        r = simulate_stream(tb1.machine, "triad", cores, NumaPolicy.local())
+        assert "s1.mc" in r.resource_load
+        assert r.resource_load.get("s0.mc", 0.0) == 0.0
+
+
+class TestSnoopClamp:
+    def test_mixed_socket_access_clamped_on_setup2(self, tb2):
+        # single-socket remote access saturates UPI (11 actual); adding
+        # the local socket's threads hits the home-agent clamp instead of
+        # scaling to the full 102 GB/s controller
+        remote_only = _run(tb2, n=10, node=1, sockets=(0,)).reported_gbps
+        mixed = _run(tb2, n=20, node=1, sockets=(0, 1)).reported_gbps
+        assert mixed < remote_only * 2.0
+        assert mixed < 15.0
+
+    def test_no_clamp_on_setup1(self, tb1):
+        mixed = _run(tb1, n=20, node=0, sockets=(0, 1)).reported_gbps
+        assert mixed > 15.0
+
+
+class TestCacheResidency:
+    def test_tiny_arrays_report_cache_bandwidth(self, tb1):
+        r = _run(tb1, n=4, array_elements=10_000)
+        assert r.cache_resident
+        assert r.reported_gbps > 100.0
+
+    def test_paper_size_is_memory_resident(self, tb1):
+        r = _run(tb1, n=4)
+        assert not r.cache_resident
+
+
+class TestValidation:
+    def test_empty_placement_rejected(self, tb1):
+        with pytest.raises(SimulationError):
+            simulate_stream(tb1.machine, "triad", [], NumaPolicy.bind(0))
+
+    def test_oversized_working_set_rejected(self, tb1):
+        # 3 arrays x 1e10 x 8B = 240 GB >> any node
+        with pytest.raises(SimulationError):
+            _run(tb1, array_elements=10_000_000_000)
+
+    def test_summary_format(self, tb1):
+        text = _run(tb1).summary()
+        assert "triad" in text and "GB/s" in text

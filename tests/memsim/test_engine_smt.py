@@ -1,0 +1,86 @@
+"""Engine behaviour with SMT placements and mixed policies."""
+
+import pytest
+
+from repro.machine.affinity import AffinityMode, place_threads
+from repro.machine.numa import NumaPolicy
+from repro.memsim.engine import AccessMode, simulate_stream
+
+
+class TestSmtScaling:
+    def test_smt_does_not_raise_saturated_bandwidth(self, tb1):
+        m = tb1.machine
+        physical = place_threads(m, 10, sockets=[0])
+        smt = place_threads(m, 20, sockets=[0], allow_smt=True)
+        bw_phys = simulate_stream(m, "triad", physical,
+                                  NumaPolicy.bind(0)).reported_gbps
+        bw_smt = simulate_stream(m, "triad", smt,
+                                 NumaPolicy.bind(0)).reported_gbps
+        assert bw_smt == pytest.approx(bw_phys, rel=0.02)
+
+    def test_smt_siblings_split_the_concurrency_cap(self, tb1):
+        m = tb1.machine
+        # 2 threads on ONE core vs 2 threads on two cores, against the
+        # high-latency CXL path where concurrency is the limiter
+        one_core = [m.socket(0).cores[0], m.socket(0).cores[0]]
+        two_cores = place_threads(m, 2, sockets=[0])
+        bw_shared = simulate_stream(m, "triad", one_core,
+                                    NumaPolicy.bind(2)).reported_gbps
+        bw_split = simulate_stream(m, "triad", two_cores,
+                                   NumaPolicy.bind(2)).reported_gbps
+        assert bw_shared == pytest.approx(bw_split / 2, rel=0.05)
+
+    def test_smt_on_cxl_path_helps_when_unsaturated(self, tb1):
+        """Before saturation, more SMT threads add in-flight requests."""
+        m = tb1.machine
+        two = place_threads(m, 2, sockets=[0])
+        four_smt = place_threads(m, 4, sockets=[0],
+                                 allow_smt=True)[:4]
+        bw2 = simulate_stream(m, "triad", two,
+                              NumaPolicy.bind(2)).reported_gbps
+        bw4 = simulate_stream(m, "triad", four_smt,
+                              NumaPolicy.bind(2)).reported_gbps
+        assert bw4 >= bw2
+
+
+class TestPolicyModeCombinations:
+    @pytest.mark.parametrize("mode", [AccessMode.NUMA,
+                                      AccessMode.APP_DIRECT])
+    def test_weighted_policy_in_both_modes(self, tb1, mode):
+        m = tb1.machine
+        cores = place_threads(m, 8, sockets=[0])
+        r = simulate_stream(m, "triad", cores,
+                            NumaPolicy.weighted({0: 3, 2: 1}), mode)
+        assert r.reported_gbps > 0
+        assert "s0.mc" in r.resource_load and "cxl0.mc" in r.resource_load
+
+    def test_appdirect_penalty_applies_to_weighted(self, tb1):
+        m = tb1.machine
+        cores = place_threads(m, 8, sockets=[0])
+        pol = NumaPolicy.weighted({0: 3, 2: 1})
+        numa = simulate_stream(m, "triad", cores, pol,
+                               AccessMode.NUMA).reported_gbps
+        ad = simulate_stream(m, "triad", cores, pol,
+                             AccessMode.APP_DIRECT).reported_gbps
+        assert 0.80 < ad / numa < 0.95
+
+    def test_interleave_across_all_three_nodes(self, tb1):
+        m = tb1.machine
+        cores = place_threads(m, 10, sockets=[0])
+        r = simulate_stream(m, "triad", cores,
+                            NumaPolicy.interleave(0, 1, 2))
+        # all three targets loaded
+        for res in ("s0.mc", "s1.mc", "cxl0.mc"):
+            assert r.resource_load.get(res, 0.0) > 0
+
+    def test_spread_placement_with_local_policy(self, tb1):
+        """Spread + first-touch: each thread uses its own socket's node,
+        so both controllers work and bandwidth nearly doubles."""
+        m = tb1.machine
+        spread = place_threads(m, 20, AffinityMode.SPREAD)
+        one_socket = place_threads(m, 10, sockets=[0])
+        both = simulate_stream(m, "triad", spread,
+                               NumaPolicy.local()).reported_gbps
+        single = simulate_stream(m, "triad", one_socket,
+                                 NumaPolicy.local()).reported_gbps
+        assert both == pytest.approx(2 * single, rel=0.05)

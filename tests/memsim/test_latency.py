@@ -1,0 +1,39 @@
+"""Latency composition."""
+
+import pytest
+
+from repro.calibration import SETUP1_CALIBRATION
+from repro.memsim.latency import path_latency_ns, weighted_latency_ns
+
+
+class TestPathLatency:
+    def test_numa_mode_is_raw_path_latency(self, tb1):
+        path = tb1.machine.route(0, 0)
+        assert path_latency_ns(path, False, SETUP1_CALIBRATION) == (
+            path.latency_ns)
+
+    def test_app_direct_adds_pmdk_cost(self, tb1):
+        path = tb1.machine.route(0, 0)
+        ad = path_latency_ns(path, True, SETUP1_CALIBRATION)
+        assert ad == path.latency_ns + SETUP1_CALIBRATION.pmdk_latency_ns
+
+
+class TestWeightedLatency:
+    def test_single_part_identity(self):
+        assert weighted_latency_ns([(1.0, 100.0)]) == pytest.approx(100.0)
+
+    def test_even_interleave_averages(self):
+        got = weighted_latency_ns([(0.5, 100.0), (0.5, 300.0)])
+        assert got == pytest.approx(200.0)
+
+    def test_unnormalized_fractions_renormalized(self):
+        got = weighted_latency_ns([(2.0, 100.0), (2.0, 300.0)])
+        assert got == pytest.approx(200.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_latency_ns([])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_latency_ns([(0.0, 100.0)])

@@ -1,0 +1,75 @@
+"""STREAM kernel byte accounting."""
+
+import pytest
+
+from repro.memsim.traffic import (
+    ELEMENT_BYTES,
+    KERNEL_ORDER,
+    KERNEL_TRAFFIC,
+    kernel,
+    reported_fraction,
+)
+
+
+class TestKernelTable:
+    def test_all_four_kernels_present(self):
+        assert set(KERNEL_ORDER) == set(KERNEL_TRAFFIC)
+
+    @pytest.mark.parametrize("name,counted", [
+        ("copy", 16), ("scale", 16), ("add", 24), ("triad", 24),
+    ])
+    def test_counted_bytes_match_stream(self, name, counted):
+        assert KERNEL_TRAFFIC[name].counted_bytes == counted
+
+    @pytest.mark.parametrize("name,actual", [
+        ("copy", 24), ("scale", 24), ("add", 32), ("triad", 32),
+    ])
+    def test_write_allocate_adds_one_line_per_store(self, name, actual):
+        assert KERNEL_TRAFFIC[name].actual_bytes() == actual
+
+    def test_nt_stores_remove_write_allocate(self):
+        for name in KERNEL_ORDER:
+            k = KERNEL_TRAFFIC[name]
+            assert k.actual_bytes(nt_stores=True) == k.counted_bytes
+
+    def test_flop_counts(self):
+        assert KERNEL_TRAFFIC["copy"].flops == 0
+        assert KERNEL_TRAFFIC["triad"].flops == 2
+
+
+class TestReportedFraction:
+    def test_copy_two_thirds(self):
+        assert reported_fraction("copy") == pytest.approx(2 / 3)
+
+    def test_triad_three_quarters(self):
+        assert reported_fraction("triad") == pytest.approx(3 / 4)
+
+    def test_nt_stores_report_everything(self):
+        for name in KERNEL_ORDER:
+            assert reported_fraction(name, nt_stores=True) == 1.0
+
+    def test_triad_reports_higher_than_copy(self):
+        # the real-machine effect: triad's reported GB/s beats copy's
+        assert reported_fraction("triad") > reported_fraction("copy")
+
+    def test_case_insensitive_lookup(self):
+        assert kernel("TRIAD").name == "triad"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            reported_fraction("dgemm")
+
+
+class TestReadFraction:
+    def test_copy_with_wa_is_two_thirds_reads(self):
+        assert KERNEL_TRAFFIC["copy"].read_fraction() == pytest.approx(2 / 3)
+
+    def test_triad_with_wa(self):
+        assert KERNEL_TRAFFIC["triad"].read_fraction() == pytest.approx(3 / 4)
+
+    def test_nt_changes_mix(self):
+        k = KERNEL_TRAFFIC["copy"]
+        assert k.read_fraction(nt_stores=True) == pytest.approx(1 / 2)
+
+    def test_element_is_double(self):
+        assert ELEMENT_BYTES == 8

@@ -1,0 +1,145 @@
+"""Persistent arrays and lists."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PmemError
+from repro.pmdk.containers import PersistentArray, PersistentList
+from repro.pmdk.pool import PmemObjPool
+
+
+class TestPersistentArray:
+    def test_create_and_view(self, pool):
+        pa = PersistentArray.create(pool, 100, "float64")
+        arr = pa.as_ndarray()
+        arr[:] = np.arange(100)
+        assert pa.read()[42] == 42.0
+
+    def test_shape_and_dtype_preserved(self, pool):
+        pa = PersistentArray.create(pool, (4, 5), "int32")
+        assert pa.shape == (4, 5)
+        assert pa.dtype == np.dtype("int32")
+        assert pa.nbytes == 4 * 5 * 4
+
+    def test_from_oid_reattaches(self, pool):
+        pa = PersistentArray.create(pool, (3, 3), "float32")
+        pa.write(np.eye(3, dtype="float32"))
+        back = PersistentArray.from_oid(pool, pa.oid)
+        assert back.shape == (3, 3)
+        assert np.array_equal(back.read(), np.eye(3))
+
+    def test_from_oid_rejects_non_array(self, pool):
+        oid = pool.alloc(256)
+        with pytest.raises(PmemError):
+            PersistentArray.from_oid(pool, oid)
+
+    def test_write_shape_mismatch(self, pool):
+        pa = PersistentArray.create(pool, 10, "float64")
+        with pytest.raises(PmemError):
+            pa.write(np.zeros(11))
+
+    def test_transactional_write_rolls_back(self, pool):
+        pa = PersistentArray.create(pool, 10, "float64")
+        pa.write(np.ones(10))
+        with pytest.raises(RuntimeError):
+            with pool.transaction() as tx:
+                pa.write(np.zeros(10), tx=tx)
+                raise RuntimeError
+        assert np.array_equal(pa.read(), np.ones(10))
+
+    def test_tx_create_rolls_back_allocation(self, pool):
+        used = pool.used_bytes
+        with pytest.raises(RuntimeError):
+            with pool.transaction() as tx:
+                PersistentArray.create(pool, 100, "float64", tx=tx)
+                raise RuntimeError
+        assert pool.used_bytes == used
+
+    def test_multidim_view(self, pool):
+        pa = PersistentArray.create(pool, (8, 4), "float64")
+        pa.as_ndarray()[3, 2] = 9.0
+        assert pa.read()[3, 2] == 9.0
+
+    def test_bad_shapes_rejected(self, pool):
+        with pytest.raises(PmemError):
+            PersistentArray.create(pool, (), "float64")
+        with pytest.raises(PmemError):
+            PersistentArray.create(pool, (0,), "float64")
+        with pytest.raises(PmemError):
+            PersistentArray.create(pool, (1, 2, 3, 4, 5), "float64")
+
+    def test_free(self, pool):
+        pa = PersistentArray.create(pool, 100, "float64")
+        used = pool.used_bytes
+        pa.free()
+        assert pool.used_bytes < used
+
+    def test_snapshot_then_mutate_in_tx(self, pool):
+        pa = PersistentArray.create(pool, 16, "float64")
+        pa.write(np.arange(16.0))
+        with pytest.raises(RuntimeError):
+            with pool.transaction() as tx:
+                pa.snapshot(tx)
+                pa.as_ndarray()[:] = -1.0
+                raise RuntimeError
+        assert np.array_equal(pa.read(), np.arange(16.0))
+
+
+class TestPersistentList:
+    def test_push_and_iterate(self, pool):
+        lst = PersistentList.create(pool)
+        lst.push_front(b"first")
+        lst.push_front(b"second")
+        assert list(lst) == [b"second", b"first"]
+        assert len(lst) == 2
+
+    def test_pop_front(self, pool):
+        lst = PersistentList.create(pool)
+        lst.push_front(b"a")
+        lst.push_front(b"b")
+        assert lst.pop_front() == b"b"
+        assert list(lst) == [b"a"]
+
+    def test_pop_empty_raises(self, pool):
+        lst = PersistentList.create(pool)
+        with pytest.raises(PmemError):
+            lst.pop_front()
+
+    def test_empty_value_supported(self, pool):
+        lst = PersistentList.create(pool)
+        lst.push_front(b"")
+        assert list(lst) == [b""]
+
+    def test_large_values(self, pool):
+        lst = PersistentList.create(pool)
+        payload = bytes(range(256)) * 16
+        lst.push_front(payload)
+        assert list(lst)[0] == payload
+
+    def test_clear_frees_nodes(self, pool):
+        lst = PersistentList.create(pool)
+        for i in range(5):
+            lst.push_front(f"v{i}".encode())
+        used = pool.used_bytes
+        lst.clear()
+        assert len(lst) == 0
+        assert pool.used_bytes < used
+
+    def test_survives_reopen(self, file_pool):
+        pool, path = file_pool
+        lst = PersistentList.create(pool)
+        lst.push_front(b"persisted")
+        anchor_off = lst.anchor.offset
+        pool.close()
+
+        p2 = PmemObjPool.open(path)
+        from repro.pmdk.oid import PMEMoid
+        lst2 = PersistentList(p2, PMEMoid(p2.uuid, anchor_off))
+        assert list(lst2) == [b"persisted"]
+        p2.close()
+
+    def test_nodes_iteration(self, pool):
+        lst = PersistentList.create(pool)
+        lst.push_front(b"x")
+        lst.push_front(b"y")
+        assert len(list(lst.nodes())) == 2

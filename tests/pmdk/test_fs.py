@@ -1,0 +1,165 @@
+"""The PMem-aware file store."""
+
+import pytest
+
+from repro.errors import CrashInjected, PmemError
+from repro.pmdk.crash import CrashController, CrashRegion
+from repro.pmdk.fs import PmemFileStore
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import PmemObjPool
+
+POOL = 4 << 20
+
+
+@pytest.fixture()
+def fs(pool) -> PmemFileStore:
+    return PmemFileStore(pool)
+
+
+class TestBasicOps:
+    def test_create_write_read(self, fs):
+        fs.write("diag.log", b"step 0: residual 1.0")
+        assert fs.read("diag.log") == b"step 0: residual 1.0"
+
+    def test_empty_file(self, fs):
+        fs.create("empty")
+        assert fs.read("empty") == b""
+        assert fs.stat("empty").size == 0
+
+    def test_overwrite_replaces(self, fs):
+        fs.write("f", b"first version")
+        fs.write("f", b"v2")
+        assert fs.read("f") == b"v2"
+        assert fs.stat("f").size == 2
+
+    def test_append(self, fs):
+        fs.write("log", b"a")
+        fs.append("log", b"bc")
+        assert fs.read("log") == b"abc"
+
+    def test_truncate(self, fs):
+        fs.write("f", b"content")
+        fs.truncate("f")
+        assert fs.read("f") == b""
+
+    def test_unlink(self, fs):
+        fs.write("gone", b"x")
+        fs.unlink("gone")
+        assert not fs.exists("gone")
+        with pytest.raises(PmemError):
+            fs.read("gone")
+
+    def test_rename(self, fs):
+        fs.write("old", b"payload")
+        fs.rename("old", "new")
+        assert fs.read("new") == b"payload"
+        assert not fs.exists("old")
+
+    def test_rename_collision_rejected(self, fs):
+        fs.create("a")
+        fs.create("b")
+        with pytest.raises(PmemError):
+            fs.rename("a", "b")
+
+    def test_listdir(self, fs):
+        for name in ("x", "y", "z"):
+            fs.create(name)
+        assert set(fs.listdir()) == {"x", "y", "z"}
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("dup")
+        with pytest.raises(PmemError):
+            fs.create("dup")
+        fs.create("dup", exist_ok=True)     # no raise
+
+    def test_bad_names_rejected(self, fs):
+        for bad in ("", "a/b", "n" * 300):
+            with pytest.raises(PmemError):
+                fs.create(bad)
+
+    def test_write_without_create_flag(self, fs):
+        with pytest.raises(PmemError):
+            fs.write("missing", b"x", create=False)
+
+    def test_large_file(self, fs):
+        payload = bytes(range(256)) * 1024      # 256 KB
+        fs.write("big", payload)
+        assert fs.read("big") == payload
+
+
+class TestSpaceReclamation:
+    def test_overwrites_do_not_leak(self, fs):
+        fs.write("f", b"\x00" * 4096)
+        used_once = fs.pool.used_bytes
+        for i in range(10):
+            fs.write("f", bytes([i]) * 4096)
+        assert fs.pool.used_bytes <= used_once + 256
+
+    def test_unlink_frees_space(self, fs):
+        baseline = fs.pool.used_bytes
+        fs.write("f", b"\x00" * 8192)
+        fs.unlink("f")
+        assert fs.pool.used_bytes <= baseline + 64
+
+
+class TestDurability:
+    def test_store_survives_reopen(self, file_pool):
+        pool, path = file_pool
+        fs = PmemFileStore(pool)
+        fs.write("persisted", b"across processes")
+        pool.close()
+
+        pool2 = PmemObjPool.open(path)
+        fs2 = PmemFileStore(pool2)
+        assert fs2.read("persisted") == b"across processes"
+        pool2.close()
+
+    @pytest.mark.parametrize("crash_at", range(2, 26, 4))
+    def test_crashed_overwrite_is_atomic(self, crash_at):
+        backing = VolatileRegion(POOL)
+        region = CrashRegion(backing)
+        pool = PmemObjPool.create(region, layout="fs")
+        fs = PmemFileStore(pool)
+        fs.write("state", b"OLD" * 100)
+        region.flush_all()
+
+        region.controller = ctrl = CrashController(
+            crash_at=crash_at, survivor_prob=0.5, seed=crash_at)
+        ctrl.attach(region)
+        crashed = False
+        try:
+            fs.write("state", b"NEW" * 100)
+        except CrashInjected:
+            crashed = True
+        if not crashed:
+            region.flush_all()
+
+        pool2 = PmemObjPool.open(backing)
+        fs2 = PmemFileStore(pool2)
+        got = fs2.read("state")
+        assert got in (b"OLD" * 100, b"NEW" * 100), "torn file contents"
+
+    @pytest.mark.parametrize("crash_at", range(2, 20, 3))
+    def test_crashed_unlink_is_atomic(self, crash_at):
+        backing = VolatileRegion(POOL)
+        region = CrashRegion(backing)
+        pool = PmemObjPool.create(region, layout="fs")
+        fs = PmemFileStore(pool)
+        fs.write("doomed", b"payload")
+        fs.write("bystander", b"innocent")
+        region.flush_all()
+
+        region.controller = ctrl = CrashController(
+            crash_at=crash_at, survivor_prob=0.5, seed=100 + crash_at)
+        ctrl.attach(region)
+        try:
+            fs.unlink("doomed")
+        except CrashInjected:
+            pass
+
+        fs2 = PmemFileStore(PmemObjPool.open(backing))
+        # the bystander always survives intact
+        assert fs2.read("bystander") == b"innocent"
+        # the victim is either fully present or fully gone
+        if fs2.exists("doomed"):
+            assert fs2.read("doomed") == b"payload"

@@ -1,0 +1,57 @@
+"""PMEMoid persistent pointers."""
+
+import pytest
+
+from repro.errors import PmemError
+from repro.pmdk.oid import OID_NULL, PMEMoid, SERIALIZED_SIZE
+
+UUID = bytes(range(16))
+
+
+class TestBasics:
+    def test_null_oid(self):
+        assert OID_NULL.is_null
+        assert not PMEMoid(UUID, 64).is_null
+        assert not PMEMoid(b"\x00" * 16, 64).is_null   # offset nonzero
+
+    def test_uuid_must_be_16_bytes(self):
+        with pytest.raises(PmemError):
+            PMEMoid(b"short", 0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(PmemError):
+            PMEMoid(UUID, -1)
+
+    def test_equality_and_ordering(self):
+        a = PMEMoid(UUID, 64)
+        b = PMEMoid(UUID, 64)
+        c = PMEMoid(UUID, 128)
+        assert a == b
+        assert a < c
+
+    def test_hashable(self):
+        assert len({PMEMoid(UUID, 64), PMEMoid(UUID, 64)}) == 1
+
+
+class TestSerialization:
+    def test_pack_size(self):
+        assert len(PMEMoid(UUID, 42).pack()) == SERIALIZED_SIZE
+
+    def test_roundtrip(self):
+        oid = PMEMoid(UUID, 0xDEADBEEF)
+        assert PMEMoid.unpack(oid.pack()) == oid
+
+    def test_null_roundtrip(self):
+        assert PMEMoid.unpack(OID_NULL.pack()).is_null
+
+    def test_unpack_from_larger_buffer(self):
+        oid = PMEMoid(UUID, 7 * 64)
+        assert PMEMoid.unpack(oid.pack() + b"trailing") == oid
+
+    def test_unpack_short_buffer_rejected(self):
+        with pytest.raises(PmemError):
+            PMEMoid.unpack(b"\x00" * 8)
+
+    def test_unpack_memoryview(self):
+        oid = PMEMoid(UUID, 99 * 64)
+        assert PMEMoid.unpack(memoryview(oid.pack())) == oid

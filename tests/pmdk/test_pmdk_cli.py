@@ -1,0 +1,73 @@
+"""The pmempool-style CLI (python -m repro.pmdk)."""
+
+import pytest
+
+from repro.pmdk.__main__ import main
+from repro.pmdk.pool import PRIMARY_HEADER_OFF, PmemObjPool
+
+
+@pytest.fixture()
+def pool_file(tmp_path):
+    path = str(tmp_path / "cli.pool")
+    rc = main(["create", path, "1m", "--layout", "cli-test"])
+    assert rc == 0
+    return path
+
+
+class TestCreate:
+    def test_create_prints_summary(self, tmp_path, capsys):
+        path = str(tmp_path / "new.pool")
+        assert main(["create", path, "512k"]) == 0
+        out = capsys.readouterr().out
+        assert "created pool" in out and "free" in out
+
+    def test_create_over_existing_pool_fails(self, pool_file, capsys):
+        assert main(["create", pool_file, "1m"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_size_suffixes(self, tmp_path):
+        import os
+        path = str(tmp_path / "sized.pool")
+        assert main(["create", path, "2m"]) == 0
+        assert os.path.getsize(path) == 2 << 20
+
+
+class TestInfo:
+    def test_info_fields(self, pool_file, capsys):
+        assert main(["info", pool_file]) == 0
+        out = capsys.readouterr().out
+        assert "layout:   'cli-test'" in out
+        assert "uuid:" in out and "free:" in out
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_info_garbage_file(self, tmp_path, capsys):
+        path = str(tmp_path / "garbage")
+        with open(path, "wb") as fh:
+            fh.write(b"\xff" * 4096)
+        assert main(["info", path]) == 1
+
+
+class TestCheck:
+    def test_healthy_pool_passes(self, pool_file, capsys):
+        assert main(["check", pool_file]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_torn_header_detected_then_repaired(self, pool_file, capsys):
+        from repro.pmdk.pmem import map_file
+        region = map_file(pool_file)
+        region.write(PRIMARY_HEADER_OFF, b"\xff" * 64)
+        region.close()
+
+        main(["check", pool_file])
+        first = capsys.readouterr().out
+        assert "primary header" in first
+
+        assert main(["check", pool_file, "--repair"]) == 0
+        repaired = capsys.readouterr().out
+        assert "restored from backup" in repaired
+
+        assert main(["check", pool_file]) == 0
+        assert "consistent" in capsys.readouterr().out

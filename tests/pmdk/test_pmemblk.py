@@ -1,0 +1,161 @@
+"""pmemblk: atomic block array (BTT-lite)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CrashInjected, PmemError
+from repro.pmdk.crash import CrashController, CrashRegion
+from repro.pmdk.pmem import VolatileRegion, map_file
+from repro.pmdk.pmemblk import PmemBlk
+
+BS = 512
+
+
+@pytest.fixture()
+def blk() -> PmemBlk:
+    return PmemBlk.create(VolatileRegion(64 * 1024), BS)
+
+
+class TestBasics:
+    def test_fresh_blocks_read_zero(self, blk):
+        assert blk.read(0) == b"\x00" * BS
+        assert blk.read(blk.nblock - 1) == b"\x00" * BS
+
+    def test_write_read_roundtrip(self, blk):
+        data = bytes(range(256)) * 2
+        blk.write(3, data)
+        assert blk.read(3) == data
+
+    def test_overwrite(self, blk):
+        blk.write(0, b"\x11" * BS)
+        blk.write(0, b"\x22" * BS)
+        assert blk.read(0) == b"\x22" * BS
+
+    def test_blocks_independent(self, blk):
+        for i in range(blk.nblock):
+            blk.write(i, bytes([i + 1]) * BS)
+        for i in range(blk.nblock):
+            assert blk.read(i) == bytes([i + 1]) * BS
+
+    def test_set_zero(self, blk):
+        blk.write(1, b"\xff" * BS)
+        blk.set_zero(1)
+        assert blk.read(1) == b"\x00" * BS
+
+    def test_many_overwrites_never_exhaust_spares(self, blk):
+        for round_no in range(50):
+            blk.write(0, bytes([round_no % 256]) * BS)
+        assert blk.read(0) == bytes([49]) * BS
+
+    def test_bad_lba(self, blk):
+        with pytest.raises(PmemError):
+            blk.read(blk.nblock)
+        with pytest.raises(PmemError):
+            blk.write(-1, b"\x00" * BS)
+
+    def test_bad_payload_size(self, blk):
+        with pytest.raises(PmemError):
+            blk.write(0, b"short")
+
+    def test_bad_block_size(self):
+        with pytest.raises(PmemError):
+            PmemBlk.create(VolatileRegion(64 * 1024), 100)
+        with pytest.raises(PmemError):
+            PmemBlk.create(VolatileRegion(64 * 1024), 32)
+
+    def test_region_too_small(self):
+        with pytest.raises(PmemError):
+            PmemBlk.create(VolatileRegion(1024), BS)
+
+    def test_usable_blocks_accounting(self):
+        n = PmemBlk.usable_blocks(64 * 1024, BS)
+        blk = PmemBlk.create(VolatileRegion(64 * 1024), BS)
+        assert blk.nblock == n
+        assert n > 100
+
+
+class TestDurability:
+    def test_reopen_preserves_blocks(self, tmp_path):
+        region = map_file(str(tmp_path / "blk.pmem"), 64 * 1024,
+                          create=True)
+        blk = PmemBlk.create(region, BS)
+        blk.write(5, b"\xab" * BS)
+        region.close()
+
+        blk2 = PmemBlk.open(map_file(str(tmp_path / "blk.pmem")))
+        assert blk2.read(5) == b"\xab" * BS
+        assert blk2.read(4) == b"\x00" * BS
+
+    def test_open_rejects_garbage(self):
+        with pytest.raises(PmemError):
+            PmemBlk.open(VolatileRegion(64 * 1024))
+
+    def test_open_rebuilds_free_list(self, tmp_path):
+        region = map_file(str(tmp_path / "blk.pmem"), 64 * 1024,
+                          create=True)
+        blk = PmemBlk.create(region, BS)
+        for i in range(8):
+            blk.write(i, bytes([i]) * BS)
+        region.close()
+        blk2 = PmemBlk.open(map_file(str(tmp_path / "blk.pmem")))
+        # overwrites still work: spares were recovered
+        for _ in range(20):
+            blk2.write(0, b"\x77" * BS)
+        assert blk2.read(0) == b"\x77" * BS
+
+
+class TestCrashAtomicity:
+    @pytest.mark.parametrize("crash_at", range(1, 5))
+    @pytest.mark.parametrize("survivors", [0.0, 0.5, 1.0])
+    def test_block_writes_never_tear(self, crash_at, survivors):
+        """The BTT guarantee: a crashed write leaves the OLD block or the
+        NEW block, never a mixture — even with random cacheline
+        survivors."""
+        backing = VolatileRegion(64 * 1024)
+        region = CrashRegion(backing)
+        blk = PmemBlk.create(region, BS)
+        old = b"\xaa" * BS
+        new = b"\xbb" * BS
+        blk.write(0, old)
+        region.flush_all()
+
+        region.controller = ctrl = CrashController(
+            crash_at=crash_at, survivor_prob=survivors, seed=crash_at)
+        ctrl.attach(region)
+        crashed = False
+        try:
+            blk.write(0, new)
+        except CrashInjected:
+            crashed = True
+        if not crashed:
+            region.flush_all()
+
+        recovered = PmemBlk.open(backing)
+        got = recovered.read(0)
+        assert got in (old, new), "torn block exposed"
+        if not crashed:
+            assert got == new
+
+    def test_crash_during_bulk_update_leaves_each_block_atomic(self):
+        backing = VolatileRegion(128 * 1024)
+        region = CrashRegion(backing)
+        blk = PmemBlk.create(region, BS)
+        n = 16
+        for i in range(n):
+            blk.write(i, bytes([0x10 + i]) * BS)
+        region.flush_all()
+
+        region.controller = ctrl = CrashController(
+            crash_at=13, survivor_prob=0.5, seed=9)
+        ctrl.attach(region)
+        try:
+            for i in range(n):
+                blk.write(i, bytes([0x80 + i]) * BS)
+        except CrashInjected:
+            pass
+
+        recovered = PmemBlk.open(backing)
+        for i in range(n):
+            got = recovered.read(i)
+            assert got in (bytes([0x10 + i]) * BS,
+                           bytes([0x80 + i]) * BS), f"block {i} torn"

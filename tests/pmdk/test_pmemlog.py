@@ -1,0 +1,126 @@
+"""pmemlog: append-only log semantics and crash atomicity."""
+
+import pytest
+
+from repro.errors import CrashInjected, PmemError
+from repro.pmdk.crash import CrashController, CrashRegion
+from repro.pmdk.pmem import VolatileRegion, map_file
+from repro.pmdk.pmemlog import PmemLog
+
+
+@pytest.fixture()
+def log() -> PmemLog:
+    return PmemLog.create(VolatileRegion(64 * 1024))
+
+
+class TestBasics:
+    def test_fresh_log_is_empty(self, log):
+        assert log.tell() == 0
+        assert list(log) == []
+
+    def test_append_and_walk_in_order(self, log):
+        for i in range(5):
+            log.append(f"record-{i}".encode())
+        assert [r.decode() for r in log] == [f"record-{i}" for i in range(5)]
+
+    def test_tell_advances(self, log):
+        log.append(b"x" * 100)
+        first = log.tell()
+        log.append(b"y")
+        assert log.tell() > first
+
+    def test_empty_record_allowed(self, log):
+        log.append(b"")
+        assert list(log) == [b""]
+
+    def test_rewind(self, log):
+        log.append(b"gone")
+        log.rewind()
+        assert log.tell() == 0 and list(log) == []
+        log.append(b"fresh")
+        assert list(log) == [b"fresh"]
+
+    def test_full_log_rejects_append(self):
+        log = PmemLog.create(VolatileRegion(256))
+        log.append(b"x" * 100)
+        with pytest.raises(PmemError):
+            log.append(b"y" * 200)
+
+    def test_walk_callback_early_stop(self, log):
+        for i in range(5):
+            log.append(bytes([i]))
+        seen = []
+
+        def cb(rec):
+            seen.append(rec)
+            return len(seen) < 2
+
+        log.walk(cb)
+        assert len(seen) == 2
+
+    def test_len(self, log):
+        log.append(b"a")
+        log.append(b"b")
+        assert len(log) == 2
+
+
+class TestDurability:
+    def test_reopen_resumes(self, tmp_path):
+        region = map_file(str(tmp_path / "log.pmem"), 16 * 1024,
+                          create=True)
+        log = PmemLog.create(region)
+        log.append(b"survives")
+        region.close()
+
+        region2 = map_file(str(tmp_path / "log.pmem"))
+        log2 = PmemLog.open(region2)
+        assert list(log2) == [b"survives"]
+        log2.append(b"more")
+        assert len(log2) == 2
+        region2.close()
+
+    def test_open_rejects_garbage(self):
+        with pytest.raises(PmemError):
+            PmemLog.open(VolatileRegion(4096))
+
+    def test_open_rejects_resized_region(self, tmp_path):
+        region = map_file(str(tmp_path / "log.pmem"), 16 * 1024,
+                          create=True)
+        PmemLog.create(region).append(b"x")
+        region.close()
+        import os
+        os.truncate(str(tmp_path / "log.pmem"), 8 * 1024)
+        with pytest.raises(PmemError):
+            PmemLog.open(map_file(str(tmp_path / "log.pmem")))
+
+
+class TestCrashAtomicity:
+    @pytest.mark.parametrize("crash_at", range(1, 7))
+    def test_interrupted_append_never_appears(self, crash_at):
+        backing = VolatileRegion(64 * 1024)
+        region = CrashRegion(backing)
+        log = PmemLog.create(region)
+        log.append(b"committed-1")
+        log.append(b"committed-2")
+        region.flush_all()
+
+        region.controller = ctrl = CrashController(
+            crash_at=crash_at, survivor_prob=0.5, seed=crash_at)
+        ctrl.attach(region)
+        crashed = False
+        try:
+            log.append(b"maybe")
+            log.append(b"never")
+        except CrashInjected:
+            crashed = True
+        if not crashed:
+            region.flush_all()
+
+        recovered = PmemLog.open(backing)
+        records = recovered.walk()
+        assert records[:2] == [b"committed-1", b"committed-2"]
+        for rec in records[2:]:
+            assert rec in (b"maybe", b"never")
+        # prefix property: "never" cannot exist without "maybe"
+        if b"never" in records:
+            assert b"maybe" in records

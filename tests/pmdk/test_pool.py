@@ -1,0 +1,238 @@
+"""pmemobj pools: create/open, root, objects, header repair."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PmemError, PoolCorruptionError, PoolError
+from repro.pmdk.oid import OID_NULL, PMEMoid
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import (
+    BACKUP_HEADER_OFF,
+    PRIMARY_HEADER_OFF,
+    PmemObjPool,
+)
+
+
+class TestCreateOpen:
+    def test_create_sets_layout_and_uuid(self, pool):
+        assert pool.layout == "test"
+        assert len(pool.uuid) == 16 and pool.uuid != b"\x00" * 16
+
+    def test_double_create_rejected(self, volatile_region):
+        PmemObjPool.create(volatile_region, layout="one")
+        with pytest.raises(PoolError):
+            PmemObjPool.create(volatile_region, layout="two")
+
+    def test_open_validates_layout(self, file_pool):
+        pool, path = file_pool
+        pool.close()
+        with pytest.raises(PoolError):
+            PmemObjPool.open(path, layout="wrong")
+
+    def test_open_without_layout_accepts_any(self, file_pool):
+        pool, path = file_pool
+        pool.close()
+        p2 = PmemObjPool.open(path)
+        assert p2.layout == "test"
+        p2.close()
+
+    def test_too_small_region_rejected(self):
+        with pytest.raises(PoolError):
+            PmemObjPool.create(VolatileRegion(64 * 1024), layout="x")
+
+    def test_file_pool_data_survives_reopen(self, file_pool):
+        pool, path = file_pool
+        oid = pool.alloc(128)
+        pool.write(oid, b"persisted data")
+        off = oid.offset
+        pool.close()
+        p2 = PmemObjPool.open(path, layout="test")
+        oid2 = PMEMoid(p2.uuid, off)
+        assert p2.read(oid2, 14) == b"persisted data"
+        p2.close()
+
+    def test_create_path_requires_size(self, tmp_path):
+        with pytest.raises(PoolError):
+            PmemObjPool.create(str(tmp_path / "p.pool"), layout="x")
+
+
+class TestObjects:
+    def test_alloc_zeroes_by_default(self, pool):
+        oid = pool.alloc(256)
+        assert pool.read(oid, 256) == b"\x00" * 256
+
+    def test_write_read_roundtrip(self, pool):
+        oid = pool.alloc(64)
+        pool.write(oid, b"value", offset=10)
+        assert pool.read(oid, 5, offset=10) == b"value"
+
+    def test_write_beyond_object_rejected(self, pool):
+        oid = pool.alloc(64)
+        with pytest.raises(PmemError):
+            pool.write(oid, b"x" * 100)
+
+    def test_foreign_oid_rejected(self, pool):
+        alien = PMEMoid(b"\x01" * 16, 64)
+        with pytest.raises(PmemError):
+            pool.read(alien, 1)
+
+    def test_null_oid_rejected(self, pool):
+        with pytest.raises(PmemError):
+            pool.direct(OID_NULL)
+
+    def test_free_releases(self, pool):
+        oid = pool.alloc(128)
+        used = pool.used_bytes
+        pool.free(oid)
+        assert pool.used_bytes < used
+
+    def test_size_of(self, pool):
+        oid = pool.alloc(100)
+        assert pool.size_of(oid) >= 100
+
+    def test_direct_view_aliases(self, pool):
+        oid = pool.alloc(64)
+        v = pool.direct(oid)
+        v[:3] = b"abc"
+        assert pool.read(oid, 3) == b"abc"
+
+    def test_np_view(self, pool):
+        oid = pool.alloc(800)
+        arr = pool.np_view(oid, "float64", 100)
+        arr[:] = 7.5
+        assert pool.read(oid, 8)[:8] == np.float64(7.5).tobytes()
+
+    def test_np_view_bounds_checked(self, pool):
+        oid = pool.alloc(80)
+        with pytest.raises(PmemError):
+            pool.np_view(oid, "float64", 100)
+
+
+class TestRoot:
+    def test_root_allocated_once(self, pool):
+        r1 = pool.root(128)
+        r2 = pool.root(128)
+        assert r1 == r2
+
+    def test_root_zeroed(self, pool):
+        assert pool.read(pool.root(64), 64) == b"\x00" * 64
+
+    def test_root_growth_rejected(self, pool):
+        pool.root(64)
+        with pytest.raises(PoolError):
+            pool.root(1 << 20)
+
+    def test_root_smaller_request_ok(self, pool):
+        pool.root(128)
+        assert pool.root(64) == pool.root_oid
+
+    def test_root_oid_null_before_creation(self, pool):
+        assert pool.root_oid.is_null
+
+    def test_root_survives_reopen(self, file_pool):
+        pool, path = file_pool
+        root = pool.root(64)
+        pool.write(root, b"rooted")
+        pool.close()
+        p2 = PmemObjPool.open(path)
+        assert p2.read(p2.root(64), 6) == b"rooted"
+        p2.close()
+
+    def test_bad_root_size(self, pool):
+        with pytest.raises(PoolError):
+            pool.root(0)
+
+
+class TestHeaderRedundancy:
+    def test_torn_primary_restored_from_backup(self, file_pool):
+        pool, path = file_pool
+        oid = pool.alloc(64)
+        pool.write(oid, b"survive")
+        off = oid.offset
+        pool.close()
+        # tear the primary header
+        from repro.pmdk.pmem import map_file
+        r = map_file(path)
+        r.write(PRIMARY_HEADER_OFF, b"\xde\xad" * 32)
+        r.persist(0, 64)
+        r.close()
+        p2 = PmemObjPool.open(path)
+        assert p2.read(PMEMoid(p2.uuid, off), 7) == b"survive"
+        p2.close()
+
+    def test_both_headers_torn_is_fatal(self, file_pool):
+        pool, path = file_pool
+        pool.close()
+        from repro.pmdk.pmem import map_file
+        r = map_file(path)
+        r.write(PRIMARY_HEADER_OFF, b"\xde" * 64)
+        r.write(BACKUP_HEADER_OFF, b"\xad" * 64)
+        r.close()
+        with pytest.raises(PoolCorruptionError):
+            PmemObjPool.open(path)
+
+
+class TestLifecycle:
+    def test_closed_pool_rejects_use(self, volatile_region):
+        p = PmemObjPool.create(volatile_region, layout="x")
+        p.close()
+        with pytest.raises(PoolError):
+            p.alloc(64)
+
+    def test_close_with_active_tx_rejected(self, pool):
+        tx = pool.transaction()
+        tx.begin()
+        with pytest.raises(PoolError):
+            pool.close()
+        tx.commit()
+        pool.close()
+
+    def test_context_manager(self, volatile_region):
+        with PmemObjPool.create(volatile_region, layout="cm") as p:
+            p.alloc(64)
+        with pytest.raises(PoolError):
+            p.alloc(64)
+
+    def test_persistent_property_follows_region(self, pool, file_pool):
+        assert not pool.persistent          # volatile backing
+        assert file_pool[0].persistent      # file backing
+
+
+class TestPoolTransactions:
+    def test_tx_write_helper(self, pool):
+        oid = pool.alloc(64)
+        pool.write(oid, b"before")
+        with pool.transaction() as tx:
+            pool.tx_write(tx, oid, b"after!")
+        assert pool.read(oid, 6) == b"after!"
+
+    def test_tx_write_rolls_back(self, pool):
+        oid = pool.alloc(64)
+        pool.write(oid, b"before")
+        with pytest.raises(RuntimeError):
+            with pool.transaction() as tx:
+                pool.tx_write(tx, oid, b"after!")
+                raise RuntimeError
+        assert pool.read(oid, 6) == b"before"
+
+    def test_tx_alloc_and_free_helpers(self, pool):
+        with pool.transaction() as tx:
+            oid = pool.tx_alloc(tx, 128)
+        assert pool.size_of(oid) == 128
+        with pool.transaction() as tx:
+            pool.tx_free(tx, oid)
+        with pytest.raises(PmemError):
+            pool.size_of(oid)
+
+    def test_nested_transaction_object_reused(self, pool):
+        t1 = pool.transaction()
+        with t1:
+            t2 = pool.transaction()
+            assert t2 is t1
+
+    def test_fresh_transaction_after_completion(self, pool):
+        t1 = pool.transaction()
+        with t1:
+            pass
+        t2 = pool.transaction()
+        assert t2 is not t1

@@ -1,0 +1,80 @@
+"""Property tests: persistent containers behave like their volatile models."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck
+
+from repro.pmdk.containers import PersistentArray, PersistentList
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import PmemObjPool
+
+POOL_BYTES = 4 * 1024 * 1024
+
+
+def _pool() -> PmemObjPool:
+    return PmemObjPool.create(VolatileRegion(POOL_BYTES), layout="prop")
+
+
+# list operations: push value / pop
+_list_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.binary(min_size=0, max_size=128)),
+        st.tuples(st.just("pop"), st.just(b"")),
+    ),
+    max_size=60,
+)
+
+
+@given(_list_ops)
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_persistent_list_matches_model(ops):
+    pool = _pool()
+    plist = PersistentList.create(pool)
+    model: list[bytes] = []
+    for kind, value in ops:
+        if kind == "push":
+            plist.push_front(value)
+            model.insert(0, value)
+        elif model:
+            assert plist.pop_front() == model.pop(0)
+    assert list(plist) == model
+    assert len(plist) == len(model)
+
+
+@given(
+    st.integers(1, 500),
+    st.sampled_from(["float64", "float32", "int64", "int32", "uint8"]),
+    st.integers(0, 2 ** 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_array_roundtrip_any_dtype(n, dtype, seed):
+    pool = _pool()
+    rng = np.random.default_rng(seed)
+    values = (rng.integers(0, 100, size=n).astype(dtype)
+              if np.dtype(dtype).kind in "iu"
+              else rng.standard_normal(n).astype(dtype))
+    pa = PersistentArray.create(pool, n, dtype)
+    pa.write(values)
+    assert np.array_equal(pa.read(), values)
+    back = PersistentArray.from_oid(pool, pa.oid)
+    assert back.dtype == np.dtype(dtype)
+    assert np.array_equal(back.read(), values)
+
+
+@given(st.lists(st.integers(1, 300), min_size=1, max_size=12),
+       st.integers(0, 2 ** 16))
+@settings(max_examples=40, deadline=None)
+def test_many_arrays_stay_independent(sizes, seed):
+    pool = _pool()
+    rng = np.random.default_rng(seed)
+    arrays = []
+    for n in sizes:
+        data = rng.standard_normal(n)
+        pa = PersistentArray.create(pool, n, "float64")
+        pa.write(data)
+        arrays.append((pa, data))
+    for pa, data in arrays:
+        assert np.array_equal(pa.read(), data)

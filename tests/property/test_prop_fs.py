@@ -1,0 +1,92 @@
+"""Property tests: the file store against a dict model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocError, PmemError
+from repro.pmdk.fs import PmemFileStore
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import PmemObjPool
+
+POOL = 4 << 20
+
+_names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), _names, st.binary(max_size=300)),
+        st.tuples(st.just("append"), _names, st.binary(max_size=100)),
+        st.tuples(st.just("unlink"), _names, st.just(b"")),
+        st.tuples(st.just("truncate"), _names, st.just(b"")),
+        st.tuples(st.just("rename"), _names, st.just(b"")),
+    ),
+    max_size=40,
+)
+
+_RENAME_TARGETS = {"alpha": "omega", "beta": "psi", "gamma": "chi",
+                   "delta": "phi"}
+
+
+def _replay(ops) -> tuple[PmemFileStore, dict[str, bytes]]:
+    pool = PmemObjPool.create(VolatileRegion(POOL), layout="fs-prop")
+    fs = PmemFileStore(pool)
+    model: dict[str, bytes] = {}
+    for kind, name, data in ops:
+        try:
+            if kind == "write":
+                fs.write(name, data)
+                model[name] = data
+            elif kind == "append":
+                if name in model:
+                    fs.append(name, data)
+                    model[name] = model[name] + data
+            elif kind == "unlink":
+                if name in model:
+                    fs.unlink(name)
+                    del model[name]
+            elif kind == "truncate":
+                if name in model:
+                    fs.truncate(name)
+                    model[name] = b""
+            elif kind == "rename":
+                target = _RENAME_TARGETS[name]
+                if name in model and target not in model:
+                    fs.rename(name, target)
+                    model[target] = model.pop(name)
+        except AllocError:
+            # pool exhaustion is acceptable; model unchanged
+            pass
+    return fs, model
+
+
+@given(_ops)
+@settings(max_examples=50, deadline=None)
+def test_file_store_matches_dict_model(ops):
+    fs, model = _replay(ops)
+    assert set(fs.listdir()) == set(model)
+    for name, data in model.items():
+        assert fs.read(name) == data
+        assert fs.stat(name).size == len(data)
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_file_store_reattach_matches_model(ops):
+    fs, model = _replay(ops)
+    # a second handle over the same pool sees identical state
+    fs2 = PmemFileStore(fs.pool)
+    assert set(fs2.listdir()) == set(model)
+    for name, data in model.items():
+        assert fs2.read(name) == data
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_file_store_never_leaks_unreachable_space(ops):
+    """After deleting every file, used bytes return to the directory's
+    fixed overhead — overwrites/renames/unlinks leak nothing."""
+    fs, model = _replay(ops)
+    for name in list(model):
+        fs.unlink(name)
+    # remaining allocations: root + directory anchor only
+    assert fs.pool.used_bytes <= 256

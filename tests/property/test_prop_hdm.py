@@ -1,0 +1,61 @@
+"""Property tests: HDM decoders are bijections."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cxl.hdm import VALID_GRANULARITIES, VALID_WAYS, HdmDecoder
+
+
+@st.composite
+def _decoders(draw):
+    ways = draw(st.sampled_from(VALID_WAYS))
+    gran = draw(st.sampled_from(VALID_GRANULARITIES))
+    chunks = draw(st.integers(1, 64))
+    base = draw(st.integers(0, 1 << 40)) // gran * gran
+    targets = tuple(f"dev{i}" for i in range(ways))
+    return HdmDecoder(base, chunks * ways * gran, targets, gran)
+
+
+@given(_decoders(), st.integers(0, 1 << 30))
+@settings(max_examples=150, deadline=None)
+def test_decode_encode_roundtrip(decoder, offset):
+    hpa = decoder.base_hpa + offset % decoder.size
+    target, dpa = decoder.decode(hpa)
+    assert decoder.encode(target, dpa) == hpa
+
+
+@given(_decoders())
+@settings(max_examples=80, deadline=None)
+def test_dpa_space_is_dense_and_fair(decoder):
+    """Every target receives exactly size/ways bytes, contiguously in DPA."""
+    seen: dict[str, set[int]] = {t: set() for t in decoder.targets}
+    step = decoder.granularity
+    for hpa in range(decoder.base_hpa, decoder.end_hpa, step):
+        target, dpa = decoder.decode(hpa)
+        assert dpa % step == 0
+        assert dpa not in seen[target], "two HPAs map to one DPA"
+        seen[target].add(dpa)
+    per_target = decoder.size // decoder.ways // step
+    for target, dpas in seen.items():
+        assert len(dpas) == per_target
+        assert dpas == set(range(0, per_target * step, step))
+
+
+@given(_decoders(), st.integers(0, 1 << 30))
+@settings(max_examples=100, deadline=None)
+def test_within_chunk_offsets_preserved(decoder, offset):
+    hpa = decoder.base_hpa + offset % decoder.size
+    _, dpa = decoder.decode(hpa)
+    assert dpa % decoder.granularity == (
+        (hpa - decoder.base_hpa) % decoder.granularity)
+
+
+@given(_decoders())
+@settings(max_examples=60, deadline=None)
+def test_consecutive_chunks_rotate_targets(decoder):
+    if decoder.ways == 1:
+        return
+    first = decoder.decode(decoder.base_hpa)[0]
+    second = decoder.decode(decoder.base_hpa + decoder.granularity)[0]
+    assert first != second

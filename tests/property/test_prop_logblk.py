@@ -1,0 +1,171 @@
+"""Property tests: pmemlog and pmemblk against their volatile models."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CrashInjected, PmemError
+from repro.pmdk.crash import CrashController, CrashRegion
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pmemblk import PmemBlk
+from repro.pmdk.pmemlog import PmemLog
+
+BS = 128
+
+
+# ---------------------------------------------------------------------------
+# pmemlog
+# ---------------------------------------------------------------------------
+
+_log_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.binary(max_size=200)),
+        st.tuples(st.just("rewind"), st.just(b"")),
+    ),
+    max_size=40,
+)
+
+
+@given(_log_ops)
+@settings(max_examples=60, deadline=None)
+def test_pmemlog_matches_list_model(ops):
+    log = PmemLog.create(VolatileRegion(64 * 1024))
+    model: list[bytes] = []
+    for kind, data in ops:
+        if kind == "append":
+            try:
+                log.append(data)
+            except PmemError:
+                continue     # full — model unchanged
+            model.append(data)
+        else:
+            log.rewind()
+            model.clear()
+    assert log.walk() == model
+
+
+@given(_log_ops, st.integers(1, 40), st.integers(0, 2 ** 12))
+@settings(max_examples=50, deadline=None)
+def test_pmemlog_crash_leaves_a_prefix(ops, crash_at, seed):
+    """After a crash at any point, the recovered log is a *prefix* of the
+    appended sequence (modulo rewinds, which reset the sequence)."""
+    backing = VolatileRegion(64 * 1024)
+    region = CrashRegion(backing)
+    region.controller = ctrl = CrashController(
+        crash_at=crash_at, survivor_prob=0.5, seed=seed)
+    ctrl.attach(region)
+    log = None
+    appended: list[bytes] = []
+    inflight: list[bytes] = []       # the op the crash may have interrupted
+    try:
+        log = PmemLog.create(region)
+        for kind, data in ops:
+            if kind == "append":
+                inflight = [data]
+                try:
+                    log.append(data)
+                except CrashInjected:
+                    raise
+                except PmemError:
+                    inflight = []
+                    continue     # log full; CrashInjected must propagate
+                appended.append(data)
+                inflight = []
+            else:
+                log.rewind()
+                appended.clear()
+                inflight = []
+    except CrashInjected:
+        pass
+    else:
+        region.flush_all()
+
+    try:
+        recovered = PmemLog.open(backing)
+    except PmemError:
+        # crash before the initial header landed — no log exists yet
+        return
+    got = recovered.walk()
+    # the recovered log is a prefix of the appends, possibly including the
+    # single append the crash interrupted (its commit may have landed)
+    assert got in (appended[:n] for n in range(len(appended) + 1)) or \
+        got == appended + inflight
+
+
+# ---------------------------------------------------------------------------
+# pmemblk
+# ---------------------------------------------------------------------------
+
+_blk_ops = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 255)),
+    min_size=1, max_size=60,
+)
+
+
+@given(_blk_ops)
+@settings(max_examples=50, deadline=None)
+def test_pmemblk_matches_dict_model(ops):
+    blk = PmemBlk.create(VolatileRegion(128 * 1024), BS)
+    model: dict[int, bytes] = {}
+    for lba_raw, byte in ops:
+        lba = lba_raw % blk.nblock
+        data = bytes([byte]) * BS
+        blk.write(lba, data)
+        model[lba] = data
+    for lba in range(blk.nblock):
+        expect = model.get(lba, b"\x00" * BS)
+        assert blk.read(lba) == expect
+
+
+@given(_blk_ops)
+@settings(max_examples=40, deadline=None)
+def test_pmemblk_reopen_matches_model(ops):
+    region = VolatileRegion(128 * 1024)
+    blk = PmemBlk.create(region, BS)
+    model: dict[int, bytes] = {}
+    for lba_raw, byte in ops:
+        lba = lba_raw % blk.nblock
+        data = bytes([byte]) * BS
+        blk.write(lba, data)
+        model[lba] = data
+    reopened = PmemBlk.open(region)
+    for lba, expect in model.items():
+        assert reopened.read(lba) == expect
+
+
+@given(_blk_ops, st.integers(1, 80), st.integers(0, 2 ** 12))
+@settings(max_examples=50, deadline=None)
+def test_pmemblk_crash_every_block_old_or_new(ops, crash_at, seed):
+    """Under a crash at any persist, every block holds one of the values
+    ever written to it (or zeros) — never a torn mixture."""
+    backing = VolatileRegion(128 * 1024)
+    region = CrashRegion(backing)
+    region.controller = ctrl = CrashController(
+        crash_at=crash_at, survivor_prob=0.5, seed=seed)
+    ctrl.attach(region)
+    history: dict[int, set[bytes]] = {}
+    nblock = None
+    try:
+        blk = PmemBlk.create(region, BS)
+        nblock = blk.nblock
+        for lba_raw, byte in ops:
+            lba = lba_raw % blk.nblock
+            data = bytes([byte]) * BS
+            # record before the write: a crash mid-flip may still commit it
+            history.setdefault(lba, set()).add(data)
+            blk.write(lba, data)
+    except CrashInjected:
+        pass
+    else:
+        region.flush_all()
+
+    if nblock is None:
+        return     # crashed during create — nothing to check
+    try:
+        recovered = PmemBlk.open(backing)
+    except PmemError:
+        return     # header never landed
+    for lba in range(recovered.nblock):
+        got = recovered.read(lba)
+        allowed = history.get(lba, set()) | {b"\x00" * BS}
+        assert got in allowed, f"block {lba} torn"

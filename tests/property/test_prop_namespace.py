@@ -1,0 +1,102 @@
+"""Property tests: namespace allocation on the device LSA.
+
+For any sequence of create/delete operations, live namespaces never
+overlap, always stay inside the persistent partition, and survive a
+runtime rebuild (labels are the source of truth).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runtime import CxlPmemRuntime
+from repro.errors import CxlError, PersistenceDomainError
+from repro.machine.presets import setup1
+
+MB = 1 << 20
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(1, 64)),    # size in MiB
+        st.tuples(st.just("delete"), st.integers(0, 30)),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def _replay(ops):
+    tb = setup1()
+    rt = CxlPmemRuntime(tb.host_bridges)
+    live: list[str] = []
+    counter = 0
+    for kind, arg in ops:
+        if kind == "create":
+            name = f"ns{counter}"
+            counter += 1
+            try:
+                rt.create_namespace("cxl0", name, arg * MB)
+            except PersistenceDomainError:
+                continue     # partition exhausted: acceptable
+            live.append(name)
+        elif live:
+            victim = live[arg % len(live)]
+            rt.delete_namespace("cxl0", victim)
+            live.remove(victim)
+    return tb, rt, live
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_live_namespaces_never_overlap(ops):
+    tb, rt, live = _replay(ops)
+    spans = sorted((ns.base_dpa, ns.base_dpa + ns.size)
+                   for ns in rt.namespaces("cxl0"))
+    for (a0, a1), (b0, _) in zip(spans, spans[1:]):
+        assert a1 <= b0
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_namespaces_stay_inside_the_device(ops):
+    tb, rt, live = _replay(ops)
+    dev = tb.cxl_devices[0]
+    for ns in rt.namespaces("cxl0"):
+        assert ns.base_dpa >= dev.persistent_base_dpa
+        assert ns.base_dpa + ns.size <= dev.capacity_bytes
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_label_index_matches_live_set(ops):
+    tb, rt, live = _replay(ops)
+    assert sorted(ns.name for ns in rt.namespaces("cxl0")) == sorted(live)
+
+
+@given(_ops)
+@settings(max_examples=30, deadline=None)
+def test_rebuilt_runtime_sees_identical_namespaces(ops):
+    tb, rt, live = _replay(ops)
+    before = {(ns.name, ns.base_dpa, ns.size)
+              for ns in rt.namespaces("cxl0")}
+    rt2 = CxlPmemRuntime(tb.host_bridges)     # "reboot"
+    after = {(ns.name, ns.base_dpa, ns.size)
+             for ns in rt2.namespaces("cxl0")}
+    assert before == after
+
+
+@given(_ops)
+@settings(max_examples=30, deadline=None)
+def test_all_mapped_regions_are_independent(ops):
+    """Writing a distinct pattern through every namespace region must not
+    bleed across namespace boundaries."""
+    tb, rt, live = _replay(ops)
+    namespaces = rt.namespaces("cxl0")
+    for i, ns in enumerate(namespaces):
+        region = ns.region()
+        region.write(0, bytes([i + 1]) * 64)
+        region.write(ns.size - 64, bytes([i + 1]) * 64)
+    for i, ns in enumerate(namespaces):
+        region = ns.region()
+        assert region.read(0, 64) == bytes([i + 1]) * 64
+        assert region.read(ns.size - 64, 64) == bytes([i + 1]) * 64

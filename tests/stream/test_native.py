@@ -1,0 +1,70 @@
+"""Native runners: timing-loop contract and the parallel path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.stream.config import StreamConfig
+from repro.stream.native import run_parallel, run_single
+
+
+class TestRunSingle:
+    def test_produces_all_kernels(self, small_config):
+        r = run_single(small_config)
+        assert set(r.times) == {"copy", "scale", "add", "triad"}
+        for times in r.times.values():
+            assert len(times) == small_config.ntimes
+
+    def test_rates_positive(self, small_config):
+        r = run_single(small_config)
+        for k in r.times:
+            assert r.best_rate_gbps(k) > 0
+
+    def test_first_iteration_excluded_from_best(self, small_config):
+        r = run_single(small_config)
+        r.times["triad"][0] = 1e-12    # absurd warm-up shouldn't matter
+        best_with_fake_warmup = r.best_rate_gbps("triad")
+        assert best_with_fake_warmup < 1e6
+
+    def test_validation_runs(self, small_config):
+        # passing corrupt arrays must be caught by the built-in check
+        a = np.zeros(small_config.array_size)
+        b = np.zeros_like(a)
+        c = np.zeros_like(a)
+        r = run_single(small_config, arrays=(a, b, c))   # init overwrites
+        assert r.n_threads == 1
+
+    def test_caller_arrays_must_match_config(self, small_config):
+        bad = np.zeros(small_config.array_size + 1)
+        with pytest.raises(BenchmarkError):
+            run_single(small_config, arrays=(bad, bad, bad))
+
+    def test_table_renders(self, small_config):
+        text = run_single(small_config).table()
+        assert "BestRate" in text and "Triad" in text
+
+
+class TestRunParallel:
+    def test_two_workers_complete_and_validate(self):
+        cfg = StreamConfig(array_size=120_000, ntimes=3)
+        r = run_parallel(cfg, 2)
+        assert r.n_threads == 2
+        assert r.best_rate_gbps("triad") > 0
+
+    def test_uneven_split(self):
+        cfg = StreamConfig(array_size=100_001, ntimes=2)
+        r = run_parallel(cfg, 3)
+        assert r.best_rate_gbps("copy") > 0
+
+    def test_single_worker_matches_serial_semantics(self):
+        cfg = StreamConfig(array_size=60_000, ntimes=3)
+        r = run_parallel(cfg, 1)
+        assert set(r.times) == {"copy", "scale", "add", "triad"}
+
+    def test_worker_count_validation(self):
+        with pytest.raises(BenchmarkError):
+            run_parallel(StreamConfig(array_size=1000, ntimes=2), 0)
+
+    def test_more_workers_than_elements_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_parallel(StreamConfig(array_size=16, ntimes=2), 32)

@@ -1,0 +1,51 @@
+"""Simulated sweep helper."""
+
+import pytest
+
+from repro.machine.affinity import AffinityMode
+from repro.machine.numa import NumaPolicy
+from repro.memsim.engine import AccessMode
+from repro.stream.config import StreamConfig
+from repro.stream.simulated import SweepSpec, simulate_sweep, sweep_result_table
+
+
+@pytest.fixture()
+def spec() -> SweepSpec:
+    return SweepSpec(label="local", policy=NumaPolicy.bind(0),
+                     mode=AccessMode.APP_DIRECT, sockets=(0,))
+
+
+class TestSweep:
+    def test_one_result_per_thread_count(self, tb1, spec):
+        results = simulate_sweep(tb1.machine, "triad", spec, [1, 2, 4])
+        assert [r.n_threads for r in results] == [1, 2, 4]
+
+    def test_uses_paper_config_by_default(self, tb1, spec):
+        r = simulate_sweep(tb1.machine, "triad", spec, [2])[0]
+        assert not r.cache_resident       # 100M elements → memory resident
+
+    def test_small_config_hits_cache(self, tb1, spec):
+        cfg = StreamConfig(array_size=10_000, ntimes=3)
+        r = simulate_sweep(tb1.machine, "triad", spec, [2], cfg)[0]
+        assert r.cache_resident
+
+    def test_affinity_forwarded(self, tb1):
+        spec = SweepSpec(label="spread", policy=NumaPolicy.bind(0),
+                         mode=AccessMode.NUMA,
+                         affinity=AffinityMode.SPREAD, sockets=(0, 1))
+        r = simulate_sweep(tb1.machine, "copy", spec, [4])[0]
+        assert "s0" in r.placement and "s1" in r.placement
+
+
+class TestTable:
+    def test_table_layout(self, tb1, spec):
+        series = {
+            "local": simulate_sweep(tb1.machine, "triad", spec, [1, 2]),
+        }
+        text = sweep_result_table(series)
+        lines = text.splitlines()
+        assert "threads" in lines[0] and "local" in lines[0]
+        assert len(lines) == 3
+
+    def test_empty_table(self):
+        assert "empty" in sweep_result_table({})

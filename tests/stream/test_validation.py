@@ -1,0 +1,74 @@
+"""The checkSTREAMresults port."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stream.config import StreamConfig
+from repro.stream.kernels import KERNELS, init_arrays
+from repro.stream.validation import check_stream_results, expected_values
+
+
+def _run_benchmark(cfg: StreamConfig):
+    a = np.empty(cfg.array_size)
+    b = np.empty_like(a)
+    c = np.empty_like(a)
+    init_arrays(a, b, c)
+    for _ in range(cfg.ntimes):
+        for k in KERNELS:
+            KERNELS[k](a, b, c, cfg.scalar)
+    return a, b, c
+
+
+class TestExpectedValues:
+    def test_scalar_evolution_matches_real_run(self):
+        cfg = StreamConfig(array_size=100, ntimes=5)
+        a, b, c = _run_benchmark(cfg)
+        aj, bj, cj = expected_values(cfg)
+        assert a[0] == pytest.approx(aj)
+        assert b[0] == pytest.approx(bj)
+        assert c[0] == pytest.approx(cj)
+
+    def test_more_iterations_changes_expectations(self):
+        e3 = expected_values(StreamConfig(array_size=16, ntimes=3))
+        e4 = expected_values(StreamConfig(array_size=16, ntimes=4))
+        assert e3 != e4
+
+
+class TestCheck:
+    def test_correct_run_passes(self):
+        cfg = StreamConfig(array_size=1000, ntimes=4)
+        a, b, c = _run_benchmark(cfg)
+        check_stream_results(a, b, c, cfg)     # must not raise
+
+    def test_corrupted_array_detected(self):
+        cfg = StreamConfig(array_size=1000, ntimes=4)
+        a, b, c = _run_benchmark(cfg)
+        c[500] *= 1.5
+        with pytest.raises(ValidationError) as exc:
+            check_stream_results(a, b, c, cfg)
+        assert "array c" in str(exc.value)
+
+    def test_systematic_error_detected(self):
+        cfg = StreamConfig(array_size=1000, ntimes=4)
+        a, b, c = _run_benchmark(cfg)
+        a += 1e-6
+        with pytest.raises(ValidationError):
+            check_stream_results(a, b, c, cfg)
+
+    def test_wrong_length_detected(self):
+        cfg = StreamConfig(array_size=1000, ntimes=4)
+        a, b, c = _run_benchmark(cfg)
+        with pytest.raises(ValidationError):
+            check_stream_results(a[:999], b, c, cfg)
+
+    def test_float32_uses_looser_epsilon(self):
+        cfg = StreamConfig(array_size=500, ntimes=3, dtype="float32")
+        a = np.empty(cfg.array_size, dtype=np.float32)
+        b = np.empty_like(a)
+        c = np.empty_like(a)
+        init_arrays(a, b, c)
+        for _ in range(cfg.ntimes):
+            for k in KERNELS:
+                KERNELS[k](a, b, c, cfg.scalar)
+        check_stream_results(a, b, c, cfg)     # passes at 1e-6 epsilon

@@ -1,0 +1,94 @@
+"""The streamer CLI."""
+
+import pytest
+
+from repro.streamer.cli import main
+
+
+class TestRun:
+    def test_run_group_writes_csv(self, tmp_path, capsys):
+        out = str(tmp_path / "r.csv")
+        rc = main(["run", "--group", "1a", "-n", "2000000",
+                   "--out", out, "--quiet"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "wrote" in text
+        assert (tmp_path / "r.csv").exists()
+
+    def test_run_figure_prints_report(self, capsys):
+        rc = main(["run", "--figure", "8", "-n", "2000000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "TRIAD" in out
+
+
+class TestReportAndCompare:
+    def test_report_from_csv(self, tmp_path, capsys):
+        out = str(tmp_path / "r.csv")
+        main(["run", "--figure", "8", "-n", "2000000", "--out", out,
+              "--quiet"])
+        capsys.readouterr()
+        rc = main(["report", "--results", out, "--figure", "8"])
+        assert rc == 0
+        assert "group 1c" in capsys.readouterr().out
+
+    def test_compare_passes_on_model(self, capsys):
+        rc = main(["compare"])
+        assert rc == 0
+        assert "12/12" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_dataflow(self, capsys):
+        assert main(["dataflow"]) == 0
+        assert "cxl0.link" in capsys.readouterr().out
+
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "setup1" in out and "setup2" in out
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--figure", "3"])
+
+
+class TestNativeAndAblation:
+    def test_native_single(self, capsys):
+        rc = main(["native", "-n", "100000", "--ntimes", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BestRate" in out and "Triad" in out
+
+    def test_native_parallel(self, capsys):
+        rc = main(["native", "-n", "120000", "--ntimes", "2", "-t", "2"])
+        assert rc == 0
+        assert "Copy" in capsys.readouterr().out
+
+    def test_native_pmem_backend(self, capsys, tmp_path):
+        uri = f"file://{tmp_path}/cli.pool"
+        rc = main(["native", "-n", "50000", "--ntimes", "2",
+                   "--pmem", uri])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "persistent=True" in out
+
+    def test_ablation(self, capsys):
+        rc = main(["ablation"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DDR5-5600" in out and "baseline" in out
+
+    def test_latency(self, capsys):
+        rc = main(["latency"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "idle latency" in out and "SLIT" in out
+
+    def test_compare_json(self, capsys):
+        import json
+        rc = main(["compare", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] == doc["total"] == 12
+        assert all(c["passed"] for c in doc["claims"])

@@ -1,0 +1,69 @@
+"""Paper-shape claim evaluation mechanics.
+
+The actual claims are asserted (at full paper scale) in
+tests/integration/test_paper_claims.py; here we test that the comparator
+*detects* violations when fed distorted data.
+"""
+
+import pytest
+
+from repro.streamer.compare import compare_to_paper, comparison_report
+from repro.streamer.results import ResultRecord, ResultSet
+from repro.streamer.runner import StreamerRunner
+from repro.stream.config import StreamConfig
+
+
+@pytest.fixture(scope="module")
+def results() -> ResultSet:
+    runner = StreamerRunner(config=StreamConfig(array_size=5_000_000,
+                                                ntimes=3))
+    return runner.run_all(kernels=("triad",))
+
+
+def _distort(results: ResultSet, series: str, factor: float) -> ResultSet:
+    out = ResultSet()
+    for r in results:
+        gbps = r.gbps * factor if r.series == series else r.gbps
+        out.add(ResultRecord(r.group, r.series, r.label, r.kernel, r.mode,
+                             r.testbed, r.n_threads, gbps))
+    return out
+
+
+class TestComparator:
+    def test_model_results_pass_all_claims(self, results):
+        checks = compare_to_paper(results, "triad")
+        assert len(checks) == 12
+        failed = [c.claim for c in checks if not c.passed]
+        assert failed == []
+
+    def test_slow_cxl_fails_dcpmm_claim(self, results):
+        bad = _distort(_distort(results, "2a.cxl", 0.2), "1b.cxl", 0.2)
+        checks = compare_to_paper(bad, "triad")
+        dcpmm = [c for c in checks if "Optane" in c.claim][0]
+        assert not dcpmm.passed
+
+    def test_fast_remote_fails_loss_claim(self, results):
+        bad = _distort(results, "1b.ddr5", 1.5)
+        checks = compare_to_paper(bad, "triad")
+        loss = [c for c in checks if "remote-socket DDR5" in c.claim][0]
+        assert not loss.passed
+
+    def test_divergent_affinity_detected(self, results):
+        bad = _distort(results, "1c.cxl.spread", 2.0)
+        checks = compare_to_paper(bad, "triad")
+        aff = [c for c in checks if "spread" in c.claim][0]
+        assert not aff.passed
+
+    def test_report_counts_passes(self, results):
+        text = comparison_report(results, "triad")
+        assert "12/12 claims hold" in text
+        assert "FAIL" not in text
+
+    def test_report_shows_failures(self, results):
+        bad = _distort(results, "2b.ddr4", 5.0)
+        text = comparison_report(bad, "triad")
+        assert "FAIL" in text
+
+    def test_checkline_format(self, results):
+        line = compare_to_paper(results, "triad")[0].line()
+        assert "paper:" in line and "ours:" in line

@@ -1,0 +1,92 @@
+"""The five test groups of Section 3.2."""
+
+import pytest
+
+from repro.machine.affinity import AffinityMode
+from repro.memsim.engine import AccessMode
+from repro.streamer.configs import (
+    FIGURE_KERNELS,
+    SYMBOL_CXL,
+    SYMBOL_DDR4,
+    SYMBOL_DDR5,
+    test_groups as _build_groups,
+)
+
+
+@pytest.fixture(scope="module")
+def groups():
+    return _build_groups()
+
+
+class TestStructure:
+    def test_all_five_groups(self, groups):
+        assert sorted(groups) == ["1a", "1b", "1c", "2a", "2b"]
+
+    def test_class1_is_app_direct(self, groups):
+        for gid in ("1a", "1b", "1c"):
+            for s in groups[gid].series:
+                assert s.spec.mode is AccessMode.APP_DIRECT
+
+    def test_class2_is_numa(self, groups):
+        for gid in ("2a", "2b"):
+            for s in groups[gid].series:
+                assert s.spec.mode is AccessMode.NUMA
+
+    def test_single_socket_groups(self, groups):
+        for gid in ("1a", "1b", "2a"):
+            for s in groups[gid].series:
+                assert s.spec.sockets == (0,)
+            assert max(groups[gid].thread_counts) == 10
+
+    def test_both_socket_groups_sweep_to_20(self, groups):
+        for gid in ("1c", "2b"):
+            for s in groups[gid].series:
+                assert s.spec.sockets == (0, 1)
+            assert max(groups[gid].thread_counts) == 20
+
+    def test_1c_has_close_and_spread(self, groups):
+        affinities = {s.spec.affinity for s in groups["1c"].series}
+        assert affinities == {AffinityMode.CLOSE, AffinityMode.SPREAD}
+
+
+class TestLegendConvention:
+    def test_symbols_match_memory_type(self, groups):
+        for g in groups.values():
+            for s in g.series:
+                if "cxl" in s.key:
+                    assert s.symbol == SYMBOL_CXL
+                elif "ddr5" in s.key:
+                    assert s.symbol == SYMBOL_DDR5
+                elif "ddr4" in s.key:
+                    assert s.symbol == SYMBOL_DDR4
+
+    def test_annotation_style(self, groups):
+        for gid in ("1a", "1b", "1c"):
+            for s in groups[gid].series:
+                assert "pmem#" in s.memory_annotation
+        for gid in ("2a", "2b"):
+            for s in groups[gid].series:
+                assert "numa#" in s.memory_annotation
+
+    def test_cxl_series_target_node2(self, groups):
+        for g in groups.values():
+            for s in g.series:
+                if "cxl" in s.key:
+                    assert s.spec.policy.nodes == (2,)
+                    assert s.testbed == "setup1"
+
+    def test_ddr4_series_use_setup2(self, groups):
+        for g in groups.values():
+            for s in g.series:
+                if "ddr4" in s.key:
+                    assert s.testbed == "setup2"
+
+    def test_keys_unique_across_groups(self, groups):
+        keys = [s.key for g in groups.values() for s in g.series]
+        assert len(keys) == len(set(keys))
+
+
+class TestFigureMap:
+    def test_figures_5_to_8(self):
+        assert FIGURE_KERNELS == {5: "scale", 6: "add", 7: "copy",
+                                  8: "triad"}

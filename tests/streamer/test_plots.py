@@ -1,0 +1,57 @@
+"""Gnuplot emitters."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.stream.config import StreamConfig
+from repro.streamer.plots import gnuplot_script, write_all_figures
+from repro.streamer.runner import StreamerRunner
+
+
+@pytest.fixture(scope="module")
+def results():
+    return StreamerRunner(config=StreamConfig(array_size=2_000_000,
+                                              ntimes=3)).run_figure(8)
+
+
+class TestScript:
+    def test_script_structure(self, results):
+        script = gnuplot_script(results, 8)
+        assert "set multiplot layout 2,3" in script
+        assert script.count("set title 'group") == 5
+        assert "TRIAD" in script
+
+    def test_every_series_plotted(self, results):
+        script = gnuplot_script(results, 8)
+        for label in ("s0->pmem#2 × CXL-DDR4", "both->numa#0 ● DDR5"):
+            assert label in script
+
+    def test_data_inlined(self, results):
+        script = gnuplot_script(results, 8)
+        assert script.count("\ne") >= 15      # one block per trend
+
+    def test_custom_output_name(self, results):
+        assert "set output 'custom.png'" in gnuplot_script(
+            results, 8, output_png="custom.png")
+
+    def test_missing_kernel_rejected(self, results):
+        with pytest.raises(BenchmarkError):
+            gnuplot_script(results, 5)        # scale was not swept
+
+    def test_bad_figure_rejected(self, results):
+        with pytest.raises(BenchmarkError):
+            gnuplot_script(results, 4)
+
+
+class TestWriteAll:
+    def test_writes_only_swept_figures(self, results, tmp_path):
+        paths = write_all_figures(results, str(tmp_path))
+        assert len(paths) == 1
+        assert paths[0].endswith("fig8_triad.gp")
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.streamer.cli import main
+        rc = main(["run", "--figure", "8", "-n", "2000000", "--quiet",
+                   "--gnuplot", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig8_triad.gp").exists()

@@ -1,0 +1,56 @@
+"""Figure tables and the data-flow report."""
+
+import pytest
+
+from repro.stream.config import StreamConfig
+from repro.streamer.report import dataflow_report, figure_report, full_report
+from repro.streamer.runner import StreamerRunner
+
+
+@pytest.fixture(scope="module")
+def results():
+    runner = StreamerRunner(config=StreamConfig(array_size=5_000_000,
+                                                ntimes=3))
+    return runner.run_all(kernels=("triad", "scale"))
+
+
+class TestFigureReport:
+    def test_contains_all_groups(self, results):
+        text = figure_report(results, 8)
+        for gid in ("1a", "1b", "1c", "2a", "2b"):
+            assert f"group {gid}" in text
+
+    def test_kernel_named(self, results):
+        assert "TRIAD" in figure_report(results, 8)
+        assert "SCALE" in figure_report(results, 5)
+
+    def test_series_labels_present(self, results):
+        text = figure_report(results, 8)
+        assert "pmem#2" in text and "numa#2" in text
+
+    def test_missing_kernel_noted(self, results):
+        text = figure_report(results, 6)     # 'add' was not swept
+        assert "no data" in text
+
+    def test_full_report_covers_all_figures(self, results):
+        text = full_report(results)
+        for fig in (5, 6, 7, 8):
+            assert f"Figure {fig}" in text
+
+
+class TestDataflowReport:
+    def test_routes_match_paper_arrows(self):
+        text = dataflow_report()
+        # group 1b CXL: socket0 through the CXL link to the device MC
+        assert "cxl0.link -> cxl0.mc" in text
+        # remote socket access crosses UPI
+        assert "upi.0->1" in text
+
+    def test_every_group_listed(self):
+        text = dataflow_report()
+        for gid in ("1a", "1b", "1c", "2a", "2b"):
+            assert f"group {gid}" in text
+
+    def test_both_socket_groups_show_both_flows(self):
+        text = dataflow_report()
+        assert "socket1 -> upi.1->0 -> cxl0.link" in text

@@ -1,0 +1,81 @@
+"""Result records, queries and CSV round-trip."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.streamer.results import ResultRecord, ResultSet
+
+
+def _rec(series="s", kernel="triad", n=1, gbps=10.0, group="1a"):
+    return ResultRecord(group=group, series=series, label=f"label-{series}",
+                        kernel=kernel, mode="numa", testbed="setup1",
+                        n_threads=n, gbps=gbps)
+
+
+@pytest.fixture()
+def rs() -> ResultSet:
+    out = ResultSet()
+    for n, v in ((1, 5.0), (2, 9.0), (4, 12.0), (8, 12.0)):
+        out.add(_rec(n=n, gbps=v))
+    for n, v in ((1, 3.0), (2, 6.0)):
+        out.add(_rec(series="other", kernel="copy", n=n, gbps=v, group="1b"))
+    return out
+
+
+class TestQueries:
+    def test_series_curve_sorted(self, rs):
+        curve = rs.series_curve("s", "triad")
+        assert curve == [(1, 5.0), (2, 9.0), (4, 12.0), (8, 12.0)]
+
+    def test_value(self, rs):
+        assert rs.value("s", "triad", 2) == 9.0
+
+    def test_value_missing_raises(self, rs):
+        with pytest.raises(BenchmarkError):
+            rs.value("s", "triad", 99)
+
+    def test_value_ambiguous_raises(self, rs):
+        rs.add(_rec(n=1, gbps=99.0))
+        with pytest.raises(BenchmarkError):
+            rs.value("s", "triad", 1)
+
+    def test_saturation_is_last_point(self, rs):
+        assert rs.saturation("s", "triad") == 12.0
+
+    def test_max_value(self, rs):
+        assert rs.max_value("s", "triad") == 12.0
+
+    def test_empty_series_raises(self, rs):
+        with pytest.raises(BenchmarkError):
+            rs.saturation("ghost", "triad")
+
+    def test_filter(self, rs):
+        assert len(rs.filter(group="1b")) == 2
+        assert len(rs.filter(kernel="triad", n_threads=1)) == 1
+
+    def test_groups_and_kernels(self, rs):
+        assert rs.groups() == ["1a", "1b"]
+        assert rs.kernels() == ["copy", "triad"]
+
+    def test_series_in_preserves_order(self, rs):
+        assert rs.series_in("1a", "triad") == ["s"]
+
+
+class TestCsv:
+    def test_roundtrip_text(self, rs):
+        text = rs.to_csv()
+        back = ResultSet.from_csv(text)
+        assert len(back) == len(rs)
+        assert back.value("s", "triad", 4) == 12.0
+
+    def test_roundtrip_file(self, rs, tmp_path):
+        path = str(tmp_path / "r.csv")
+        rs.to_csv(path)
+        back = ResultSet.from_csv(path)
+        assert len(back) == len(rs)
+
+    def test_types_preserved(self, rs):
+        back = ResultSet.from_csv(rs.to_csv())
+        rec = next(iter(back))
+        assert isinstance(rec.n_threads, int)
+        assert isinstance(rec.gbps, float)

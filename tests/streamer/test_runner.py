@@ -1,0 +1,60 @@
+"""Sweep runner."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.stream.config import StreamConfig
+from repro.streamer.runner import StreamerRunner
+
+CFG = StreamConfig(array_size=5_000_000, ntimes=3)
+
+
+@pytest.fixture(scope="module")
+def runner() -> StreamerRunner:
+    return StreamerRunner(config=CFG)
+
+
+class TestRunGroup:
+    def test_group_1a_record_count(self, runner):
+        rs = runner.run_group("1a", kernels=("triad",))
+        # 2 series x 10 thread counts
+        assert len(rs) == 20
+
+    def test_group_accepts_object(self, runner):
+        g = runner.groups["2a"]
+        rs = runner.run_group(g, kernels=("copy",))
+        assert rs.groups() == ["2a"]
+
+    def test_unknown_group_rejected(self, runner):
+        with pytest.raises(BenchmarkError):
+            runner.run_group("9z")
+
+    def test_records_carry_metadata(self, runner):
+        rs = runner.run_group("1b", kernels=("triad",))
+        rec = next(iter(rs))
+        assert rec.mode in ("pmem", "numa")
+        assert rec.testbed in ("setup1", "setup2")
+        assert rec.label
+
+
+class TestRunAll:
+    def test_full_matrix(self, runner):
+        rs = runner.run_all(kernels=("triad",))
+        assert rs.groups() == ["1a", "1b", "1c", "2a", "2b"]
+        # 1a:2, 1b:3, 2a:3 series x10 + 1c:4, 2b:3 series x20
+        assert len(rs) == (2 + 3 + 3) * 10 + (4 + 3) * 20
+
+    def test_run_figure_selects_kernel(self, runner):
+        rs = runner.run_figure(8)
+        assert rs.kernels() == ["triad"]
+        rs5 = runner.run_figure(5)
+        assert rs5.kernels() == ["scale"]
+
+    def test_bad_figure_rejected(self, runner):
+        with pytest.raises(BenchmarkError):
+            runner.run_figure(4)
+
+    def test_missing_testbed_detected(self):
+        r = StreamerRunner(testbeds={}, config=CFG)
+        with pytest.raises(BenchmarkError):
+            r.run_group("1a")

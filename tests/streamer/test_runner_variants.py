@@ -1,0 +1,51 @@
+"""StreamerRunner against injected (variant) testbeds."""
+
+import pytest
+
+from repro.machine.dram import DDR5_5600
+from repro.machine.presets import setup1_variant, setup2
+from repro.stream.config import StreamConfig
+from repro.streamer.runner import StreamerRunner
+
+CFG = StreamConfig(array_size=5_000_000, ntimes=3)
+
+
+class TestVariantInjection:
+    def test_variant_raises_cxl_series(self):
+        """Swapping the upgraded prototype into the runner lifts every
+        CXL series while leaving DDR series untouched."""
+        baseline = StreamerRunner(config=CFG).run_group(
+            "2a", kernels=("triad",))
+        upgraded = StreamerRunner(
+            testbeds={"setup1": setup1_variant(media_grade=DDR5_5600,
+                                               channels=4),
+                      "setup2": setup2()},
+            config=CFG,
+        ).run_group("2a", kernels=("triad",))
+
+        assert (upgraded.saturation("2a.cxl", "triad")
+                > 2 * baseline.saturation("2a.cxl", "triad"))
+        assert upgraded.saturation("2a.ddr5", "triad") == pytest.approx(
+            baseline.saturation("2a.ddr5", "triad"))
+        assert upgraded.saturation("2a.ddr4", "triad") == pytest.approx(
+            baseline.saturation("2a.ddr4", "triad"))
+
+    def test_upgraded_prototype_breaks_the_dcpmm_parity_claims(self):
+        """With the future-work device, 'remote DDR4 ≈ CXL' stops being
+        true — which is the point of the upgrade."""
+        from repro.streamer.compare import compare_to_paper
+        results = StreamerRunner(
+            testbeds={"setup1": setup1_variant(media_grade=DDR5_5600,
+                                               channels=4),
+                      "setup2": setup2()},
+            config=CFG,
+        ).run_all(kernels=("triad",))
+        checks = {c.claim: c for c in compare_to_paper(results, "triad")}
+        parity = checks["remote DDR4 CC-NUMA comparable to CXL (group 2a)"]
+        assert not parity.passed
+
+    def test_custom_thread_counts_respected(self):
+        runner = StreamerRunner(config=CFG)
+        rs = runner.run_group("1c", kernels=("copy",))
+        threads = sorted({r.n_threads for r in rs})
+        assert threads == list(range(1, 21))

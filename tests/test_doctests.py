@@ -1,0 +1,31 @@
+"""Run the doctests embedded in API docstrings.
+
+Several helper modules carry executable examples (units conversions, flit
+efficiency, reported fractions); this keeps them true.
+"""
+
+import doctest
+
+import pytest
+
+import repro.cxl.flit
+import repro.cxl.link
+import repro.machine.interconnect
+import repro.memsim.traffic
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.machine.interconnect,
+    repro.memsim.traffic,
+    repro.cxl.flit,
+    repro.cxl.link,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0

@@ -1,0 +1,49 @@
+"""The exception hierarchy contract: one root, meaningful subtrees."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.TopologyError, errors.AffinityError, errors.SimulationError,
+    errors.CalibrationError, errors.CxlError, errors.CxlLinkError,
+    errors.CxlDecodeError, errors.CxlMailboxError,
+    errors.CxlEnumerationError, errors.PmemError, errors.PoolError,
+    errors.PoolCorruptionError, errors.AllocError, errors.TransactionError,
+    errors.TransactionAborted, errors.CrashInjected,
+    errors.PersistenceDomainError, errors.CoherenceError,
+    errors.BenchmarkError, errors.ValidationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_everything_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+@pytest.mark.parametrize("exc,parent", [
+    (errors.CxlLinkError, errors.CxlError),
+    (errors.CxlDecodeError, errors.CxlError),
+    (errors.CxlMailboxError, errors.CxlError),
+    (errors.CxlEnumerationError, errors.CxlError),
+    (errors.PoolError, errors.PmemError),
+    (errors.PoolCorruptionError, errors.PoolError),
+    (errors.AllocError, errors.PmemError),
+    (errors.TransactionError, errors.PmemError),
+    (errors.CrashInjected, errors.PmemError),
+    (errors.PersistenceDomainError, errors.PmemError),
+    (errors.ValidationError, errors.BenchmarkError),
+])
+def test_subtree_structure(exc, parent):
+    assert issubclass(exc, parent)
+
+
+def test_catching_the_root_catches_a_leaf():
+    with pytest.raises(errors.ReproError):
+        raise errors.PoolCorruptionError("torn header")
+
+
+def test_cxl_and_pmem_subtrees_are_disjoint():
+    assert not issubclass(errors.CxlError, errors.PmemError)
+    assert not issubclass(errors.PmemError, errors.CxlError)

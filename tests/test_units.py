@@ -1,0 +1,85 @@
+"""Unit-conversion helpers: the GB-vs-GiB seams everything else sits on."""
+
+import pytest
+
+from repro import units
+
+
+class TestByteSizes:
+    def test_binary_units_compose(self):
+        assert units.kib(1) == 1024
+        assert units.mib(1) == 1024 ** 2
+        assert units.gib(1) == 1024 ** 3
+
+    def test_fractional_sizes(self):
+        assert units.mib(1.5) == 1024 ** 2 + 512 * 1024
+
+    def test_cacheline_is_64(self):
+        assert units.CACHELINE == 64
+
+    def test_decimal_vs_binary_differ(self):
+        assert units.GB < units.GIB
+
+
+class TestBandwidth:
+    def test_gbps_is_decimal(self):
+        assert units.gbps(1e9) == 1.0
+
+    def test_roundtrip(self):
+        assert units.bytes_per_second(units.gbps(123456789.0)) == pytest.approx(
+            123456789.0)
+
+    def test_ddr_channel_peak(self):
+        # DDR4-3200 on a 64-bit channel: 25.6 GB/s, the canonical number
+        assert units.mts_to_gbps(3200) == pytest.approx(25.6)
+
+    def test_ddr5_4800_peak(self):
+        assert units.mts_to_gbps(4800) == pytest.approx(38.4)
+
+    def test_pcie_gen5_lane(self):
+        # 32 GT/s with 128/130 coding: ~3.938 GB/s per lane
+        got = units.pcie_lane_gbps(32.0, 128.0 / 130.0)
+        assert got == pytest.approx(3.9385, abs=1e-3)
+
+
+class TestLittlesLaw:
+    def test_reference_point(self):
+        # 10 lines in flight at 100 ns → 6.4 GB/s
+        assert units.bw_from_concurrency(10, 100.0) == pytest.approx(6.4)
+
+    def test_scales_linearly_with_outstanding(self):
+        one = units.bw_from_concurrency(1, 100.0)
+        ten = units.bw_from_concurrency(10, 100.0)
+        assert ten == pytest.approx(10 * one)
+
+    def test_inverse_in_latency(self):
+        fast = units.bw_from_concurrency(8, 100.0)
+        slow = units.bw_from_concurrency(8, 400.0)
+        assert fast == pytest.approx(4 * slow)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            units.bw_from_concurrency(8, 0.0)
+
+    def test_custom_request_size(self):
+        assert units.bw_from_concurrency(1, 1.0, request_bytes=128) == 128.0
+
+
+class TestTimeHelpers:
+    def test_seconds_ns_roundtrip(self):
+        assert units.nanoseconds(units.seconds(123.0)) == pytest.approx(123.0)
+
+
+class TestFormatting:
+    def test_fmt_gbps(self):
+        assert "GB/s" in units.fmt_gbps(12.3456)
+        assert "12.35" in units.fmt_gbps(12.3456)
+
+    @pytest.mark.parametrize("n,expect", [
+        (512, "512 B"),
+        (2048, "2.0 KiB"),
+        (3 * 1024 ** 2, "3.0 MiB"),
+        (5 * 1024 ** 3, "5.0 GiB"),
+    ])
+    def test_fmt_bytes(self, n, expect):
+        assert units.fmt_bytes(n) == expect

@@ -1,0 +1,99 @@
+"""Checkpoint manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PmemError
+from repro.pmdk.pool import PmemObjPool
+from repro.pmdk.pmem import VolatileRegion
+from repro.workloads.checkpoint import CheckpointManager
+
+
+@pytest.fixture()
+def cm(pool) -> CheckpointManager:
+    return CheckpointManager(pool)
+
+
+class TestSaveLoad:
+    def test_roundtrip_arrays_step_meta(self, cm):
+        u = np.arange(200.0)
+        v = np.ones((5, 5), dtype=np.float32)
+        cm.save("sim", {"u": u, "v": v}, step=42, meta={"dt": 0.01})
+        arrays, step, meta = cm.load("sim")
+        assert np.array_equal(arrays["u"], u)
+        assert np.array_equal(arrays["v"], v)
+        assert arrays["v"].dtype == np.float32
+        assert step == 42 and meta == {"dt": 0.01}
+
+    def test_replace_keeps_only_newest(self, cm):
+        cm.save("sim", {"u": np.zeros(8)}, step=1)
+        cm.save("sim", {"u": np.ones(8)}, step=2)
+        arrays, step, _ = cm.load("sim")
+        assert step == 2 and arrays["u"][0] == 1.0
+        assert cm.list_checkpoints() == [("sim", 2)]
+
+    def test_replace_frees_old_arrays(self, cm):
+        cm.save("sim", {"u": np.zeros(1000)}, step=1)
+        used_one = cm.pool.used_bytes
+        for s in range(2, 6):
+            cm.save("sim", {"u": np.zeros(1000)}, step=s)
+        # storage does not grow with the number of replacements
+        assert cm.pool.used_bytes <= used_one + 1024
+
+    def test_multiple_named_checkpoints(self, cm):
+        cm.save("alpha", {"x": np.zeros(4)}, step=1)
+        cm.save("beta", {"x": np.ones(4)}, step=9)
+        assert dict(cm.list_checkpoints()) == {"alpha": 1, "beta": 9}
+        assert cm.load("beta")[1] == 9
+
+    def test_load_missing_raises(self, cm):
+        with pytest.raises(PmemError):
+            cm.load("ghost")
+
+    def test_empty_checkpoint_rejected(self, cm):
+        with pytest.raises(PmemError):
+            cm.save("empty", {})
+
+    def test_delete(self, cm):
+        cm.save("temp", {"x": np.zeros(16)})
+        cm.delete("temp")
+        assert cm.list_checkpoints() == []
+        with pytest.raises(PmemError):
+            cm.delete("temp")
+
+
+class TestDurability:
+    def test_catalog_survives_reopen(self, file_pool):
+        pool, path = file_pool
+        cm = CheckpointManager(pool)
+        cm.save("state", {"u": np.arange(50.0)}, step=7)
+        pool.close()
+
+        p2 = PmemObjPool.open(path)
+        cm2 = CheckpointManager(p2)
+        arrays, step, _ = cm2.load("state")
+        assert step == 7
+        assert np.array_equal(arrays["u"], np.arange(50.0))
+        p2.close()
+
+    def test_manager_reattaches_in_same_process(self, pool):
+        cm1 = CheckpointManager(pool)
+        cm1.save("s", {"x": np.ones(4)})
+        cm2 = CheckpointManager(pool)       # same root → same catalog
+        assert cm2.list_checkpoints() == [("s", 0)]
+
+
+class TestGc:
+    def test_gc_reclaims_orphans(self, cm):
+        # orphan: an array persisted but never cataloged (crash window)
+        from repro.pmdk.containers import PersistentArray
+        PersistentArray.create(cm.pool, 64, "float64")
+        cm.save("live", {"x": np.zeros(8)})
+        freed = cm.gc()
+        assert freed >= 1
+        # the live checkpoint is untouched
+        assert np.array_equal(cm.load("live")[0]["x"], np.zeros(8))
+
+    def test_gc_on_clean_pool_frees_nothing(self, cm):
+        cm.save("live", {"x": np.zeros(8)})
+        assert cm.gc() == 0

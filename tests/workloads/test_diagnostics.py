@@ -1,0 +1,110 @@
+"""Diagnostics recorder on pmemlog."""
+
+import pytest
+
+from repro.errors import CrashInjected, PmemError
+from repro.pmdk.crash import CrashController, CrashRegion
+from repro.pmdk.pmem import VolatileRegion, map_file
+from repro.workloads.diagnostics import DiagnosticRecord, DiagnosticsRecorder
+
+
+@pytest.fixture()
+def rec() -> DiagnosticsRecorder:
+    return DiagnosticsRecorder.create(VolatileRegion(64 * 1024))
+
+
+class TestRecording:
+    def test_record_and_replay(self, rec):
+        rec.record(0, residual=1.0, energy=5.5)
+        rec.record(1, residual=0.5, energy=5.6)
+        records = rec.replay()
+        assert [r.step for r in records] == [0, 1]
+        assert records[1].metrics == {"residual": 0.5, "energy": 5.6}
+
+    def test_series_extraction(self, rec):
+        for i in range(5):
+            rec.record(i, residual=1.0 / (i + 1))
+        rec.record(5, other=1.0)      # residual absent
+        series = rec.series("residual")
+        assert len(series) == 5
+        assert series[0] == (0, 1.0)
+
+    def test_last_step(self, rec):
+        assert rec.last_step() is None
+        rec.record(7, x=1.0)
+        assert rec.last_step() == 7
+
+    def test_ints_coerced_to_float(self, rec):
+        rec.record(0, count=3)
+        assert rec.replay()[0].metrics["count"] == 3.0
+
+    def test_non_numeric_rejected(self, rec):
+        with pytest.raises(PmemError):
+            rec.record(0, label="hot")
+
+    def test_truncate(self, rec):
+        rec.record(0, x=1.0)
+        rec.truncate()
+        assert rec.replay() == []
+        assert rec.utilization == 0.0
+
+    def test_utilization_grows(self, rec):
+        u0 = rec.utilization
+        rec.record(0, x=1.0)
+        assert rec.utilization > u0
+
+    def test_record_roundtrip_codec(self):
+        r = DiagnosticRecord(12, {"a": 1.5})
+        assert DiagnosticRecord.unpack(r.pack()) == r
+
+    def test_unpack_garbage(self):
+        with pytest.raises(PmemError):
+            DiagnosticRecord.unpack(b"\x00" * 16)
+
+
+class TestDurability:
+    def test_survives_reopen(self, tmp_path):
+        region = map_file(str(tmp_path / "diag.pmem"), 32 * 1024,
+                          create=True)
+        rec = DiagnosticsRecorder.create(region)
+        rec.record(0, residual=0.9)
+        region.close()
+        rec2 = DiagnosticsRecorder.open(
+            map_file(str(tmp_path / "diag.pmem")))
+        assert rec2.last_step() == 0
+
+    def test_crash_leaves_prefix_of_steps(self):
+        backing = VolatileRegion(64 * 1024)
+        region = CrashRegion(backing)
+        rec = DiagnosticsRecorder.create(region)
+        region.flush_all()
+        region.controller = ctrl = CrashController(crash_at=9,
+                                                   survivor_prob=0.5,
+                                                   seed=4)
+        ctrl.attach(region)
+        try:
+            for i in range(50):
+                rec.record(i, residual=1.0 / (i + 1))
+        except CrashInjected:
+            pass
+        recovered = DiagnosticsRecorder.open(backing)
+        steps = [r.step for r in recovered.replay()]
+        assert steps == list(range(len(steps)))     # a clean prefix
+
+
+class TestSolverIntegration:
+    def test_heat_solver_diagnostics(self):
+        from repro.workloads.heat2d import HeatSolver2D
+        from repro.pmdk.pool import PmemObjPool
+
+        pool = PmemObjPool.create(VolatileRegion(8 << 20), layout="heat")
+        rec = DiagnosticsRecorder.create(VolatileRegion(64 * 1024))
+        solver = HeatSolver2D(pool, n=16, checkpoint_every=100)
+        for _ in range(20):
+            delta = solver.step()
+            rec.record(solver.step_count, delta=delta,
+                       mean_t=solver.mean_temperature)
+        deltas = rec.series("delta")
+        assert len(deltas) == 20
+        # diffusion converges: the delta series trends down
+        assert deltas[-1][1] < deltas[0][1]

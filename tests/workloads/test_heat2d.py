@@ -1,0 +1,100 @@
+"""Heat solver with checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import PmemObjPool
+from repro.workloads.heat2d import HeatSolver2D
+
+
+def _pool():
+    return PmemObjPool.create(VolatileRegion(8 * 1024 * 1024), layout="heat")
+
+
+class TestPhysics:
+    def test_boundary_conditions_held(self):
+        h = HeatSolver2D(_pool(), n=16, checkpoint_every=100)
+        h.run(10)
+        assert np.all(h.grid[0, :] == 100.0)
+        assert np.all(h.grid[-1, :] == 0.0)
+
+    def test_heat_diffuses_downward(self):
+        h = HeatSolver2D(_pool(), n=16, checkpoint_every=100)
+        h.run(50)
+        # rows nearer the hot edge are warmer
+        means = h.grid[1:-1].mean(axis=1)
+        assert np.all(np.diff(means) < 0)
+
+    def test_converges_to_steady_state(self):
+        h = HeatSolver2D(_pool(), n=12, checkpoint_every=1000)
+        steps = h.run_until(tol=1e-6, max_steps=20_000)
+        assert steps < 20_000
+        delta = h.step()
+        assert delta < 1e-5
+
+    def test_temperature_bounded(self):
+        h = HeatSolver2D(_pool(), n=16, checkpoint_every=100)
+        h.run(100)
+        assert h.grid.min() >= 0.0
+        assert h.grid.max() <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            HeatSolver2D(_pool(), n=2)
+        with pytest.raises(ReproError):
+            HeatSolver2D(_pool(), n=16, checkpoint_every=0)
+
+
+class TestCheckpointRestart:
+    def test_restart_resumes_from_last_checkpoint(self):
+        pool = _pool()
+        h = HeatSolver2D(pool, n=16, checkpoint_every=5)
+        h.run(17)     # checkpoints at 5, 10, 15
+        h2 = HeatSolver2D(pool, n=16, checkpoint_every=5)
+        assert h2.restarted
+        assert h2.step_count == 15
+
+    def test_restart_is_exact(self):
+        pool_a = _pool()
+        h = HeatSolver2D(pool_a, n=16, checkpoint_every=5)
+        h.run(20)
+        h2 = HeatSolver2D(pool_a, n=16, checkpoint_every=5)   # resume @20
+        h2.run(10)
+
+        h3 = HeatSolver2D(_pool(), n=16, checkpoint_every=5)
+        h3.run(30)
+        assert np.array_equal(h2.grid, h3.grid)
+
+    def test_explicit_checkpoint(self):
+        pool = _pool()
+        h = HeatSolver2D(pool, n=16, checkpoint_every=1000)
+        h.run(3)
+        h.checkpoint()
+        h2 = HeatSolver2D(pool, n=16, checkpoint_every=1000)
+        assert h2.step_count == 3
+
+    def test_grid_shape_mismatch_on_restart(self):
+        pool = _pool()
+        h = HeatSolver2D(pool, n=16, checkpoint_every=2)
+        h.run(4)
+        with pytest.raises(ReproError):
+            HeatSolver2D(pool, n=32, checkpoint_every=2)
+
+    def test_fresh_pool_is_not_restarted(self):
+        h = HeatSolver2D(_pool(), n=8)
+        assert not h.restarted and h.step_count == 0
+
+
+class TestDiagnostics:
+    def test_mean_temperature_grows_from_cold_start(self):
+        h = HeatSolver2D(_pool(), n=16, checkpoint_every=100)
+        t0 = h.mean_temperature
+        h.run(50)
+        assert h.mean_temperature > t0
+
+    def test_interior_energy_positive_after_steps(self):
+        h = HeatSolver2D(_pool(), n=16, checkpoint_every=100)
+        h.run(10)
+        assert h.interior_energy() > 0

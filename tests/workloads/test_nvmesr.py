@@ -1,0 +1,116 @@
+"""NVM-ESR exact-state recovery of CG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PmemError
+from repro.pmdk.pmem import VolatileRegion
+from repro.pmdk.pool import PmemObjPool
+from repro.workloads.nvmesr import RecoverableCG
+from repro.workloads.solver import cg_solve, make_poisson_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_poisson_system(6)
+
+
+def _pool():
+    return PmemObjPool.create(VolatileRegion(8 * 1024 * 1024),
+                              layout="nvm-esr-cg")
+
+
+class TestBasics:
+    def test_initialization_commits_iteration_zero(self, system):
+        A, b = system
+        cg = RecoverableCG(_pool(), A, b)
+        assert cg.iteration == 0
+        assert np.array_equal(cg.x, np.zeros(b.shape[0]))
+        assert cg.residual_norm == pytest.approx(np.linalg.norm(b))
+
+    def test_solve_converges(self, system):
+        A, b = system
+        cg = RecoverableCG(_pool(), A, b, commit_every=5)
+        x = cg.solve(tol=1e-10)
+        assert np.allclose(A @ x, b, atol=1e-7)
+
+    def test_validation(self, system):
+        A, b = system
+        with pytest.raises(PmemError):
+            RecoverableCG(_pool(), A, b, commit_every=0)
+
+
+class TestExactRecovery:
+    def test_recovery_restores_exact_iterate(self, system):
+        A, b = system
+        pool = _pool()
+        cg = RecoverableCG(pool, A, b, commit_every=1)
+        cg.step(12)
+        x12 = cg.x
+
+        recovered = RecoverableCG(pool, A, b)
+        assert recovered.iteration == 12
+        assert np.array_equal(recovered.x, x12)
+        assert recovered.rs == cg.rs
+
+    def test_resumed_run_bit_identical_to_uninterrupted(self, system):
+        A, b = system
+        pool = _pool()
+        cg = RecoverableCG(pool, A, b, commit_every=3)
+        cg.step(10)
+        resumed = RecoverableCG(pool, A, b, commit_every=3)
+        resumed.step(25 - resumed.iteration)
+
+        reference = cg_solve(A, b, max_iter=25, tol=0.0)
+        assert np.array_equal(resumed.x, reference.x)
+
+    def test_commit_every_batches(self, system):
+        A, b = system
+        pool = _pool()
+        cg = RecoverableCG(pool, A, b, commit_every=4)
+        cg.step(4)
+        # a fresh attach sees the committed state at iteration 4
+        assert RecoverableCG(pool, A, b).iteration == 4
+
+    def test_partial_batch_committed_at_step_end(self, system):
+        A, b = system
+        pool = _pool()
+        cg = RecoverableCG(pool, A, b, commit_every=10)
+        cg.step(3)     # less than a full batch
+        assert RecoverableCG(pool, A, b).iteration == 3
+
+    def test_dimension_mismatch_on_recovery(self, system):
+        A, b = system
+        pool = _pool()
+        RecoverableCG(pool, A, b).step(2)
+        A2, b2 = make_poisson_system(4)
+        with pytest.raises(PmemError):
+            RecoverableCG(pool, A2, b2)
+
+
+class TestCrashMidCommit:
+    def test_crash_during_commit_recovers_previous_snapshot(self, system):
+        """A crash inside the commit transaction must roll back to the
+        previous consistent (x, r, p, iteration) quadruple."""
+        from repro.errors import CrashInjected
+        from repro.pmdk.crash import CrashController, CrashRegion
+
+        A, b = system
+        backing = VolatileRegion(8 * 1024 * 1024)
+        region = CrashRegion(backing)
+        pool = PmemObjPool.create(region, layout="nvm-esr-cg")
+        cg = RecoverableCG(pool, A, b, commit_every=1)
+        cg.step(5)
+        x5 = cg.x
+        region.flush_all()
+
+        # crash partway through the next commit
+        region.controller = ctrl = CrashController(crash_at=4)
+        ctrl.attach(region)
+        with pytest.raises(CrashInjected):
+            cg.step(1)
+
+        pool2 = PmemObjPool.open(backing)
+        recovered = RecoverableCG(pool2, A, b)
+        assert recovered.iteration == 5
+        assert np.array_equal(recovered.x, x5)

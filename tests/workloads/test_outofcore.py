@@ -1,0 +1,129 @@
+"""Out-of-core matmul on far memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.pmdk.pmem import VolatileRegion
+from repro.workloads.outofcore import FarMatrix, OutOfCoreMatmul
+
+
+def _region(mb=8):
+    return VolatileRegion(mb << 20)
+
+
+class TestFarMatrix:
+    def test_store_load_roundtrip(self):
+        m = FarMatrix(_region(), 0, 10, 8)
+        values = np.arange(80.0).reshape(10, 8)
+        m.store(values)
+        assert np.array_equal(m.load(), values)
+
+    def test_block_load(self):
+        m = FarMatrix(_region(), 0, 16, 16)
+        values = np.arange(256.0).reshape(16, 16)
+        m.store(values)
+        blk = m.load_block(4, 8, 3, 5)
+        assert np.array_equal(blk, values[4:7, 8:13])
+
+    def test_block_store(self):
+        m = FarMatrix(_region(), 0, 8, 8)
+        m.store(np.zeros((8, 8)))
+        m.store_block(2, 3, np.ones((2, 2)))
+        out = m.load()
+        assert out[2, 3] == out[3, 4] == 1.0
+        assert out.sum() == 4.0
+
+    def test_bounds_validated(self):
+        m = FarMatrix(_region(), 0, 8, 8)
+        with pytest.raises(ReproError):
+            m.load_block(7, 7, 2, 2)
+        with pytest.raises(ReproError):
+            m.store(np.zeros((9, 8)))
+
+    def test_region_capacity_validated(self):
+        with pytest.raises(ReproError):
+            FarMatrix(VolatileRegion(1024), 0, 100, 100)
+
+    def test_matrices_at_offsets_are_disjoint(self):
+        r = _region()
+        a = FarMatrix(r, 0, 4, 4)
+        b = FarMatrix(r, 4 * 4 * 8, 4, 4)
+        a.store(np.ones((4, 4)))
+        b.store(np.full((4, 4), 2.0))
+        assert np.all(a.load() == 1.0)
+        assert np.all(b.load() == 2.0)
+
+
+class TestOutOfCoreMatmul:
+    @pytest.mark.parametrize("n,block", [(8, 4), (16, 16), (17, 5),
+                                         (32, 8), (30, 7)])
+    def test_matches_numpy(self, n, block):
+        rng = np.random.default_rng(n)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        mm = OutOfCoreMatmul(_region(), n, block)
+        mm.set_operands(a, b)
+        mm.run()
+        assert np.allclose(mm.result(), a @ b)
+
+    def test_block_larger_than_n_clamped(self):
+        mm = OutOfCoreMatmul(_region(), 8, block=100)
+        assert mm.block == 8
+
+    def test_dram_working_set_independent_of_n(self):
+        small = OutOfCoreMatmul(_region(), 16, 8)
+        large = OutOfCoreMatmul(_region(32), 128, 8)
+        assert (small.dram_working_set_bytes()
+                == large.dram_working_set_bytes())
+
+    def test_traffic_shrinks_with_block_size(self):
+        """The arithmetic-intensity argument: bigger DRAM tiles mean less
+        far-memory traffic for the same problem."""
+        n = 64
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        traffic = {}
+        for block in (8, 16, 32):
+            mm = OutOfCoreMatmul(_region(), n, block)
+            mm.set_operands(a, b)
+            traffic[block] = mm.run().total_bytes
+        assert traffic[8] > traffic[16] > traffic[32]
+
+    def test_traffic_accounting_exact(self):
+        n, bs = 16, 8
+        mm = OutOfCoreMatmul(_region(), n, bs)
+        mm.set_operands(np.eye(n), np.eye(n))
+        stats = mm.run()
+        blocks = n // bs
+        assert stats.loads == blocks * blocks * blocks * 2
+        assert stats.stores == blocks * blocks
+        assert stats.bytes_loaded == stats.loads * bs * bs * 8
+
+    def test_arithmetic_intensity_grows_with_block(self):
+        lo = OutOfCoreMatmul(_region(), 64, 8).arithmetic_intensity()
+        hi = OutOfCoreMatmul(_region(), 64, 32).arithmetic_intensity()
+        assert hi > lo
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError):
+            OutOfCoreMatmul(VolatileRegion(1 << 16), 256)
+
+    def test_on_cxl_namespace(self):
+        """The actual use case: operands live on the CXL device."""
+        from repro.core.runtime import CxlPmemRuntime
+        from repro.machine.presets import setup1
+        tb = setup1()
+        rt = CxlPmemRuntime(tb.host_bridges)
+        ns = rt.create_namespace("cxl0", "ooc", 4 << 20)
+        n = 24
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        mm = OutOfCoreMatmul(ns.region(), n, block=8)
+        mm.set_operands(a, b)
+        mm.run()
+        assert np.allclose(mm.result(), a @ b)
+        # the result survives a device power cycle (battery domain)
+        tb.cxl_devices[0].power_fail()
+        tb.cxl_devices[0].power_on()
+        assert np.allclose(mm.result(), a @ b)

@@ -1,0 +1,104 @@
+"""Iterative solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.solver import (
+    cg_solve,
+    jacobi_solve,
+    make_poisson_system,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return make_poisson_system(6)
+
+
+class TestPoissonSystem:
+    def test_shape(self, system):
+        A, b = system
+        assert A.shape == (36, 36)
+        assert b.shape == (36,)
+
+    def test_symmetric_positive_definite(self, system):
+        A, _ = system
+        assert np.allclose(A, A.T)
+        assert np.all(np.linalg.eigvalsh(A) > 0)
+
+    def test_five_point_stencil(self, system):
+        A, _ = system
+        assert np.all(np.diag(A) == 4.0)
+        assert A[0, 1] == -1.0 and A[0, 6] == -1.0
+
+    def test_deterministic_rhs(self):
+        _, b1 = make_poisson_system(4)
+        _, b2 = make_poisson_system(4)
+        assert np.array_equal(b1, b2)
+
+    def test_minimum_size(self):
+        with pytest.raises(ReproError):
+            make_poisson_system(1)
+
+
+class TestCG:
+    def test_converges_to_true_solution(self, system):
+        A, b = system
+        res = cg_solve(A, b)
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-7)
+
+    def test_residual_history_decreases_overall(self, system):
+        A, b = system
+        res = cg_solve(A, b)
+        assert res.residual_history[-1] < res.residual_history[0] * 1e-8
+
+    def test_warm_start(self, system):
+        A, b = system
+        exact = np.linalg.solve(A, b)
+        res = cg_solve(A, b, x0=exact)
+        assert res.iterations == 0
+
+    def test_max_iter_respected(self, system):
+        A, b = system
+        res = cg_solve(A, b, max_iter=3, tol=1e-16)
+        assert res.iterations == 3
+        assert not res.converged
+
+    def test_input_validation(self):
+        with pytest.raises(ReproError):
+            cg_solve(np.zeros((3, 4)), np.zeros(3))
+        with pytest.raises(ReproError):
+            cg_solve(np.eye(3), np.zeros(4))
+
+    def test_deterministic(self, system):
+        A, b = system
+        x1 = cg_solve(A, b, max_iter=10, tol=0.0).x
+        x2 = cg_solve(A, b, max_iter=10, tol=0.0).x
+        assert np.array_equal(x1, x2)
+
+
+class TestJacobi:
+    def test_converges_on_poisson(self, system):
+        A, b = system
+        res = jacobi_solve(A, b, tol=1e-9, max_iter=5000)
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-6)
+
+    def test_zero_diagonal_rejected(self):
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ReproError):
+            jacobi_solve(A, np.ones(2))
+
+    def test_nonconvergence_reported(self, system):
+        A, b = system
+        res = jacobi_solve(A, b, tol=1e-12, max_iter=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_cg_much_faster_than_jacobi(self, system):
+        A, b = system
+        cg = cg_solve(A, b, tol=1e-8)
+        jac = jacobi_solve(A, b, tol=1e-8, max_iter=10_000)
+        assert cg.iterations < jac.iterations / 5
