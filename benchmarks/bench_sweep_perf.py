@@ -1,0 +1,193 @@
+"""Sweep-engine performance: serial vs plan-cached vs parallel vs disk.
+
+Times the full ``StreamerRunner.run_all()`` matrix (5 groups x 4 kernels
+x 2 testbeds = 880 records) under four strategies:
+
+* ``baseline``   — plan cache disabled: the pre-optimization serial path;
+* ``serial``     — cold in-process caches, plan cache enabled;
+* ``parallel``   — process-pool fan-out (one worker per CPU by default);
+* ``disk_cache`` — warm on-disk sweep cache (replay, no simulation).
+
+Every strategy starts from a fresh :class:`StreamerRunner` (fresh
+machines → cold route/placement/plan caches), so each number is a true
+cold-start except ``disk_cache``, which deliberately measures the replay
+path.  All four produce byte-identical CSV output, which is asserted.
+
+Results land in ``results/BENCH_sweep.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_perf.py [--smoke] [-j N]
+
+or via pytest (CI smoke step)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep_perf.py
+
+The ``--smoke`` flag shrinks the STREAM array so the whole comparison
+finishes in a couple of seconds on one core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.machine import affinity
+from repro.memsim.plan import (
+    clear_plan_cache,
+    plan_cache_stats,
+    set_plan_cache_enabled,
+)
+from repro.stream.config import StreamConfig
+from repro.streamer.runner import StreamerRunner
+
+RESULTS_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "results"))
+
+#: Array elements for ``--smoke`` (paper: 100M).
+SMOKE_ELEMENTS = 2_000_000
+
+
+def _fresh_runner(config: StreamConfig,
+                  cache_dir: str | None = None) -> StreamerRunner:
+    """New runner with newly built machines → cold per-machine caches."""
+    clear_plan_cache()
+    affinity._PLACEMENT_CACHE.clear()
+    return StreamerRunner(config=config, cache_dir=cache_dir)
+
+
+def _best_of(repeat: int, fn) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_bench(config: StreamConfig | None = None, repeat: int = 3,
+              jobs: int | bool = True) -> dict:
+    """Measure the four strategies; return the ``BENCH_sweep.json`` doc."""
+    config = config or StreamConfig.paper()
+    timings: dict[str, float] = {}
+    csvs: dict[str, str] = {}
+
+    def baseline():
+        runner = _fresh_runner(config)
+        prev = set_plan_cache_enabled(False)
+        try:
+            return runner.run_all()
+        finally:
+            set_plan_cache_enabled(prev)
+
+    timings["baseline_s"], rs = _best_of(repeat, baseline)
+    csvs["baseline"] = rs.to_csv()
+    n_records = len(rs)
+
+    timings["serial_s"], rs = _best_of(
+        repeat, lambda: _fresh_runner(config).run_all())
+    csvs["serial"] = rs.to_csv()
+    plan_stats = plan_cache_stats()
+
+    timings["parallel_s"], rs = _best_of(
+        repeat, lambda: _fresh_runner(config).run_all(parallel=jobs))
+    csvs["parallel"] = rs.to_csv()
+
+    with tempfile.TemporaryDirectory(prefix="sweep-cache-") as cache_dir:
+        _fresh_runner(config, cache_dir).run_all()      # populate
+        timings["disk_cache_s"], rs = _best_of(
+            repeat, lambda: _fresh_runner(config, cache_dir).run_all())
+        csvs["disk_cache"] = rs.to_csv()
+
+    mismatched = [k for k, v in csvs.items() if v != csvs["baseline"]]
+    doc = {
+        "config": {
+            "array_elements": config.array_size,
+            "repeat": repeat,
+            "jobs": os.cpu_count() if jobs is True else jobs,
+            "cpu_count": os.cpu_count(),
+            "records": n_records,
+        },
+        "timings_s": {k: round(v, 6) for k, v in timings.items()},
+        "speedup_vs_baseline": {
+            k: round(timings["baseline_s"] / v, 2)
+            for k, v in timings.items() if k != "baseline_s"
+        },
+        "plan_cache": plan_stats,
+        "identical_output": not mismatched,
+        "mismatched": mismatched,
+    }
+    return doc
+
+
+def _report(doc: dict) -> str:
+    t = doc["timings_s"]
+    s = doc["speedup_vs_baseline"]
+    lines = [
+        "=== sweep engine: run_all() wall-time "
+        f"({doc['config']['records']} records, "
+        f"{doc['config']['array_elements']:,} elements, "
+        f"{doc['config']['cpu_count']} CPUs) ===",
+        f"{'strategy':<22}{'seconds':>10}{'speedup':>9}",
+        f"{'baseline (no caches)':<22}{t['baseline_s']:>10.4f}{'1.0x':>9}",
+        f"{'serial + plan cache':<22}{t['serial_s']:>10.4f}"
+        f"{s['serial_s']:>8.1f}x",
+        f"{'parallel':<22}{t['parallel_s']:>10.4f}"
+        f"{s['parallel_s']:>8.1f}x",
+        f"{'disk cache (warm)':<22}{t['disk_cache_s']:>10.4f}"
+        f"{s['disk_cache_s']:>8.1f}x",
+        f"identical output across strategies: {doc['identical_output']}",
+    ]
+    return "\n".join(lines)
+
+
+def _write(doc: dict, out_path: str) -> None:
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (CI smoke step)
+# ---------------------------------------------------------------------------
+
+def test_sweep_perf_smoke(results_dir):
+    """Smoke-size comparison; asserts equivalence and writes the JSON."""
+    doc = run_bench(StreamConfig(array_size=SMOKE_ELEMENTS), repeat=2)
+    _write(doc, os.path.join(results_dir, "BENCH_sweep.json"))
+    print("\n" + _report(doc))
+    assert doc["identical_output"], doc["mismatched"]
+    assert doc["speedup_vs_baseline"]["serial_s"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# standalone CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--smoke", action="store_true",
+                   help=f"small arrays ({SMOKE_ELEMENTS:,} elements)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="repetitions per strategy (best-of)")
+    p.add_argument("-j", "--jobs", type=int, default=0,
+                   help="parallel workers (0 = one per CPU)")
+    p.add_argument("--out", default=os.path.join(RESULTS_DIR,
+                                                 "BENCH_sweep.json"))
+    args = p.parse_args(argv)
+
+    config = (StreamConfig(array_size=SMOKE_ELEMENTS) if args.smoke
+              else StreamConfig.paper())
+    jobs: int | bool = True if args.jobs == 0 else args.jobs
+    doc = run_bench(config, repeat=args.repeat, jobs=jobs)
+    _write(doc, args.out)
+    print(_report(doc))
+    print(f"wrote {args.out}")
+    return 0 if doc["identical_output"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,9 +25,16 @@ def results_dir() -> str:
 
 
 @pytest.fixture(scope="session")
-def runner() -> StreamerRunner:
-    """One runner (paper configuration: 100M elements) for the session."""
-    return StreamerRunner()
+def runner(results_dir) -> StreamerRunner:
+    """One runner (paper configuration: 100M elements) for the session.
+
+    The on-disk sweep cache lives under ``results/`` so re-running the
+    figure benches replays unchanged sweeps instead of re-simulating;
+    any change to the model, calibration or group specs changes the
+    content hash and forces a recompute.
+    """
+    return StreamerRunner(
+        cache_dir=os.path.join(results_dir, ".sweep_cache"))
 
 
 @pytest.fixture(scope="session")

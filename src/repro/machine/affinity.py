@@ -98,6 +98,32 @@ def place_threads(machine: Machine, n_threads: int,
     return placement
 
 
+_PLACEMENT_CACHE: dict[tuple, tuple[Core, ...]] = {}
+_PLACEMENT_CACHE_MAX = 1024
+
+
+def place_threads_cached(machine: Machine, n_threads: int,
+                         mode: AffinityMode = AffinityMode.CLOSE,
+                         sockets: Sequence[int] | None = None,
+                         allow_smt: bool = False) -> list[Core]:
+    """Memoized :func:`place_threads` (placement is deterministic).
+
+    A machine's cores are fixed at construction, so entries never go
+    stale.  Sweep drivers hit the same (machine, n, mode, sockets)
+    placements once per kernel; this collapses that to one computation.
+    """
+    key = (machine, n_threads, mode,
+           tuple(sockets) if sockets is not None else None, allow_smt)
+    cached = _PLACEMENT_CACHE.get(key)
+    if cached is None:
+        cached = tuple(place_threads(machine, n_threads, mode,
+                                     sockets=sockets, allow_smt=allow_smt))
+        if len(_PLACEMENT_CACHE) >= _PLACEMENT_CACHE_MAX:
+            _PLACEMENT_CACHE.clear()
+        _PLACEMENT_CACHE[key] = cached
+    return list(cached)
+
+
 def smt_load(placement: Sequence[Core]) -> dict[int, int]:
     """Number of threads sharing each core in a placement."""
     load: dict[int, int] = {}

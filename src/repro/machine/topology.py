@@ -218,6 +218,11 @@ class Machine:
         self._asymmetric: dict[str, MemoryController] = {}
         #: free-form annotations (presets stash the calibration profile here)
         self.metadata: dict[str, object] = {}
+        #: memoized :meth:`route` results; bounded by sockets × nodes
+        self._route_cache: dict[tuple[int, int], AccessPath] = {}
+        #: bumped on every topology mutation so plan/route caches keyed on
+        #: this machine can detect staleness
+        self._topology_version = 0
 
         for sid, sock in self._sockets.items():
             self._resources[f"s{sid}.mc"] = sock.controller.effective_stream_gbps
@@ -230,6 +235,16 @@ class Machine:
     # construction
     # ------------------------------------------------------------------
 
+    def _invalidate_caches(self) -> None:
+        """Topology changed: drop memoized routes, bump the version."""
+        self._route_cache.clear()
+        self._topology_version += 1
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter of topology mutations (cache-key component)."""
+        return self._topology_version
+
     def _register_upi(self, link: UpiLink) -> None:
         key = (link.src, link.dst)
         if link.src not in self._sockets or link.dst not in self._sockets:
@@ -238,6 +253,7 @@ class Machine:
             raise TopologyError(f"duplicate UPI link {key}")
         self._upi[key] = link
         self._resources[link.name] = link.effective_stream_gbps
+        self._invalidate_caches()
 
     def add_resource(self, name: str, capacity_gbps: float) -> None:
         """Register an extra shared bandwidth resource (CXL link, device MC)."""
@@ -246,6 +262,7 @@ class Machine:
         if name in self._resources:
             raise TopologyError(f"duplicate resource {name!r}")
         self._resources[name] = capacity_gbps
+        self._invalidate_caches()
 
     def add_asymmetric_resource(self, name: str,
                                 controller: MemoryController) -> None:
@@ -286,6 +303,7 @@ class Machine:
                     f"{node.home_socket}'s controller"
                 )
         self._nodes[node.node_id] = node
+        self._invalidate_caches()
 
     def add_dram_nodes(self) -> None:
         """Create one DRAM NUMA node per socket (ids follow socket ids)."""
@@ -370,7 +388,13 @@ class Machine:
         * remote DRAM:  core → UPI → remote socket MC;
         * CXL (home):   core → CXL link → device MC;
         * CXL (other):  core → UPI → home socket → CXL link → device MC.
+
+        Results are memoized per (src_socket, node_id); the cache is
+        invalidated whenever the topology mutates.
         """
+        cached = self._route_cache.get((src_socket, node_id))
+        if cached is not None:
+            return cached
         sock = self.socket(src_socket)
         node = self.node(node_id)
 
@@ -395,7 +419,7 @@ class Machine:
         latency -= sock.caches.latency_shave_ns()
         latency = max(latency, 10.0)
 
-        return AccessPath(
+        path = AccessPath(
             src_socket=src_socket,
             node_id=node_id,
             resources=tuple(resources),
@@ -403,6 +427,61 @@ class Machine:
             crosses_upi=crosses_upi,
             crosses_cxl=node.kind is NodeKind.CXL,
         )
+        self._route_cache[(src_socket, node_id)] = path
+        return path
+
+    def fingerprint(self) -> dict[str, object]:
+        """Content fingerprint of everything that feeds the bandwidth model.
+
+        Used as a component of on-disk sweep-cache keys: two machines with
+        equal fingerprints produce identical simulation results, so any
+        change to capacities, latencies, node wiring, core parameters or
+        the calibration profile invalidates cached sweeps.
+        """
+        cal = self.metadata.get("calibration")
+        cal_fp: object = None
+        if cal is not None:
+            cal_fp = {
+                k: (dict(v) if isinstance(v, Mapping) else v)
+                for k, v in vars(cal).items()
+            }
+        return {
+            "name": self.name,
+            "resources": dict(sorted(self._resources.items())),
+            "asymmetric": {
+                name: (mc.effective_stream_gbps, mc.write_stream_gbps)
+                for name, mc in sorted(self._asymmetric.items())
+            },
+            "sockets": {
+                sid: {
+                    "cores": [(c.core_id, c.freq_ghz, c.lfb_entries, c.smt)
+                              for c in sorted(s.cores,
+                                              key=lambda c: c.core_id)],
+                    "llc_bytes": s.caches.llc.size_bytes,
+                    "llc_latency_ns": s.caches.llc.latency_ns,
+                    "llc_bw_gbps": s.caches.llc.bandwidth_gbps,
+                    "mc_gbps": s.controller.effective_stream_gbps,
+                    "mc_latency_ns": s.controller.idle_latency_ns,
+                }
+                for sid, s in sorted(self._sockets.items())
+            },
+            "nodes": {
+                nid: {
+                    "kind": n.kind.value,
+                    "home_socket": n.home_socket,
+                    "persistent": n.persistent,
+                    "extra_resources": list(n.extra_resources),
+                    "idle_latency_ns": n.idle_latency_ns,
+                    "capacity_bytes": n.capacity_bytes,
+                }
+                for nid, n in sorted(self._nodes.items())
+            },
+            "upi": {
+                f"{a}->{b}": (l.effective_stream_gbps, l.hop_latency_ns)
+                for (a, b), l in sorted(self._upi.items())
+            },
+            "calibration": cal_fp,
+        }
 
     def distance_matrix(self) -> dict[tuple[int, int], float]:
         """ACPI-SLIT-style relative latency matrix (socket → node)."""

@@ -23,6 +23,12 @@ from repro.memsim.des import DesResult, simulate_stream_des
 from repro.memsim.concurrency import thread_bandwidth_cap
 from repro.memsim.engine import AccessMode, StreamSimResult, simulate_stream
 from repro.memsim.latency import path_latency_ns
+from repro.memsim.plan import (
+    SimulationPlan,
+    clear_plan_cache,
+    plan_cache_stats,
+    simulation_plan,
+)
 from repro.memsim.traffic import KERNEL_TRAFFIC, KernelTraffic, reported_fraction
 
 __all__ = [
@@ -32,11 +38,15 @@ __all__ = [
     "FlowAllocation",
     "KERNEL_TRAFFIC",
     "KernelTraffic",
+    "SimulationPlan",
     "StreamSimResult",
+    "clear_plan_cache",
     "path_latency_ns",
+    "plan_cache_stats",
     "reported_fraction",
     "simulate_stream",
     "simulate_stream_des",
+    "simulation_plan",
     "solve_max_min",
     "thread_bandwidth_cap",
 ]

@@ -10,6 +10,12 @@ would produce one:
 4. convert the allocated *actual* bus traffic into the STREAM-*reported*
    figure (write-allocate accounting);
 5. apply the PMDK software cost in App-Direct mode.
+
+Steps 1–2 are kernel-independent and are built once per configuration as
+a cached :class:`repro.memsim.plan.SimulationPlan`; step 3's solve is
+memoized per capacity signature inside the plan, so sweeping all four
+kernels over one configuration costs a single topology resolution and
+(on symmetric-media machines) a single max-min solve.
 """
 
 from __future__ import annotations
@@ -22,13 +28,17 @@ from repro.calibration import DEFAULT_CALIBRATION, CalibrationProfile
 from repro.errors import SimulationError
 from repro.machine.numa import NumaPolicy
 from repro.machine.topology import Core, Machine
-from repro.memsim.bwmodel import Flow, FlowAllocation, solve_max_min
-from repro.memsim.concurrency import thread_bandwidth_cap
-from repro.memsim.latency import path_latency_ns, weighted_latency_ns
-from repro.memsim.traffic import ELEMENT_BYTES, kernel as kernel_traffic, reported_fraction
+from repro.memsim.bwmodel import FlowAllocation
+from repro.memsim.plan import N_ARRAYS, SimulationPlan, simulation_plan
+from repro.memsim.traffic import kernel as kernel_traffic, reported_fraction
 
-#: STREAM uses three arrays.
-N_ARRAYS = 3
+__all__ = [
+    "N_ARRAYS",
+    "AccessMode",
+    "StreamSimResult",
+    "simulate_stream",
+    "simulate_all_kernels",
+]
 
 
 class AccessMode(enum.Enum):
@@ -70,59 +80,22 @@ def _calibration(machine: Machine) -> CalibrationProfile:
     return cal
 
 
-def _smt_sharers(placement: Sequence[Core]) -> dict[int, int]:
-    sharers: dict[int, int] = {}
-    for core in placement:
-        sharers[core.core_id] = sharers.get(core.core_id, 0) + 1
-    return sharers
-
-
-def _validate_capacity(machine: Machine, targets: dict[int, float],
-                       ws_bytes: int) -> None:
-    for node_id, frac in targets.items():
-        node = machine.node(node_id)
-        if ws_bytes * frac > node.capacity_bytes:
-            raise SimulationError(
-                f"working set share {ws_bytes * frac / 1e9:.1f} GB exceeds "
-                f"node{node_id} capacity {node.capacity_bytes / 1e9:.1f} GB"
-            )
-
-
-def _cache_resident_result(machine: Machine, kernel_name: str,
-                           mode: AccessMode, placement: Sequence[Core],
-                           policy: NumaPolicy, cal: CalibrationProfile,
-                           placement_desc: str) -> StreamSimResult:
-    """All arrays fit in the LLC: bandwidth comes from the caches."""
-    capacities: dict[str, float] = {}
-    flows: list[Flow] = []
-    sharers = _smt_sharers(placement)
-    for i, core in enumerate(placement):
-        sock = machine.socket(core.socket_id)
-        llc = sock.caches.llc
-        res = f"s{core.socket_id}.llc"
-        capacities.setdefault(res, llc.bandwidth_gbps)
-        latency = llc.latency_ns + (
-            cal.pmdk_latency_ns if mode is AccessMode.APP_DIRECT else 0.0
-        )
-        cap = thread_bandwidth_cap(core, latency, sharers[core.core_id])
-        flows.append(Flow(f"t{i}@s{core.socket_id}c{core.core_id}",
-                          {res: 1.0}, cap))
-    alloc = solve_max_min(flows, capacities)
-    eff = cal.pmdk_bw_efficiency if mode is AccessMode.APP_DIRECT else 1.0
-    total = alloc.total_gbps * eff
+def _result_from_plan(plan: SimulationPlan, kernel_name: str,
+                      alloc: FlowAllocation, reported: float,
+                      ) -> StreamSimResult:
     return StreamSimResult(
-        machine=machine.name,
+        machine=plan.machine.name,
         kernel=kernel_name,
-        mode=mode,
-        n_threads=len(placement),
-        reported_gbps=total,
+        mode=plan.mode,
+        n_threads=plan.n_threads,
+        reported_gbps=reported,
         actual_gbps=alloc.total_gbps,
-        per_thread_gbps=alloc.rates,
-        bottlenecks=alloc.bottleneck,
-        policy=policy.describe(),
-        placement=placement_desc,
-        cache_resident=True,
-        resource_load=alloc.resource_load,
+        per_thread_gbps=dict(alloc.rates),
+        bottlenecks=dict(alloc.bottleneck),
+        policy=plan.policy_desc,
+        placement=plan.placement_desc,
+        cache_resident=plan.cache_resident,
+        resource_load=dict(alloc.resource_load),
     )
 
 
@@ -130,7 +103,8 @@ def simulate_stream(machine: Machine, kernel_name: str,
                     placement: Sequence[Core], policy: NumaPolicy,
                     mode: AccessMode = AccessMode.NUMA,
                     array_elements: int = 100_000_000,
-                    nt_stores: bool = False) -> StreamSimResult:
+                    nt_stores: bool = False,
+                    plan: SimulationPlan | None = None) -> StreamSimResult:
     """Simulate one STREAM kernel at one thread count.
 
     Args:
@@ -142,6 +116,8 @@ def simulate_stream(machine: Machine, kernel_name: str,
         mode: CC-NUMA (Memory Mode) or PMDK App-Direct.
         array_elements: STREAM array length (paper: 100M doubles).
         nt_stores: model non-temporal stores (no write-allocate traffic).
+        plan: pre-built :class:`SimulationPlan` for this configuration;
+            ``None`` fetches one from the process-wide plan cache.
 
     Raises:
         SimulationError: empty placement, unresolvable policy, or a working
@@ -150,80 +126,27 @@ def simulate_stream(machine: Machine, kernel_name: str,
     if not placement:
         raise SimulationError("placement must contain at least one thread")
     traffic = kernel_traffic(kernel_name)
-    cal = _calibration(machine)
 
-    from repro.machine.affinity import describe_placement
-    placement_desc = describe_placement(placement)
+    if plan is None:
+        plan = simulation_plan(machine, placement, policy, mode,
+                               array_elements)
 
-    ws_bytes = N_ARRAYS * array_elements * ELEMENT_BYTES
-    sockets_in_use = {c.socket_id for c in placement}
-    if all(machine.socket(s).caches.fits_in_llc(ws_bytes)
-           for s in sockets_in_use):
-        return _cache_resident_result(
-            machine, kernel_name, mode, placement, policy, cal,
-            placement_desc)
-
-    sharers = _smt_sharers(placement)
-    app_direct = mode is AccessMode.APP_DIRECT
-
-    capacities = dict(machine.resources)
-    # asymmetric media (DCPMM-style): re-blend capacity for this kernel's
-    # read/write mix
-    rf = traffic.read_fraction(nt_stores)
-    for res, mc in machine.asymmetric_resources.items():
-        capacities[res] = mc.blended_stream_gbps(rf)
-
-    flows: list[Flow] = []
-    mc_initiators: dict[str, set[bool]] = {}   # mc resource -> {is_remote}
-
-    for i, core in enumerate(placement):
-        targets = policy.targets_for(machine, core)
-        _validate_capacity(machine, targets, ws_bytes)
-
-        usage: dict[str, float] = {}
-        lat_parts: list[tuple[float, float]] = []
-        for node_id, frac in targets.items():
-            path = machine.route(core.socket_id, node_id)
-            lat_parts.append(
-                (frac, path_latency_ns(path, app_direct, cal)))
-            for res in path.resources:
-                weight = frac
-                if (path.crosses_upi and not path.crosses_cxl
-                        and res.endswith(".mc")):
-                    weight *= cal.remote_mc_weight
-                usage[res] = usage.get(res, 0.0) + weight
-                if res.endswith(".mc") and res.startswith("s"):
-                    mc_initiators.setdefault(res, set()).add(path.crosses_upi)
-
-        latency = weighted_latency_ns(lat_parts)
-        cap = thread_bandwidth_cap(core, latency, sharers[core.core_id])
-        flows.append(Flow(f"t{i}@s{core.socket_id}c{core.core_id}", usage, cap))
-
-    # Home-agent clamp: mixed local+remote streams against one controller.
-    for res, clamp in cal.snoop_caps.items():
-        kinds = mc_initiators.get(res)
-        if kinds and len(kinds) == 2 and res in capacities:
-            capacities[res] = min(capacities[res], clamp)
-
-    alloc: FlowAllocation = solve_max_min(flows, capacities)
-
-    ratio = reported_fraction(kernel_name, nt_stores)
+    cal = plan.calibration
+    app_direct = plan.mode is AccessMode.APP_DIRECT
     eff = cal.pmdk_bw_efficiency if app_direct else 1.0
-    reported = alloc.total_gbps * ratio * eff
 
-    return StreamSimResult(
-        machine=machine.name,
-        kernel=kernel_name,
-        mode=mode,
-        n_threads=len(placement),
-        reported_gbps=reported,
-        actual_gbps=alloc.total_gbps,
-        per_thread_gbps=alloc.rates,
-        bottlenecks=alloc.bottleneck,
-        policy=policy.describe(),
-        placement=placement_desc,
-        resource_load=alloc.resource_load,
-    )
+    if plan.cache_resident:
+        # All arrays fit in the LLC: bandwidth comes from the caches and
+        # the allocation is independent of the kernel's read/write mix.
+        alloc = plan.solve(1.0)
+        return _result_from_plan(plan, kernel_name, alloc,
+                                 reported=alloc.total_gbps * eff)
+
+    rf = traffic.read_fraction(nt_stores)
+    alloc = plan.solve(rf)
+    ratio = reported_fraction(kernel_name, nt_stores)
+    return _result_from_plan(plan, kernel_name, alloc,
+                             reported=alloc.total_gbps * ratio * eff)
 
 
 def simulate_all_kernels(machine: Machine, placement: Sequence[Core],
@@ -231,9 +154,16 @@ def simulate_all_kernels(machine: Machine, placement: Sequence[Core],
                          mode: AccessMode = AccessMode.NUMA,
                          array_elements: int = 100_000_000,
                          nt_stores: bool = False) -> dict[str, StreamSimResult]:
-    """All four STREAM kernels for one configuration."""
+    """All four STREAM kernels for one configuration.
+
+    The kernel-independent work (routing, latencies, flow construction)
+    runs once via a shared :class:`SimulationPlan`.
+    """
+    if not placement:
+        raise SimulationError("placement must contain at least one thread")
+    plan = simulation_plan(machine, placement, policy, mode, array_elements)
     return {
         k: simulate_stream(machine, k, placement, policy, mode,
-                           array_elements, nt_stores)
+                           array_elements, nt_stores, plan=plan)
         for k in ("copy", "scale", "add", "triad")
     }

@@ -16,6 +16,7 @@ counted-bytes formula from :class:`repro.stream.config.StreamConfig`.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
@@ -29,6 +30,11 @@ from repro.stream.validation import check_stream_results
 
 _KERNEL_ORDER = ("copy", "scale", "add", "triad")
 
+#: Default seconds a worker (or the parent) waits on a kernel barrier
+#: before declaring the run dead.  A crashed sibling worker breaks the
+#: barrier after this long instead of hanging silently until the join.
+BARRIER_TIMEOUT_S = 60.0
+
 
 @dataclass
 class NativeResult:
@@ -38,20 +44,42 @@ class NativeResult:
     n_threads: int
     times: dict[str, list[float]] = field(default_factory=dict)
 
+    def _timed(self, kernel: str) -> list[float]:
+        """The iterations that count toward the reported rates.
+
+        STREAM discards the first (warm-up) repetition.  With a single
+        recorded repetition there is nothing to discard, so that one
+        iteration counts; with none at all the result is unusable.
+
+        Raises:
+            BenchmarkError: no timings recorded for ``kernel``.
+        """
+        try:
+            times = self.times[kernel]
+        except KeyError:
+            raise BenchmarkError(
+                f"no timings recorded for kernel {kernel!r}"
+            ) from None
+        if not times:
+            raise BenchmarkError(
+                f"no timings recorded for kernel {kernel!r}"
+            )
+        return times[1:] if len(times) > 1 else times
+
     def best_rate_gbps(self, kernel: str) -> float:
         """Best rate over the timed iterations (STREAM's headline number)."""
-        timed = self.times[kernel][1:]
+        timed = self._timed(kernel)
         return self.config.counted_bytes(kernel) / min(timed) / 1e9
 
     def avg_time(self, kernel: str) -> float:
-        timed = self.times[kernel][1:]
+        timed = self._timed(kernel)
         return sum(timed) / len(timed)
 
     def table(self) -> str:
         lines = [f"{'Function':<10}{'BestRate GB/s':>14}{'AvgTime':>10}"
                  f"{'MinTime':>10}{'MaxTime':>10}"]
         for k in _KERNEL_ORDER:
-            timed = self.times[k][1:]
+            timed = self._timed(k)
             lines.append(
                 f"{k.capitalize():<10}{self.best_rate_gbps(k):>14.2f}"
                 f"{self.avg_time(k):>10.6f}{min(timed):>10.6f}"
@@ -100,17 +128,22 @@ def run_single(config: StreamConfig,
 
 def _worker(names: tuple[str, str, str], dtype: str, n: int,
             lo: int, hi: int, ntimes: int, scalar: float,
-            start_barrier, end_barrier) -> None:
+            start_barrier, end_barrier, barrier_timeout: float) -> None:
     shms = [shared_memory.SharedMemory(name=nm) for nm in names]
     try:
         dt = np.dtype(dtype)
         a, b, c = (np.frombuffer(s.buf, dtype=dt, count=n) for s in shms)
         av, bv, cv = a[lo:hi], b[lo:hi], c[lo:hi]
-        for _ in range(ntimes):
-            for k in _KERNEL_ORDER:
-                start_barrier.wait()
-                KERNELS[k](av, bv, cv, scalar)
-                end_barrier.wait()
+        try:
+            for _ in range(ntimes):
+                for k in _KERNEL_ORDER:
+                    start_barrier.wait(timeout=barrier_timeout)
+                    KERNELS[k](av, bv, cv, scalar)
+                    end_barrier.wait(timeout=barrier_timeout)
+        except threading.BrokenBarrierError:
+            # A sibling (or the parent) died or stalled; bail out so the
+            # parent's own broken barrier surfaces the error.
+            return
         del a, b, c, av, bv, cv
     finally:
         for s in shms:
@@ -118,15 +151,22 @@ def _worker(names: tuple[str, str, str], dtype: str, n: int,
 
 
 def run_parallel(config: StreamConfig, n_workers: int,
-                 validate: bool = True) -> NativeResult:
+                 validate: bool = True,
+                 barrier_timeout: float = BARRIER_TIMEOUT_S) -> NativeResult:
     """Multiprocess STREAM over shared memory.
 
     Workers split the arrays into contiguous slices (first-touch style);
     the parent times each kernel between the start and end barriers.
+    Both sides wait on the barriers with ``barrier_timeout`` seconds, so
+    a crashed worker breaks the barrier and the run fails fast with a
+    :class:`BenchmarkError` instead of hanging until the final join.
 
     Raises:
-        BenchmarkError: fewer elements than workers.
+        BenchmarkError: fewer elements than workers, or a worker crashed
+            or stalled past ``barrier_timeout``.
     """
+    if barrier_timeout <= 0:
+        raise BenchmarkError("barrier_timeout must be positive")
     if n_workers < 1:
         raise BenchmarkError("need at least one worker")
     if config.array_size < n_workers:
@@ -140,6 +180,7 @@ def run_parallel(config: StreamConfig, n_workers: int,
     shms = [shared_memory.SharedMemory(create=True, size=nbytes)
             for _ in range(3)]
     procs: list = []
+    a = b = c = None
     try:
         dt = config.np_dtype
         a, b, c = (np.frombuffer(s.buf, dtype=dt, count=config.array_size)
@@ -156,7 +197,8 @@ def run_parallel(config: StreamConfig, n_workers: int,
                 target=_worker,
                 args=(names, config.dtype, config.array_size,
                       int(bounds[w]), int(bounds[w + 1]), config.ntimes,
-                      config.scalar, start_barrier, end_barrier),
+                      config.scalar, start_barrier, end_barrier,
+                      barrier_timeout),
             )
             p.daemon = True
             p.start()
@@ -164,12 +206,20 @@ def run_parallel(config: StreamConfig, n_workers: int,
 
         result = NativeResult(config, n_threads=n_workers,
                               times={k: [] for k in _KERNEL_ORDER})
-        for _ in range(config.ntimes):
-            for k in _KERNEL_ORDER:
-                start_barrier.wait()
-                t0 = time.perf_counter()
-                end_barrier.wait()
-                result.times[k].append(time.perf_counter() - t0)
+        try:
+            for _ in range(config.ntimes):
+                for k in _KERNEL_ORDER:
+                    start_barrier.wait(timeout=barrier_timeout)
+                    t0 = time.perf_counter()
+                    end_barrier.wait(timeout=barrier_timeout)
+                    result.times[k].append(time.perf_counter() - t0)
+        except threading.BrokenBarrierError:
+            dead = [i for i, p in enumerate(procs) if not p.is_alive()]
+            raise BenchmarkError(
+                "parallel STREAM worker crashed or stalled past "
+                f"{barrier_timeout:.0f}s barrier timeout"
+                + (f" (dead workers: {dead})" if dead else "")
+            ) from None
 
         for p in procs:
             p.join(timeout=60)
@@ -178,12 +228,15 @@ def run_parallel(config: StreamConfig, n_workers: int,
                 raise BenchmarkError("parallel STREAM worker hung")
         if validate:
             check_stream_results(a, b, c, config)
-        del a, b, c
         return result
     finally:
+        # Drop the array views before closing: an exported buffer makes
+        # SharedMemory.close() raise BufferError, masking the real error.
+        a = b = c = None
         for p in procs:
             if p.is_alive():   # pragma: no cover - error paths
                 p.terminate()
+                p.join(timeout=5)
         for s in shms:
             s.close()
             try:

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.machine.affinity import AffinityMode, place_threads
+from repro.errors import BenchmarkError
+from repro.machine.affinity import AffinityMode, place_threads_cached
 from repro.machine.numa import NumaPolicy
 from repro.machine.topology import Machine
 from repro.memsim.engine import AccessMode, StreamSimResult, simulate_stream
@@ -37,7 +38,8 @@ def simulate_sweep(machine: Machine, kernel: str, spec: SweepSpec,
     sockets = list(spec.sockets) if spec.sockets is not None else None
     out: list[StreamSimResult] = []
     for n in thread_counts:
-        cores = place_threads(machine, n, spec.affinity, sockets=sockets)
+        cores = place_threads_cached(machine, n, spec.affinity,
+                                     sockets=sockets)
         out.append(simulate_stream(
             machine, kernel, cores, spec.policy, spec.mode,
             array_elements=cfg.array_size,
@@ -46,9 +48,20 @@ def simulate_sweep(machine: Machine, kernel: str, spec: SweepSpec,
 
 
 def sweep_result_table(series: dict[str, list[StreamSimResult]]) -> str:
-    """ASCII table: one row per thread count, one column per series."""
+    """ASCII table: one row per thread count, one column per series.
+
+    Raises:
+        BenchmarkError: the series do not all cover the same number of
+            thread counts (rows would be ragged).
+    """
     if not series:
         return "(empty sweep)"
+    lengths = {lb: len(rs) for lb, rs in series.items()}
+    if len(set(lengths.values())) > 1:
+        raise BenchmarkError(
+            f"sweep series have unequal lengths: "
+            + ", ".join(f"{lb}={n}" for lb, n in sorted(lengths.items()))
+        )
     labels = list(series)
     counts = [r.n_threads for r in series[labels[0]]]
     widths = [max(10, len(lb) + 2) for lb in labels]

@@ -44,6 +44,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="emit gnuplot scripts for the swept figures here")
     run.add_argument("--quiet", action="store_true",
                      help="suppress the report, print only a summary")
+    run.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                     help="fan the sweep out over N worker processes "
+                          "(0 = one per CPU; default: serial)")
+    run.add_argument("--cache-dir", default=".streamer-cache", metavar="DIR",
+                     help="on-disk sweep cache location "
+                          "(default: .streamer-cache)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not write the sweep cache")
 
     rep = sub.add_parser("report", help="render figure tables from a CSV")
     rep.add_argument("--results", required=True, help="results CSV path")
@@ -82,7 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def _runner(args) -> StreamerRunner:
     config = (StreamConfig(array_size=args.array_size)
               if getattr(args, "array_size", None) else StreamConfig.paper())
-    return StreamerRunner(config=config)
+    cache_dir = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = getattr(args, "cache_dir", None)
+    return StreamerRunner(config=config, cache_dir=cache_dir)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,12 +101,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         runner = _runner(args)
+        jobs = args.jobs
+        parallel: int | bool | None = None
+        if jobs is not None:
+            if jobs < 0:
+                _build_parser().error(
+                    f"--jobs must be >= 0 (0 = one per CPU), got {jobs}")
+            parallel = True if jobs == 0 else jobs
         if args.group:
             results = runner.run_group(args.group)
         elif args.figure:
-            results = runner.run_figure(args.figure)
+            results = runner.run_figure(args.figure, parallel=parallel)
         else:
-            results = runner.run_all()
+            results = runner.run_all(parallel=parallel)
         if args.out:
             results.to_csv(args.out)
             print(f"wrote {len(results)} records to {args.out}")

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, fields
+import json
+from dataclasses import asdict, dataclass, fields
 from typing import Iterable, Iterator
 
 from repro.errors import BenchmarkError
@@ -127,6 +128,38 @@ class ResultSet:
             with open(path, "w") as fh:
                 fh.write(text)
         return text
+
+    # ------------------------------------------------------------------
+    # JSON round trip (sweep-cache storage format)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document (stable record order)."""
+        return json.dumps({"records": [asdict(r) for r in self._records]},
+                          indent=0, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Inverse of :meth:`to_json`.
+
+        Raises:
+            BenchmarkError: malformed document.
+        """
+        try:
+            doc = json.loads(text)
+            records = [ResultRecord(
+                group=str(row["group"]),
+                series=str(row["series"]),
+                label=str(row["label"]),
+                kernel=str(row["kernel"]),
+                mode=str(row["mode"]),
+                testbed=str(row["testbed"]),
+                n_threads=int(row["n_threads"]),
+                gbps=float(row["gbps"]),
+            ) for row in doc["records"]]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise BenchmarkError(f"malformed ResultSet JSON: {exc}") from exc
+        return cls(records)
 
     @classmethod
     def from_csv(cls, source: str) -> "ResultSet":

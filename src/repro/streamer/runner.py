@@ -1,19 +1,90 @@
-"""Sweep execution: test groups × kernels × thread counts → results."""
+"""Sweep execution: test groups × kernels × thread counts → results.
+
+Three execution strategies, all producing byte-identical
+:class:`~repro.streamer.results.ResultSet` contents:
+
+* **serial** — the reference path (one series sweep after another);
+* **parallel** — ``run_all(parallel=N)`` fans the independent series
+  sweeps out over a ``concurrent.futures`` process pool, reassembling
+  records in the exact serial order;
+* **cached** — with a ``cache_dir``, ``run_all`` keys the sweep by a
+  content hash of the STREAM configuration, every machine fingerprint
+  (capacities, latencies, calibration) and the group specs, and replays
+  the stored ``ResultSet`` JSON when nothing changed.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+import hashlib
+import json
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+from typing import Iterable, Sequence
 
 from repro.errors import BenchmarkError
 from repro.machine.presets import Testbed, setup1, setup2
+from repro.machine.topology import Machine
 from repro.stream.config import StreamConfig
 from repro.stream.simulated import simulate_sweep
 from repro.streamer.configs import (
     FIGURE_KERNELS,
     TestGroup,
+    TestSeries,
     test_groups,
 )
 from repro.streamer.results import ResultRecord, ResultSet
+
+#: Bump when the cached-result layout or the model semantics change in a
+#: way the content hash cannot see.
+SWEEP_CACHE_SCHEMA = 1
+
+_KERNELS_DEFAULT = ("copy", "scale", "add", "triad")
+
+
+def _jsonify(obj: object) -> object:
+    value = getattr(obj, "value", None)
+    return value if value is not None else str(obj)
+
+
+def _series_records(group: TestGroup, series: TestSeries, kernel: str,
+                    results) -> list[ResultRecord]:
+    return [
+        ResultRecord(
+            group=group.group_id,
+            series=series.key,
+            label=series.label,
+            kernel=kernel,
+            mode=r.mode.value,
+            testbed=series.testbed,
+            n_threads=r.n_threads,
+            gbps=round(r.reported_gbps, 4),
+        )
+        for r in results
+    ]
+
+
+# ---------------------------------------------------------------------------
+# process-pool plumbing (module level so tasks pickle cleanly)
+# ---------------------------------------------------------------------------
+
+_POOL_STATE: dict[str, object] = {}
+
+
+def _pool_init(machines: dict[str, Machine], config: StreamConfig) -> None:
+    _POOL_STATE["machines"] = machines
+    _POOL_STATE["config"] = config
+
+
+def _sweep_series_task(task: tuple[TestGroup, TestSeries, str]
+                       ) -> list[ResultRecord]:
+    group, series, kernel = task
+    machines: dict[str, Machine] = _POOL_STATE["machines"]  # type: ignore[assignment]
+    config: StreamConfig = _POOL_STATE["config"]            # type: ignore[assignment]
+    results = simulate_sweep(machines[series.testbed], kernel, series.spec,
+                             group.thread_counts, config)
+    return _series_records(group, series, kernel, results)
 
 
 class StreamerRunner:
@@ -22,15 +93,24 @@ class StreamerRunner:
     Testbeds are constructed once and shared across sweeps; a custom
     mapping can be injected to run the same groups against prototype
     variants (the ablation benches do exactly that).
+
+    Args:
+        testbeds: name → :class:`Testbed`; defaults to the paper's two.
+        config: STREAM configuration (defaults to the paper's 100M
+            elements).
+        cache_dir: directory for the on-disk sweep cache; ``None``
+            disables result caching.
     """
 
     def __init__(self, testbeds: dict[str, Testbed] | None = None,
-                 config: StreamConfig | None = None) -> None:
+                 config: StreamConfig | None = None,
+                 cache_dir: str | None = None) -> None:
         if testbeds is None:
             testbeds = {"setup1": setup1(), "setup2": setup2()}
         self.testbeds = testbeds
         self.config = config or StreamConfig.paper()
         self.groups = test_groups()
+        self.cache_dir = cache_dir
 
     def _testbed(self, name: str) -> Testbed:
         try:
@@ -40,17 +120,21 @@ class StreamerRunner:
                 f"no testbed {name!r}; have {sorted(self.testbeds)}"
             ) from None
 
-    def run_group(self, group: TestGroup | str,
-                  kernels: Iterable[str] = ("copy", "scale", "add", "triad"),
-                  ) -> ResultSet:
-        """Run one test group for the given kernels."""
+    def _resolve_group(self, group: TestGroup | str) -> TestGroup:
         if isinstance(group, str):
             try:
-                group = self.groups[group]
+                return self.groups[group]
             except KeyError:
                 raise BenchmarkError(
                     f"unknown test group {group!r}; have {sorted(self.groups)}"
                 ) from None
+        return group
+
+    def run_group(self, group: TestGroup | str,
+                  kernels: Iterable[str] = _KERNELS_DEFAULT,
+                  ) -> ResultSet:
+        """Run one test group for the given kernels."""
+        group = self._resolve_group(group)
         out = ResultSet()
         for kernel in kernels:
             for series in group.series:
@@ -58,28 +142,85 @@ class StreamerRunner:
                 results = simulate_sweep(
                     tb.machine, kernel, series.spec, group.thread_counts,
                     self.config)
-                for r in results:
-                    out.add(ResultRecord(
-                        group=group.group_id,
-                        series=series.key,
-                        label=series.label,
-                        kernel=kernel,
-                        mode=r.mode.value,
-                        testbed=series.testbed,
-                        n_threads=r.n_threads,
-                        gbps=round(r.reported_gbps, 4),
-                    ))
+                out.extend(_series_records(group, series, kernel, results))
         return out
 
-    def run_all(self, kernels: Iterable[str] = ("copy", "scale", "add",
-                                                "triad")) -> ResultSet:
-        """The full evaluation: every group, every kernel."""
-        out = ResultSet()
+    # ------------------------------------------------------------------
+    # full-matrix execution
+    # ------------------------------------------------------------------
+
+    def _tasks(self, kernels: Sequence[str]
+               ) -> list[tuple[TestGroup, TestSeries, str]]:
+        """Every (group, series, kernel) sweep, in serial record order."""
+        tasks: list[tuple[TestGroup, TestSeries, str]] = []
         for gid in sorted(self.groups):
-            out.extend(self.run_group(self.groups[gid], kernels))
+            group = self.groups[gid]
+            for kernel in kernels:
+                for series in group.series:
+                    self._testbed(series.testbed)   # fail like the serial path
+                    tasks.append((group, series, kernel))
+        return tasks
+
+    @staticmethod
+    def _n_jobs(parallel: int | bool | None) -> int:
+        if parallel is None or parallel is False:
+            return 1
+        if parallel is True:
+            return os.cpu_count() or 1
+        jobs = int(parallel)
+        if jobs < 1:
+            raise BenchmarkError(f"parallel job count must be >= 1, got {jobs}")
+        return jobs
+
+    def run_all(self, kernels: Iterable[str] = _KERNELS_DEFAULT,
+                parallel: int | bool | None = None,
+                use_cache: bool = True) -> ResultSet:
+        """The full evaluation: every group, every kernel.
+
+        Args:
+            kernels: STREAM kernels to sweep.
+            parallel: ``None``/``False`` runs serially; ``True`` uses one
+                process per CPU; an integer pins the worker count.
+                Record order is identical in every mode.
+            use_cache: consult/populate the on-disk cache (only if the
+                runner was built with a ``cache_dir``).
+        """
+        kernels = tuple(kernels)
+        cache_key = None
+        if self.cache_dir is not None and use_cache:
+            cache_key = self.sweep_cache_key(kernels)
+            cached = self._cache_load(cache_key)
+            if cached is not None:
+                return cached
+
+        jobs = self._n_jobs(parallel)
+        tasks = self._tasks(kernels)
+        out = ResultSet()
+        if jobs <= 1 or len(tasks) <= 1:
+            for group, series, kernel in tasks:
+                machine = self._testbed(series.testbed).machine
+                results = simulate_sweep(machine, kernel, series.spec,
+                                         group.thread_counts, self.config)
+                out.extend(_series_records(group, series, kernel, results))
+        else:
+            machines = {name: tb.machine for name, tb in self.testbeds.items()}
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks)),
+                    mp_context=ctx,
+                    initializer=_pool_init,
+                    initargs=(machines, self.config)) as pool:
+                # map() preserves submission order → deterministic records
+                for records in pool.map(_sweep_series_task, tasks):
+                    out.extend(records)
+
+        if cache_key is not None:
+            self._cache_store(cache_key, out)
         return out
 
-    def run_figure(self, figure: int) -> ResultSet:
+    def run_figure(self, figure: int, parallel: int | bool | None = None,
+                   use_cache: bool = True) -> ResultSet:
         """Regenerate one of Figures 5–8 (all five groups, one kernel)."""
         try:
             kernel = FIGURE_KERNELS[figure]
@@ -87,4 +228,55 @@ class StreamerRunner:
             raise BenchmarkError(
                 f"figure must be one of {sorted(FIGURE_KERNELS)}, got {figure}"
             ) from None
-        return self.run_all(kernels=(kernel,))
+        return self.run_all(kernels=(kernel,), parallel=parallel,
+                            use_cache=use_cache)
+
+    # ------------------------------------------------------------------
+    # on-disk result cache
+    # ------------------------------------------------------------------
+
+    def sweep_cache_key(self, kernels: Sequence[str]) -> str:
+        """Content hash identifying one ``run_all`` invocation.
+
+        Covers: the cache schema version, the STREAM configuration, the
+        kernel list, every testbed machine's :meth:`~repro.machine.topology.Machine.fingerprint`
+        (capacities, latencies, node wiring, calibration profile) and the
+        full group specs (series, policies, modes, thread counts).  Any
+        change to any of these produces a different key.
+        """
+        doc = {
+            "schema": SWEEP_CACHE_SCHEMA,
+            "config": asdict(self.config),
+            "kernels": list(kernels),
+            "testbeds": {
+                name: tb.machine.fingerprint()
+                for name, tb in sorted(self.testbeds.items())
+            },
+            "groups": {
+                gid: asdict(self.groups[gid]) for gid in sorted(self.groups)
+            },
+        }
+        blob = json.dumps(doc, sort_keys=True, default=_jsonify)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _cache_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"sweep-{key[:40]}.json")
+
+    def _cache_load(self, key: str) -> ResultSet | None:
+        path = self._cache_path(key)
+        try:
+            with open(path) as fh:
+                return ResultSet.from_json(fh.read())
+        except FileNotFoundError:
+            return None
+        except (OSError, BenchmarkError):
+            # Corrupt or unreadable cache entry: recompute (and rewrite).
+            return None
+
+    def _cache_store(self, key: str, results: ResultSet) -> None:
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.write(results.to_json())
+        os.replace(tmp, path)

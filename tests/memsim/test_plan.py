@@ -1,0 +1,191 @@
+"""SimulationPlan and the process-wide plan cache.
+
+The plan layer must be *transparent*: simulating with cached plans has
+to produce exactly the results of the plan-free path, and mutating a
+machine's topology must invalidate its cached plans and routes.
+"""
+
+import pytest
+
+from repro.machine.affinity import place_threads
+from repro.machine.numa import NumaPolicy
+from repro.machine.presets import setup1, setup1_with_dcpmm, setup2
+from repro.memsim.engine import (
+    AccessMode,
+    simulate_all_kernels,
+    simulate_stream,
+)
+from repro.memsim.plan import (
+    SimulationPlan,
+    clear_plan_cache,
+    plan_cache_stats,
+    set_plan_cache_enabled,
+    simulation_plan,
+)
+
+KERNELS = ("copy", "scale", "add", "triad")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+    set_plan_cache_enabled(True)
+
+
+def _result_tuple(r):
+    return (r.reported_gbps, r.actual_gbps, dict(r.per_thread_gbps),
+            dict(r.bottlenecks), r.policy, r.placement, r.cache_resident,
+            dict(r.resource_load))
+
+
+class TestTransparency:
+    @pytest.mark.parametrize("node,mode", [
+        (0, AccessMode.NUMA),
+        (1, AccessMode.NUMA),
+        (2, AccessMode.NUMA),
+        (2, AccessMode.APP_DIRECT),
+    ])
+    def test_cached_equals_uncached(self, node, mode):
+        tb = setup1()
+        cores = place_threads(tb.machine, 6, sockets=[0])
+        policy = NumaPolicy.bind(node)
+
+        set_plan_cache_enabled(False)
+        plain = [simulate_stream(tb.machine, k, cores, policy, mode)
+                 for k in KERNELS]
+        set_plan_cache_enabled(True)
+        clear_plan_cache()
+        cached = [simulate_stream(tb.machine, k, cores, policy, mode)
+                  for k in KERNELS]
+
+        for p, c in zip(plain, cached):
+            assert _result_tuple(p) == _result_tuple(c)
+
+    def test_simulate_all_kernels_equals_independent_calls(self):
+        tb = setup2()
+        cores = place_threads(tb.machine, 8, sockets=[0])
+        policy = NumaPolicy.bind(1)
+
+        combined = simulate_all_kernels(tb.machine, cores, policy,
+                                        AccessMode.NUMA)
+        for k in KERNELS:
+            solo = simulate_stream(tb.machine, k, cores, policy,
+                                   AccessMode.NUMA)
+            assert _result_tuple(combined[k]) == _result_tuple(solo)
+
+    def test_explicit_plan_equals_fetched_plan(self):
+        tb = setup1()
+        cores = place_threads(tb.machine, 4, sockets=[0])
+        policy = NumaPolicy.bind(2)
+        plan = simulation_plan(tb.machine, cores, policy, AccessMode.NUMA,
+                               100_000_000)
+        via_plan = simulate_stream(tb.machine, "triad", cores, policy,
+                                   AccessMode.NUMA, plan=plan)
+        direct = simulate_stream(tb.machine, "triad", cores, policy,
+                                 AccessMode.NUMA)
+        assert _result_tuple(via_plan) == _result_tuple(direct)
+
+
+class TestCacheBehaviour:
+    def test_four_kernels_one_plan(self):
+        tb = setup1()
+        cores = place_threads(tb.machine, 5, sockets=[0])
+        policy = NumaPolicy.bind(2)
+        for k in KERNELS:
+            simulate_stream(tb.machine, k, cores, policy, AccessMode.NUMA)
+        stats = plan_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 3
+        assert stats["size"] == 1
+
+    def test_uniform_alloc_memo_collapses_kernels(self):
+        """setup1 has no asymmetric media: one solve serves all kernels."""
+        tb = setup1()
+        cores = place_threads(tb.machine, 5, sockets=[0])
+        plan = simulation_plan(tb.machine, cores, NumaPolicy.bind(2),
+                               AccessMode.NUMA, 100_000_000)
+        plan.solve(0.5)
+        plan.solve(2 / 3)
+        assert len(plan._alloc_memo) == 1
+
+    def test_asymmetric_media_memoizes_per_mix(self):
+        tb = setup1_with_dcpmm()
+        cores = place_threads(tb.machine, 5, sockets=[0])
+        plan = simulation_plan(tb.machine, cores, NumaPolicy.bind(3),
+                               AccessMode.APP_DIRECT, 100_000_000)
+        a = plan.solve(0.5)
+        b = plan.solve(2 / 3)
+        assert len(plan._alloc_memo) == 2
+        assert plan.solve(0.5) is a
+        assert plan.solve(2 / 3) is b
+
+    def test_distinct_configurations_distinct_plans(self):
+        tb = setup1()
+        policy = NumaPolicy.bind(0)
+        for n in (2, 4):
+            cores = place_threads(tb.machine, n, sockets=[0])
+            simulate_stream(tb.machine, "copy", cores, policy,
+                            AccessMode.NUMA)
+        assert plan_cache_stats()["misses"] == 2
+
+    def test_disabled_cache_builds_fresh_plans(self):
+        tb = setup1()
+        cores = place_threads(tb.machine, 3, sockets=[0])
+        set_plan_cache_enabled(False)
+        p1 = simulation_plan(tb.machine, cores, NumaPolicy.bind(0),
+                             AccessMode.NUMA, 100_000_000)
+        p2 = simulation_plan(tb.machine, cores, NumaPolicy.bind(0),
+                             AccessMode.NUMA, 100_000_000)
+        assert p1 is not p2
+        assert plan_cache_stats()["size"] == 0
+
+
+class TestInvalidation:
+    def test_topology_mutation_invalidates_plans(self):
+        tb = setup1()
+        m = tb.machine
+        cores = place_threads(m, 4, sockets=[0])
+        policy = NumaPolicy.bind(0)
+        p1 = simulation_plan(m, cores, policy, AccessMode.NUMA, 100_000_000)
+        version = m.topology_version
+        m.add_resource("aux.mc", 10.0)
+        assert m.topology_version > version
+        p2 = simulation_plan(m, cores, policy, AccessMode.NUMA, 100_000_000)
+        assert p2 is not p1
+
+    def test_route_cache_hits_and_invalidates(self):
+        m = setup1().machine
+        path1 = m.route(0, 2)
+        assert m.route(0, 2) is path1           # memoized
+        m.add_resource("aux.mc", 10.0)
+        path2 = m.route(0, 2)
+        assert path2 is not path1               # cache dropped
+        assert path2.resources == path1.resources
+
+    def test_same_shape_machines_cache_separately(self):
+        tb_a, tb_b = setup1(), setup1()
+        policy = NumaPolicy.bind(0)
+        for tb in (tb_a, tb_b):
+            cores = place_threads(tb.machine, 4, sockets=[0])
+            simulate_stream(tb.machine, "copy", cores, policy,
+                            AccessMode.NUMA)
+        assert plan_cache_stats()["misses"] == 2
+
+
+class TestValidationStillFires:
+    def test_empty_placement_rejected(self):
+        from repro.errors import SimulationError
+        tb = setup1()
+        with pytest.raises(SimulationError):
+            SimulationPlan(tb.machine, (), NumaPolicy.bind(0),
+                           AccessMode.NUMA, 100_000_000)
+
+    def test_capacity_validation_in_plan(self):
+        from repro.errors import SimulationError
+        tb = setup1()
+        cores = place_threads(tb.machine, 1, sockets=[0])
+        with pytest.raises(SimulationError, match="capacity"):
+            SimulationPlan(tb.machine, tuple(cores), NumaPolicy.bind(0),
+                           AccessMode.NUMA, 10**13)

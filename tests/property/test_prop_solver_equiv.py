@@ -1,0 +1,86 @@
+"""Property test: the vectorized max-min solver matches the scalar one.
+
+The scalar progressive-filling loop is the reference semantics; the
+NumPy path must agree on every rate and resource load to numerical
+precision, and report a *valid* bottleneck for every flow (the two
+implementations may attribute a flow frozen in the same round to a
+different — but equally saturated — resource).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.memsim.bwmodel import Flow, solve_max_min
+
+import pytest
+
+EPS = 1e-6
+
+
+@st.composite
+def _problems(draw):
+    n_resources = draw(st.integers(1, 5))
+    resources = {f"r{i}": draw(st.floats(1.0, 100.0))
+                 for i in range(n_resources)}
+    n_flows = draw(st.integers(1, 24))
+    flows = []
+    for i in range(n_flows):
+        n_used = draw(st.integers(1, n_resources))
+        used = draw(st.permutations(sorted(resources)))[:n_used]
+        usage = {r: draw(st.floats(1.0, 2.0)) for r in used}
+        cap = draw(st.one_of(st.floats(0.5, 50.0), st.just(float("inf"))))
+        flows.append(Flow(f"f{i}", usage, cap))
+    return flows, resources
+
+
+@given(_problems())
+@settings(max_examples=200, deadline=None)
+def test_vectorized_matches_scalar(problem):
+    flows, resources = problem
+    scalar = solve_max_min(flows, resources, method="scalar")
+    vector = solve_max_min(flows, resources, method="vector")
+
+    for f in flows:
+        assert vector.rates[f.name] == pytest.approx(
+            scalar.rates[f.name], abs=1e-6, rel=1e-9), f.name
+    for res in resources:
+        assert vector.resource_load[res] == pytest.approx(
+            scalar.resource_load[res], abs=1e-6, rel=1e-9), res
+
+
+@given(_problems())
+@settings(max_examples=100, deadline=None)
+def test_vectorized_bottlenecks_are_valid(problem):
+    """Every vectorized bottleneck attribution holds up: ``cap`` means
+    the flow reached its own cap; a resource name means that resource is
+    saturated and the flow uses it."""
+    flows, resources = problem
+    alloc = solve_max_min(flows, resources, method="vector")
+    for f in flows:
+        res = alloc.bottleneck[f.name]
+        if res == "cap":
+            assert alloc.rates[f.name] >= f.cap_gbps - EPS
+            continue
+        assert res in f.usage
+        load = sum(alloc.rates[g.name] * g.usage.get(res, 0.0)
+                   for g in flows)
+        assert load >= resources[res] - EPS * max(1.0, resources[res])
+
+
+@given(_problems())
+@settings(max_examples=60, deadline=None)
+def test_auto_dispatch_matches_both(problem):
+    flows, resources = problem
+    auto = solve_max_min(flows, resources)        # method="auto"
+    scalar = solve_max_min(flows, resources, method="scalar")
+    for f in flows:
+        assert auto.rates[f.name] == pytest.approx(
+            scalar.rates[f.name], abs=1e-6, rel=1e-9)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(SimulationError):
+        solve_max_min([Flow("f", {"r": 1.0}, float("inf"))], {"r": 1.0},
+                      method="magic")

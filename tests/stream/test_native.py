@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import BenchmarkError
 from repro.stream.config import StreamConfig
-from repro.stream.native import run_parallel, run_single
+from repro.stream.native import NativeResult, run_parallel, run_single
 
 
 class TestRunSingle:
@@ -68,3 +68,58 @@ class TestRunParallel:
     def test_more_workers_than_elements_rejected(self):
         with pytest.raises(BenchmarkError):
             run_parallel(StreamConfig(array_size=16, ntimes=2), 32)
+
+    def test_barrier_timeout_must_be_positive(self):
+        cfg = StreamConfig(array_size=1000, ntimes=2)
+        with pytest.raises(BenchmarkError, match="barrier_timeout"):
+            run_parallel(cfg, 1, barrier_timeout=0)
+
+    def test_crashed_worker_breaks_the_barrier(self, monkeypatch):
+        """A worker dying mid-run must surface as BenchmarkError within
+        the barrier timeout instead of hanging until the join."""
+        import repro.stream.kernels as kernels
+
+        def boom(a, b, c, scalar):
+            raise RuntimeError("simulated kernel crash")
+
+        # fork-started workers inherit the patched kernel table
+        monkeypatch.setitem(kernels.KERNELS, "copy", boom)
+        cfg = StreamConfig(array_size=10_000, ntimes=2)
+        with pytest.raises(BenchmarkError, match="crashed or stalled"):
+            run_parallel(cfg, 2, validate=False, barrier_timeout=3.0)
+
+
+class TestNativeResultRobustness:
+    """The warm-up discard with degenerate timing lists (satellite fix:
+    ``times[1:]`` used to go empty and crash min()/ZeroDivision)."""
+
+    def _result(self, times):
+        cfg = StreamConfig(array_size=1000, ntimes=2)
+        return NativeResult(cfg, n_threads=1,
+                            times={k: list(times)
+                                   for k in ("copy", "scale", "add",
+                                             "triad")})
+
+    def test_single_timing_counts_itself(self):
+        r = self._result([0.5])
+        assert r.best_rate_gbps("triad") > 0
+        assert r.avg_time("triad") == pytest.approx(0.5)
+        assert "Triad" in r.table()
+
+    def test_two_timings_discard_warmup(self):
+        r = self._result([123.0, 0.5])
+        assert r.avg_time("copy") == pytest.approx(0.5)
+
+    def test_empty_timings_raise(self):
+        r = self._result([])
+        with pytest.raises(BenchmarkError, match="no timings"):
+            r.best_rate_gbps("triad")
+        with pytest.raises(BenchmarkError, match="no timings"):
+            r.avg_time("triad")
+        with pytest.raises(BenchmarkError, match="no timings"):
+            r.table()
+
+    def test_unknown_kernel_raises(self):
+        r = self._result([0.5, 0.4])
+        with pytest.raises(BenchmarkError, match="no timings"):
+            r.best_rate_gbps("nonesuch")

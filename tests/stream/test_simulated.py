@@ -49,3 +49,34 @@ class TestTable:
 
     def test_empty_table(self):
         assert "empty" in sweep_result_table({})
+
+    def test_unequal_series_lengths_rejected(self, tb1, spec):
+        from repro.errors import BenchmarkError
+        series = {
+            "long": simulate_sweep(tb1.machine, "triad", spec, [1, 2, 4]),
+            "short": simulate_sweep(tb1.machine, "triad", spec, [1, 2]),
+        }
+        with pytest.raises(BenchmarkError, match="unequal lengths"):
+            sweep_result_table(series)
+
+
+class TestPlacementCache:
+    def test_sweep_reuses_placements(self, tb1, spec):
+        from repro.machine import affinity
+        affinity._PLACEMENT_CACHE.clear()
+        simulate_sweep(tb1.machine, "triad", spec, [1, 2, 4])
+        assert len(affinity._PLACEMENT_CACHE) == 3
+        simulate_sweep(tb1.machine, "copy", spec, [1, 2, 4])
+        assert len(affinity._PLACEMENT_CACHE) == 3   # all hits
+
+    def test_cached_placement_matches_direct(self, tb1):
+        from repro.machine.affinity import (
+            place_threads,
+            place_threads_cached,
+        )
+        direct = place_threads(tb1.machine, 4, sockets=[0])
+        cached = place_threads_cached(tb1.machine, 4, sockets=[0])
+        assert cached == direct
+        # callers get a fresh list each time — mutation cannot poison it
+        cached.append(cached[0])
+        assert place_threads_cached(tb1.machine, 4, sockets=[0]) == direct

@@ -16,10 +16,37 @@ class TestRun:
         assert (tmp_path / "r.csv").exists()
 
     def test_run_figure_prints_report(self, capsys):
-        rc = main(["run", "--figure", "8", "-n", "2000000"])
+        rc = main(["run", "--figure", "8", "-n", "2000000", "--no-cache"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "Figure 8" in out and "TRIAD" in out
+
+    def test_run_parallel_jobs_matches_serial(self, tmp_path, capsys):
+        serial = str(tmp_path / "serial.csv")
+        par = str(tmp_path / "par.csv")
+        assert main(["run", "--figure", "8", "-n", "2000000", "--no-cache",
+                     "--out", serial, "--quiet"]) == 0
+        assert main(["run", "--figure", "8", "-n", "2000000", "--no-cache",
+                     "--jobs", "2", "--out", par, "--quiet"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "par.csv").read_text() \
+            == (tmp_path / "serial.csv").read_text()
+
+    def test_run_populates_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        rc = main(["run", "--figure", "8", "-n", "2000000", "--quiet",
+                   "--cache-dir", str(cache)])
+        assert rc == 0
+        capsys.readouterr()
+        assert any(f.name.startswith("sweep-") for f in cache.iterdir())
+
+    def test_no_cache_skips_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        rc = main(["run", "--figure", "8", "-n", "2000000", "--quiet",
+                   "--cache-dir", str(cache), "--no-cache"])
+        assert rc == 0
+        capsys.readouterr()
+        assert not cache.exists()
 
 
 class TestReportAndCompare:

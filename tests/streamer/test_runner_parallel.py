@@ -1,0 +1,110 @@
+"""Parallel and disk-cached ``run_all`` must be byte-identical to serial."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.stream.config import StreamConfig
+from repro.streamer.runner import StreamerRunner
+
+#: Small arrays keep these end-to-end runs fast.
+_CFG = StreamConfig(array_size=1_000_000)
+
+
+@pytest.fixture(scope="module")
+def serial_csv():
+    return StreamerRunner(config=_CFG).run_all(kernels=("triad",)).to_csv()
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, serial_csv):
+        runner = StreamerRunner(config=_CFG)
+        got = runner.run_all(kernels=("triad",), parallel=2).to_csv()
+        assert got == serial_csv
+
+    def test_parallel_true_means_cpu_count(self, serial_csv):
+        runner = StreamerRunner(config=_CFG)
+        got = runner.run_all(kernels=("triad",), parallel=True).to_csv()
+        assert got == serial_csv
+
+    def test_run_figure_parallel(self):
+        runner = StreamerRunner(config=_CFG)
+        serial = runner.run_figure(8)
+        par = runner.run_figure(8, parallel=2)
+        assert par.to_csv() == serial.to_csv()
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_job_count_rejected(self, bad):
+        with pytest.raises(BenchmarkError, match="job count"):
+            StreamerRunner(config=_CFG).run_all(parallel=bad)
+
+    def test_n_jobs_mapping(self):
+        n = StreamerRunner._n_jobs
+        assert n(None) == 1
+        assert n(False) == 1
+        assert n(3) == 3
+        assert n(True) == (os.cpu_count() or 1)
+
+
+class TestDiskCache:
+    def test_cache_round_trip(self, tmp_path, serial_csv):
+        cache_dir = str(tmp_path / "cache")
+        r1 = StreamerRunner(config=_CFG, cache_dir=cache_dir)
+        first = r1.run_all(kernels=("triad",))
+        files = os.listdir(cache_dir)
+        assert len(files) == 1 and files[0].startswith("sweep-")
+
+        # A fresh runner replays the stored ResultSet byte-for-byte.
+        r2 = StreamerRunner(config=_CFG, cache_dir=cache_dir)
+        second = r2.run_all(kernels=("triad",))
+        assert second.to_csv() == first.to_csv() == serial_csv
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runner = StreamerRunner(config=_CFG, cache_dir=cache_dir)
+        runner.run_all(kernels=("triad",), use_cache=False)
+        assert not os.path.exists(cache_dir)
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path, serial_csv):
+        cache_dir = str(tmp_path / "cache")
+        runner = StreamerRunner(config=_CFG, cache_dir=cache_dir)
+        runner.run_all(kernels=("triad",))
+        (path,) = (os.path.join(cache_dir, f) for f in os.listdir(cache_dir))
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        got = runner.run_all(kernels=("triad",))
+        assert got.to_csv() == serial_csv
+        with open(path) as fh:     # rewritten with valid content
+            json.load(fh)
+
+    def test_key_sensitive_to_config(self):
+        a = StreamerRunner(config=_CFG, cache_dir="x")
+        b = StreamerRunner(config=StreamConfig(array_size=2_000_000),
+                           cache_dir="x")
+        assert (a.sweep_cache_key(("triad",))
+                != b.sweep_cache_key(("triad",)))
+
+    def test_key_sensitive_to_kernels(self):
+        r = StreamerRunner(config=_CFG, cache_dir="x")
+        assert (r.sweep_cache_key(("triad",))
+                != r.sweep_cache_key(("copy",)))
+
+    def test_key_sensitive_to_machine(self):
+        from repro.machine.presets import setup1, setup1_variant, setup2
+        from repro.machine.dram import DDR5_5600
+        base = {"setup1": setup1(), "setup2": setup2()}
+        variant = {"setup1": setup1_variant(media_grade=DDR5_5600),
+                   "setup2": setup2()}
+        ka = StreamerRunner(testbeds=base, config=_CFG,
+                            cache_dir="x").sweep_cache_key(("triad",))
+        kb = StreamerRunner(testbeds=variant, config=_CFG,
+                            cache_dir="x").sweep_cache_key(("triad",))
+        assert ka != kb
+
+    def test_key_stable_across_runners(self):
+        ka = StreamerRunner(config=_CFG, cache_dir="x")
+        kb = StreamerRunner(config=_CFG, cache_dir="x")
+        assert (ka.sweep_cache_key(("triad",))
+                == kb.sweep_cache_key(("triad",)))
