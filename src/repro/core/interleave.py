@@ -60,7 +60,6 @@ class InterleavedRegion(PmemRegion):
         self._devices = {dev.name: dev for dev in devices}
         self._size = size
         self._closed = False
-        self.flush_count = 0
 
     @property
     def size(self) -> int:
@@ -117,20 +116,26 @@ class InterleavedRegion(PmemRegion):
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         import numpy as np
+
+        from repro.pmdk.pmem import _byteslike
         self._alive()
-        data = bytes(data)
+        data = _byteslike(data)
         self._check(offset, len(data))
         for target, dpa, rel, take in self._chunks(offset, len(data)):
             window = self._windows[target]
             window[dpa:dpa + take] = np.frombuffer(
                 data[rel:rel + take], dtype=np.uint8)
+        self._mark_dirty(offset, len(data))
 
-    def persist(self, offset: int, length: int) -> None:
-        self._alive()
-        self._check(offset, length)
-        self.flush_count += 1
-        # flush only the stripe members the range actually touches
-        touched = {t for t, _, _, _ in self._chunks(offset, max(length, 1))}
+    def _flush(self, offset: int, length: int) -> None:  # pragma: no cover
+        self._flush_ranges([(offset, length)])
+
+    def _flush_ranges(self, ranges) -> None:
+        # flush only the stripe members the ranges actually touch
+        touched: set[str] = set()
+        for offset, length in ranges:
+            touched.update(
+                t for t, _, _, _ in self._chunks(offset, max(length, 1)))
         for target in touched:
             dev = self._devices[target]
             if not dev.battery_backed:

@@ -21,7 +21,7 @@ import numpy as np
 from repro.cxl.device import Type3Device
 from repro.cxl.mailbox import MailboxOpcode
 from repro.errors import CxlError, PersistenceDomainError, PmemError
-from repro.pmdk.pmem import PmemRegion
+from repro.pmdk.pmem import PmemRegion, _byteslike
 
 LABEL_VERSION = 1
 
@@ -129,7 +129,6 @@ class CxlRegion(PmemRegion):
         self._window = device.memory.map_dense(base_dpa, size)
         self._mv = memoryview(self._window)
         self._closed = False
-        self.flush_count = 0
 
     @property
     def size(self) -> int:
@@ -148,6 +147,7 @@ class CxlRegion(PmemRegion):
     def view(self, offset: int, length: int) -> memoryview:
         self._alive()
         self._check(offset, length)
+        self._pin(offset, length)
         return self._mv[offset:offset + length]
 
     def np_window(self) -> np.ndarray:
@@ -162,18 +162,22 @@ class CxlRegion(PmemRegion):
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         self._alive()
-        data = bytes(data)
+        data = _byteslike(data)
         self._check(offset, len(data))
         self._window[offset:offset + len(data)] = np.frombuffer(
             data, dtype=np.uint8)
+        self._mark_dirty(offset, len(data))
 
-    def persist(self, offset: int, length: int) -> None:
-        self._alive()
-        self._check(offset, length)
-        self.flush_count += 1
-        if not self.device.battery_backed:
+    def _flush(self, offset: int, length: int) -> None:
+        """Stores land in the media window directly; durability only
+        needs the device write buffer drained (handled per persist call
+        in :meth:`_flush_ranges`)."""
+
+    def _flush_ranges(self, ranges) -> None:
+        if ranges and not self.device.battery_backed:
             # no battery: durability requires pushing the device write
-            # buffer down to media, the expensive path
+            # buffer down to media, the expensive path — once per persist
+            # call, however many coalesced spans it covers
             self.device.flush()
 
     def close(self) -> None:

@@ -21,6 +21,12 @@ through this package survive process restarts and arbitrary injected
 crashes, and recovery genuinely repairs them.
 """
 
+from repro.pmdk.dirty import (
+    DirtyTracker,
+    coalesce_ranges,
+    fast_persist_enabled,
+    set_fast_persist_enabled,
+)
 from repro.pmdk.pmem import (
     FileRegion,
     PmemRegion,
@@ -42,6 +48,7 @@ __all__ = [
     "CheckReport",
     "CrashController",
     "CrashRegion",
+    "DirtyTracker",
     "FileRegion",
     "OID_NULL",
     "PMEMoid",
@@ -56,6 +63,9 @@ __all__ = [
     "Transaction",
     "VolatileRegion",
     "check_pool",
+    "coalesce_ranges",
+    "fast_persist_enabled",
     "map_file",
     "memcpy_persist",
+    "set_fast_persist_enabled",
 ]

@@ -18,6 +18,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import PmemError
+from repro.pmdk.dirty import coalesce_ranges, fast_persist_enabled
 from repro.pmdk.oid import OID_NULL, PMEMoid, SERIALIZED_SIZE
 from repro.pmdk.pool import PmemObjPool
 from repro.pmdk.tx import Transaction
@@ -47,12 +48,24 @@ class PersistentArray:
 
     @classmethod
     def create(cls, pool: PmemObjPool, shape: tuple[int, ...] | int,
-               dtype="float64", tx: Transaction | None = None
-               ) -> "PersistentArray":
+               dtype="float64", tx: Transaction | None = None,
+               zero: bool = True) -> "PersistentArray":
         """Allocate and header-initialize a new array.
 
-        Inside a transaction the allocation rolls back on abort.
+        Inside a transaction the allocation rolls back on abort.  Pass
+        ``zero=False`` when the caller initializes every element anyway
+        (skips a full zero-fill pass over the payload).
         """
+        return cls.create_many(pool, 1, shape, dtype, tx=tx, zero=zero)[0]
+
+    @classmethod
+    def create_many(cls, pool: PmemObjPool, count: int,
+                    shape: tuple[int, ...] | int, dtype="float64",
+                    tx: Transaction | None = None,
+                    zero: bool = True) -> list["PersistentArray"]:
+        """Allocate ``count`` identically-shaped arrays via the pool's
+        vectorized allocation; headers are flushed in coalesced spans
+        (or at transaction commit)."""
         if isinstance(shape, int):
             shape = (shape,)
         if not shape or len(shape) > _MAX_DIMS:
@@ -62,22 +75,46 @@ class PersistentArray:
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape)) * dt.itemsize
         total = _ARR_HDR + nbytes
+        shape = tuple(shape)
+
+        if not fast_persist_enabled():
+            # pre-optimization sequence: per-object alloc (always zeroed)
+            # + immediately persisted header
+            out = []
+            for _ in range(count):
+                if tx is not None:
+                    oid = pool.tx_alloc(tx, total)
+                else:
+                    oid = pool.alloc(total, zero=True)
+                arr = cls(pool, oid, shape, dt)
+                arr._write_header()
+                out.append(arr)
+            return out
 
         if tx is not None:
-            oid = pool.tx_alloc(tx, total)
+            oids = pool.tx_alloc_many(tx, count, total, zero=zero)
         else:
-            oid = pool.alloc(total, zero=True)
-        arr = cls(pool, oid, tuple(shape), dt)
-        arr._write_header()
-        return arr
+            oids = pool.alloc_many(count, total, zero=zero)
+        arrays = [cls(pool, oid, shape, dt) for oid in oids]
+        for arr in arrays:
+            # commit flushes tx-allocated payloads (log_modified covers
+            # the header); non-tx headers get one coalesced flush below
+            arr._write_header(persist=False)
+        if tx is None:
+            spans = [(arr.oid.offset, _ARR_HDR) for arr in arrays]
+            for off, length in coalesce_ranges(spans,
+                                               bound=pool.region.size):
+                pool.region.persist(off, length)
+        return arrays
 
-    def _write_header(self) -> None:
+    def _write_header(self, persist: bool = True) -> None:
         dtype_b = self.dtype.str.encode().ljust(16, b"\x00")
         padded = self.shape + (0,) * (_MAX_DIMS - len(self.shape))
         hdr = struct.pack(_ARR_FMT, _ARR_MAGIC, dtype_b, len(self.shape),
                           *padded, _arr_crc(dtype_b, len(self.shape),
                                             self.shape))
-        self.pool.write(self.oid, hdr.ljust(_ARR_HDR, b"\x00"), offset=0)
+        self.pool.write(self.oid, hdr.ljust(_ARR_HDR, b"\x00"), offset=0,
+                        persist=persist)
 
     @classmethod
     def from_oid(cls, pool: PmemObjPool, oid: PMEMoid) -> "PersistentArray":

@@ -162,18 +162,17 @@ class CrashRegion(PmemRegion):
             buf[within:within + take] = data[pos - offset:pos - offset + take]
             self._shadow[line] = buf
             pos += take
+        self._mark_dirty(offset, len(data))
         if self.controller is not None:
             self.controller.note("write")
 
-    def persist(self, offset: int, length: int) -> None:
-        self._alive()
-        self._check(offset, length)
+    def _persist_hook(self) -> None:
         if self.controller is not None:
             # injection happens BEFORE the flush takes effect — the crash
             # beats the CLWB to the persistence domain
             self.controller.note("persist")
-        if length == 0:
-            return
+
+    def _flush(self, offset: int, length: int) -> None:
         for line in self._lines(offset, length):
             buf = self._shadow.pop(line, None)
             if buf is None:
@@ -184,8 +183,13 @@ class CrashRegion(PmemRegion):
             self.inner.persist(start, n)
 
     def flush_all(self) -> None:
-        """Drain the entire shadow (clean shutdown)."""
+        """Drain the entire shadow (clean shutdown).
+
+        Bypasses the controller on purpose: a clean shutdown is not a
+        persistence-protocol step, so it must never trigger injection.
+        """
         self._alive()
+        self._flush_count += len(self._shadow)
         for line in sorted(self._shadow):
             start = line * FLUSH_LINE
             n = min(FLUSH_LINE, self.size - start)
@@ -193,6 +197,7 @@ class CrashRegion(PmemRegion):
             self.inner.write(start, bytes(buf[:n]))
             self.inner.persist(start, n)
         self._shadow.clear()
+        self.dirty.discard(0, self.size)
 
     def crash(self, survivor_prob: float = 0.0,
               rng: random.Random | None = None) -> int:

@@ -17,6 +17,15 @@ Pools (:mod:`repro.pmdk.pool`) perform all *metadata* accesses through the
 ``read``/``write`` API so the crash-injection wrapper can interpose;
 bulk array data additionally gets zero-copy views where the backend
 supports them.
+
+Persist orchestration lives in the base class (template method): every
+``write`` records coalesced dirty lines in a :class:`~repro.pmdk.dirty.
+DirtyTracker`, every ``view`` *pins* its range (stores through a view
+are invisible, so the range is conservatively re-flushed), and
+``persist()`` — with an explicit range or, with no arguments, over
+exactly the tracked dirty lines — dispatches to the backend's
+``_flush``.  ``flush_count`` therefore counts *flushed cachelines*
+uniformly on every backend.
 """
 
 from __future__ import annotations
@@ -26,9 +35,26 @@ import os
 from abc import ABC, abstractmethod
 
 from repro.errors import PmemError
+from repro.pmdk.dirty import DirtyTracker, fast_persist_enabled, line_count
 
 #: flush granularity — one CPU cacheline
 FLUSH_LINE = 64
+
+_ZERO_BLOCK = bytes(1 << 20)
+
+
+def _byteslike(data) -> bytes | bytearray | memoryview:
+    """A length-in-bytes, slice-assignable form of ``data`` — without
+    copying when the input is already byte-shaped."""
+    if isinstance(data, (bytes, bytearray)):
+        return data
+    mv = data if isinstance(data, memoryview) else memoryview(data)
+    if mv.format == "B" and mv.contiguous:
+        return mv
+    try:
+        return mv.cast("B")
+    except TypeError:
+        return bytes(mv)
 
 
 class PmemRegion(ABC):
@@ -36,6 +62,9 @@ class PmemRegion(ABC):
 
     #: human-readable backend tag ("file", "volatile", "cxl", "crash")
     backend: str = "abstract"
+
+    _flush_count: int = 0
+    _dirty: DirtyTracker | None = None
 
     @property
     @abstractmethod
@@ -52,6 +81,38 @@ class PmemRegion(ABC):
         """Whether :meth:`view` returns zero-copy writable memory."""
         return True
 
+    # -- dirty-line bookkeeping -----------------------------------------
+
+    @property
+    def dirty(self) -> DirtyTracker:
+        """The region's dirty-line tracker (created lazily)."""
+        d = self._dirty
+        if d is None:
+            d = self._dirty = DirtyTracker(self.size, FLUSH_LINE)
+        return d
+
+    @property
+    def flush_count(self) -> int:
+        """Cachelines flushed to the persistence domain so far.
+
+        Maintained by the base-class persist orchestration, so every
+        backend reports it — no ``getattr(..., 0)`` fallbacks.
+        """
+        return self._flush_count
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes a no-argument :meth:`persist` would flush right now."""
+        return 0 if self._dirty is None else self._dirty.dirty_bytes
+
+    def _mark_dirty(self, offset: int, length: int) -> None:
+        self.dirty.mark(offset, length)
+
+    def _pin(self, offset: int, length: int) -> None:
+        self.dirty.pin(offset, length)
+
+    # -- bounds / lifecycle ---------------------------------------------
+
     def _check(self, offset: int, length: int) -> None:
         if offset < 0 or length < 0 or offset + length > self.size:
             raise PmemError(
@@ -59,9 +120,19 @@ class PmemRegion(ABC):
                 f"of {self.size:#x} bytes"
             )
 
+    def _alive(self) -> None:
+        """Raise when the region is unusable (closed, crashed, ...)."""
+
+    # -- data access -----------------------------------------------------
+
     @abstractmethod
     def view(self, offset: int, length: int) -> memoryview:
-        """Writable zero-copy view (raises when unsupported)."""
+        """Writable zero-copy view (raises when unsupported).
+
+        Implementations must :meth:`_pin` the range: mutations through
+        the view bypass dirty tracking, so the range stays in every
+        no-argument persist for the life of the region.
+        """
 
     @abstractmethod
     def read(self, offset: int, length: int) -> bytes:
@@ -71,10 +142,59 @@ class PmemRegion(ABC):
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         """Copy bytes in (not yet durable — call :meth:`persist`)."""
 
+    def zero(self, offset: int, length: int) -> None:
+        """Zero-fill a range without materializing ``length`` bytes."""
+        self._check(offset, length)
+        end = offset + length
+        pos = offset
+        block = _ZERO_BLOCK
+        while pos < end:
+            n = min(len(block), end - pos)
+            self.write(pos, block if n == len(block)
+                       else memoryview(block)[:n])
+            pos += n
+
+    # -- persistence ------------------------------------------------------
+
+    def persist(self, offset: int | None = None,
+                length: int | None = None) -> None:
+        """Flush to the persistence domain (CLWB+fence moral equivalent).
+
+        With ``(offset, length)``: flush that range, as always.  With no
+        arguments: flush exactly the tracked dirty lines — every range
+        written since the last flush plus every range pinned by a
+        zero-copy view — as coalesced, sorted spans.
+        """
+        self._alive()
+        if offset is None:
+            if length is not None:
+                raise PmemError(
+                    "persist() takes (offset, length) or no arguments")
+            ranges = self.dirty.take()
+        else:
+            if length is None:
+                raise PmemError(
+                    "persist() takes (offset, length) or no arguments")
+            self._check(offset, length)
+            self.dirty.discard(offset, length)
+            ranges = [(offset, length)]
+        self._persist_hook()
+        self._flush_ranges(ranges)
+        self._flush_count += sum(
+            line_count(o, n, FLUSH_LINE) for o, n in ranges)
+
+    def _persist_hook(self) -> None:
+        """Called once per :meth:`persist`, before any flushing (the
+        crash wrapper injects failures here)."""
+
+    def _flush_ranges(self, ranges: list[tuple[int, int]]) -> None:
+        for off, n in ranges:
+            if n:
+                self._flush(off, n)
+
     @abstractmethod
-    def persist(self, offset: int, length: int) -> None:
-        """Flush the range to the persistence domain (CLWB+fence moral
-        equivalent)."""
+    def _flush(self, offset: int, length: int) -> None:
+        """Backend flush of one non-empty, validated range."""
 
     def drain(self) -> None:
         """Wait for outstanding flushes (SFENCE equivalent)."""
@@ -117,6 +237,7 @@ class VolatileRegion(PmemRegion):
     def view(self, offset: int, length: int) -> memoryview:
         self._alive()
         self._check(offset, length)
+        self._pin(offset, length)
         return self._mv[offset:offset + length]
 
     def read(self, offset: int, length: int) -> bytes:
@@ -126,13 +247,16 @@ class VolatileRegion(PmemRegion):
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         self._alive()
-        data = bytes(data)
+        if fast_persist_enabled():
+            data = _byteslike(data)
+        else:
+            data = bytes(data)
         self._check(offset, len(data))
         self._mv[offset:offset + len(data)] = data
+        self._mark_dirty(offset, len(data))
 
-    def persist(self, offset: int, length: int) -> None:
-        self._alive()
-        self._check(offset, length)
+    def _flush(self, offset: int, length: int) -> None:
+        pass   # RAM: a flush orders nothing
 
     def close(self) -> None:
         if self._closed:
@@ -202,6 +326,7 @@ class FileRegion(PmemRegion):
     def view(self, offset: int, length: int) -> memoryview:
         self._alive()
         self._check(offset, length)
+        self._pin(offset, length)
         return self._mv[offset:offset + length]
 
     def read(self, offset: int, length: int) -> bytes:
@@ -211,15 +336,15 @@ class FileRegion(PmemRegion):
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         self._alive()
-        data = bytes(data)
+        if fast_persist_enabled():
+            data = _byteslike(data)
+        else:
+            data = bytes(data)
         self._check(offset, len(data))
         self._mv[offset:offset + len(data)] = data
+        self._mark_dirty(offset, len(data))
 
-    def persist(self, offset: int, length: int) -> None:
-        self._alive()
-        self._check(offset, length)
-        if length == 0:
-            return
+    def _flush(self, offset: int, length: int) -> None:
         page = mmap.PAGESIZE
         start = (offset // page) * page
         end = offset + length
@@ -228,7 +353,10 @@ class FileRegion(PmemRegion):
     def close(self) -> None:
         if self._closed:
             return
-        self._mm.flush()
+        if fast_persist_enabled():
+            self.persist()          # dirty + pinned lines only
+        else:
+            self._mm.flush()
         try:
             self._mv.release()
             self._mm.close()

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import PmemError, PoolCorruptionError, PoolError
 from repro.pmdk.alloc import PersistentHeap, align_up
+from repro.pmdk.dirty import coalesce_ranges, fast_persist_enabled
 from repro.pmdk.oid import OID_NULL, PMEMoid
 from repro.pmdk.pmem import FileRegion, PmemRegion, map_file
 from repro.pmdk.tx import Transaction, UndoLog, recover as tx_recover
@@ -268,14 +269,52 @@ class PmemObjPool:
     # object management
     # ------------------------------------------------------------------
 
+    def _zero(self, off: int, length: int) -> None:
+        if fast_persist_enabled():
+            self.region.zero(off, length)
+        else:
+            self.region.write(off, b"\x00" * length)
+
     def alloc(self, size: int, zero: bool = True) -> PMEMoid:
         """Atomic (non-transactional) allocation, ``pmemobj_alloc``."""
         self._alive()
         off = self._heap.alloc(size)
         if zero:
-            self.region.write(off, b"\x00" * self._heap.payload_size(off))
-            self.region.persist(off, self._heap.payload_size(off))
+            payload = self._heap.payload_size(off)
+            self._zero(off, payload)
+            self.region.persist(off, payload)
         return PMEMoid(self.uuid, off)
+
+    def alloc_many(self, count: int, size: int,
+                   zero: bool = True) -> list[PMEMoid]:
+        """Vectorized ``pmemobj_alloc`` of ``count`` same-size objects.
+
+        Allocations are sequential first-fit (so the payloads are
+        typically contiguous); zero-fill flushes once over coalesced
+        spans instead of once per object.  Partial failure rolls back the
+        objects already allocated.
+        """
+        self._alive()
+        if count < 0:
+            raise PoolError(f"alloc_many count must be >= 0, got {count}")
+        offs: list[int] = []
+        try:
+            for _ in range(count):
+                offs.append(self._heap.alloc(size))
+        except Exception:
+            for off in offs:
+                self._heap.free(off)
+            raise
+        if zero:
+            spans = []
+            for off in offs:
+                payload = self._heap.payload_size(off)
+                self._zero(off, payload)
+                spans.append((off, payload))
+            for off, length in coalesce_ranges(spans,
+                                               bound=self.region.size):
+                self.region.persist(off, length)
+        return [PMEMoid(self.uuid, off) for off in offs]
 
     def free(self, oid: PMEMoid) -> None:
         """Atomic free, ``pmemobj_free``."""
@@ -409,12 +448,57 @@ class PmemObjPool:
         self.tx_add(tx, oid, offset, len(data))
         self.write(oid, data, offset, persist=False)
 
-    def tx_alloc(self, tx: Transaction, size: int) -> PMEMoid:
+    def tx_write_many(self, tx: Transaction, writes) -> None:
+        """Batched :meth:`tx_write`: snapshot every target with a single
+        undo-log visibility update, then store.
+
+        ``writes`` is an iterable of ``(oid, data)`` or
+        ``(oid, data, offset)`` tuples.  All old contents become durable
+        in the log before any store lands, so crash atomicity covers the
+        whole batch exactly as it covers one ``tx_write``.
+        """
+        resolved: list[tuple[int, object]] = []
+        for w in writes:
+            oid, data = w[0], w[1]
+            offset = w[2] if len(w) > 2 else 0
+            off = self._check_oid(oid)
+            self._bounds(off, offset, len(data))
+            resolved.append((off + offset, data))
+        tx.add_ranges([(o, len(d)) for o, d in resolved])
+        for o, d in resolved:
+            self.region.write(o, d)
+
+    def tx_alloc(self, tx: Transaction, size: int,
+                 zero: bool = True) -> PMEMoid:
         """Transactional allocation returning a PMEMoid."""
         off = tx.alloc(size)
-        self.region.write(off, b"\x00" * self._heap.payload_size(off))
-        tx.log_modified(off, self._heap.payload_size(off))
+        payload = self._heap.payload_size(off)
+        if zero:
+            self._zero(off, payload)
+        tx.log_modified(off, payload)
         return PMEMoid(self.uuid, off)
+
+    def tx_alloc_many(self, tx: Transaction, count: int, size: int,
+                      zero: bool = True) -> list[PMEMoid]:
+        """Vectorized :meth:`tx_alloc`.
+
+        The per-object journal protocol (reserve → journal ALLOC →
+        complete) is kept intact — it is what makes transactional
+        allocation leak-free across crashes — while the expensive parts
+        (zero-fill, commit-time flushing of the payloads) are batched.
+        """
+        self._alive()
+        if count < 0:
+            raise PoolError(f"tx_alloc_many count must be >= 0, got {count}")
+        oids: list[PMEMoid] = []
+        for _ in range(count):
+            off = tx.alloc(size)
+            payload = self._heap.payload_size(off)
+            if zero:
+                self._zero(off, payload)
+            tx.log_modified(off, payload)
+            oids.append(PMEMoid(self.uuid, off))
+        return oids
 
     def tx_free(self, tx: Transaction, oid: PMEMoid) -> None:
         tx.free(self._check_oid(oid))
@@ -423,13 +507,24 @@ class PmemObjPool:
     # shutdown
     # ------------------------------------------------------------------
 
+    def persist_dirty(self) -> int:
+        """Flush every tracked dirty/pinned line (coalesced); returns the
+        number of cachelines flushed."""
+        self._alive()
+        before = self.region.flush_count
+        self.region.persist()
+        return self.region.flush_count - before
+
     def close(self) -> None:
         """``pmemobj_close``; flushes everything owned by the pool."""
         if self._closed:
             return
         if self._tx is not None and self._tx.active:
             raise PoolError("cannot close a pool with an active transaction")
-        self.region.persist(0, min(self.region.size, self._hdr.pool_size))
+        if fast_persist_enabled():
+            self.region.persist()       # dirty + pinned lines, not the pool
+        else:
+            self.region.persist(0, min(self.region.size, self._hdr.pool_size))
         if self._owns_region:
             self.region.close()
         self._closed = True

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import CrashInjected, TransactionAborted, TransactionError
 from repro.pmdk.alloc import HEADER_SIZE as _HEAP_HEADER_SIZE, PersistentHeap
+from repro.pmdk.dirty import coalesce_ranges, fast_persist_enabled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pmdk.pmem import PmemRegion
@@ -57,13 +58,39 @@ ENTRY_DATA = 1
 ENTRY_ALLOC = 2
 ENTRY_FREE = 3
 
+#: max payload bytes one undo-log DATA entry holds on the fast path;
+#: larger snapshots are split into consecutive chunk entries (module
+#: attribute so tests can shrink it)
+LOG_CHUNK = 1 << 20
+
 
 def _ctrl_crc(tail: int, state: int) -> int:
     return zlib.crc32(struct.pack("<QI", tail, state))
 
 
-def _entry_crc(etype: int, target: int, length: int, data: bytes) -> int:
-    return zlib.crc32(struct.pack("<IQQ", etype, target, length) + data)
+def _entry_crc(etype: int, target: int, length: int,
+               data: bytes | memoryview) -> int:
+    # streaming CRC: crc32(hdr+data) == crc32(data, crc32(hdr)), so the
+    # on-media entry format is byte-identical to the concatenating form
+    # while never materializing hdr+data
+    if fast_persist_enabled():
+        return zlib.crc32(
+            data, zlib.crc32(struct.pack("<IQQ", etype, target, length)))
+    return zlib.crc32(
+        struct.pack("<IQQ", etype, target, length) + bytes(data))
+
+
+def undo_bytes_needed(length: int) -> int:
+    """Worst-case undo-log bytes ``add_range(_, length)`` consumes,
+    including per-chunk entry headers and 8-byte data padding."""
+    if length <= 0:
+        return 0
+    chunk = LOG_CHUNK if fast_persist_enabled() else length
+    full, rem = divmod(length, chunk)
+    need = full * (ENTRY_HEADER + ((chunk + 7) // 8) * 8)
+    if rem:
+        need += ENTRY_HEADER + ((rem + 7) // 8) * 8
+    return need
 
 
 class UndoLog:
@@ -78,6 +105,11 @@ class UndoLog:
         self.log_size = log_size
         self._entries_base = log_offset + CTRL_SIZE
         self._capacity = log_size - CTRL_SIZE
+
+    @property
+    def capacity(self) -> int:
+        """Entry bytes the log can hold."""
+        return self._capacity
 
     # -- control block --------------------------------------------------
 
@@ -99,12 +131,13 @@ class UndoLog:
     # -- entries ---------------------------------------------------------
 
     def append(self, tail: int, etype: int, target: int,
-               data: bytes) -> int:
+               data: bytes | memoryview, persist: bool = True) -> int:
         """Write one entry at ``tail``; returns the new tail.
 
         The control block is *not* updated here — the caller persists the
-        entry first, then bumps the tail, preserving the
-        entry-before-visibility ordering.
+        entry (inline with ``persist=True``, or later via
+        :meth:`persist_span` for a batch), then bumps the tail,
+        preserving the entry-before-visibility ordering.
         """
         length = len(data)
         total = ENTRY_HEADER + ((length + 7) // 8) * 8
@@ -117,10 +150,17 @@ class UndoLog:
         hdr = struct.pack(_ENTRY_FMT, etype, 0, target, length,
                           _entry_crc(etype, target, length, data))
         self.region.write(pos, hdr + b"\x00" * (ENTRY_HEADER - _ENTRY_LEN))
-        if data:
+        if length:
             self.region.write(pos + ENTRY_HEADER, data)
-        self.region.persist(pos, total)
+        if persist:
+            self.region.persist(pos, total)
         return tail + total
+
+    def persist_span(self, start_tail: int, end_tail: int) -> None:
+        """Persist every entry appended between two tails in one flush."""
+        if end_tail > start_tail:
+            self.region.persist(self._entries_base + start_tail,
+                                end_tail - start_tail)
 
     def entries(self, tail: int) -> list[tuple[int, int, bytes]]:
         """Decode entries up to ``tail`` → ``[(type, target, data), ...]``."""
@@ -193,10 +233,18 @@ class Transaction:
         if self._depth > 0:
             return
         # 1. make every modified range durable
-        for off, length in self._modified:
-            self._log.region.persist(off, length)
-        for off, length in self._snapshots:
-            self._log.region.persist(off, length)
+        region = self._log.region
+        if fast_persist_enabled():
+            # coalesced line-aligned superset spans via the dirty-interval
+            # machinery: adjacent/overlapping ranges flush once
+            for off, length in coalesce_ranges(
+                    self._modified + self._snapshots, bound=region.size):
+                region.persist(off, length)
+        else:
+            for off, length in self._modified:
+                region.persist(off, length)
+            for off, length in self._snapshots:
+                region.persist(off, length)
         # 2. commit record
         if self._tail:
             self._log.write_ctrl(self._tail, STATE_COMMITTED)
@@ -249,16 +297,47 @@ class Transaction:
 
     def add_range(self, offset: int, length: int) -> None:
         """Snapshot ``[offset, offset+length)`` before the caller modifies it."""
+        self.add_ranges(((offset, length),))
+
+    def add_ranges(self, ranges) -> None:
+        """Snapshot several ranges with a single log-visibility update.
+
+        Large ranges are split into :data:`LOG_CHUNK`-sized entries read
+        through zero-copy views (where the backend supports them) — the
+        whole range never materializes as one ``bytes`` object.  All
+        chunk entries are persisted in one span flush, then the control
+        block is bumped once: entries stay invisible until every byte of
+        every snapshot is durable, exactly as with one entry per range.
+        """
         self._require_active()
-        if length <= 0:
-            raise TransactionError("add_range length must be positive")
-        if self._covered(offset, length):
+        fresh: list[tuple[int, int]] = []
+        for offset, length in ranges:
+            if length <= 0:
+                raise TransactionError("add_range length must be positive")
+            if not self._covered(offset, length):
+                fresh.append((offset, length))
+        if not fresh:
             return
-        old = self._log.region.read(offset, length)
-        new_tail = self._log.append(self._tail, ENTRY_DATA, offset, old)
-        self._log.write_ctrl(new_tail, STATE_ACTIVE)
-        self._tail = new_tail
-        self._snapshots.append((offset, length))
+        region = self._log.region
+        fast = fast_persist_enabled()
+        use_views = fast and region.supports_views
+        start_tail = tail = self._tail
+        for offset, length in fresh:
+            pos = 0
+            while pos < length:
+                n = min(LOG_CHUNK, length - pos) if fast else length
+                if use_views:
+                    old = region.view(offset + pos, n)
+                else:
+                    old = region.read(offset + pos, n)
+                tail = self._log.append(tail, ENTRY_DATA, offset + pos, old,
+                                        persist=not fast)
+                pos += n
+        if fast:
+            self._log.persist_span(start_tail, tail)
+        self._log.write_ctrl(tail, STATE_ACTIVE)
+        self._tail = tail
+        self._snapshots.extend(fresh)
 
     def log_modified(self, offset: int, length: int) -> None:
         """Note a range modified without snapshotting (freshly allocated

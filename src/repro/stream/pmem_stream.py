@@ -22,6 +22,7 @@ from repro.errors import BenchmarkError
 from repro.pmdk.containers import PersistentArray
 from repro.pmdk.oid import SERIALIZED_SIZE, PMEMoid
 from repro.pmdk.pool import PmemObjPool
+from repro.pmdk.tx import undo_bytes_needed
 from repro.stream.config import StreamConfig
 from repro.stream.native import NativeResult, run_single
 
@@ -110,14 +111,18 @@ class StreamPmem:
         pool, cfg = self.pool, self.config
         root = pool.root(_ROOT_SIZE)
         with pool.transaction() as tx:
-            arrays = tuple(
-                PersistentArray.create(pool, cfg.array_size, cfg.dtype, tx=tx)
-                for _ in range(3)
-            )
+            arrays = tuple(PersistentArray.create_many(
+                pool, 3, cfg.array_size, cfg.dtype, tx=tx, zero=False))
             packed = b"".join(arr.oid.pack() for arr in arrays)
-            pool.tx_write(tx, root, packed)
+            pool.tx_write_many(tx, [(root, packed)])
         self.arrays = arrays
         self.initiate()
+
+    def _undo_log_fits(self, arrays) -> bool:
+        """Would snapshotting every array in ``arrays`` (in one
+        transaction) fit the pool's undo log?"""
+        need = sum(undo_bytes_needed(arr.nbytes) for arr in arrays)
+        return need <= self.pool.log_capacity
 
     def initiate(self) -> None:
         """STREAM's init (a=1, b=2, c=0; a*=2) — the paper's *initiate*.
@@ -130,8 +135,7 @@ class StreamPmem:
         the benchmark setup.
         """
         a, b, c = self._views()
-        undo_need = 3 * (self.arrays[0].nbytes + 64)
-        if undo_need <= self.pool.log_capacity:
+        if self._undo_log_fits(self.arrays):
             with self.pool.transaction() as tx:
                 for arr in self.arrays:
                     arr.snapshot(tx)
@@ -166,14 +170,14 @@ class StreamPmem:
         persistence domain (the pmem_persist in STREAM-PMem's loop).
         """
         region = self.pool.region
-        flush_before = getattr(region, "flush_count", 0)
+        flush_before = region.flush_count
         a, b, c = self._views()
         native = run_single(self.config, arrays=(a, b, c),
                             validate=validate)
         if persist_each_iteration:
             for arr in self.arrays:
                 arr.persist()
-        flush_after = getattr(region, "flush_count", 0)
+        flush_after = region.flush_count
         return StreamPmemResult(
             native=native,
             backend=self.backend,
@@ -199,13 +203,13 @@ class StreamPmem:
         from repro.stream.kernels import KERNELS, init_arrays
         from repro.stream.validation import check_stream_results
 
-        if self.arrays[0].nbytes + 64 > self.pool.log_capacity:
+        if not all(self._undo_log_fits([arr]) for arr in self.arrays):
             raise BenchmarkError(
                 f"arrays of {self.arrays[0].nbytes} bytes exceed the "
                 f"undo log ({self.pool.log_capacity} bytes); use run()"
             )
         region = self.pool.region
-        flush_before = getattr(region, "flush_count", 0)
+        flush_before = region.flush_count
         a, b, c = self._views()
         init_arrays(a, b, c)
         # kernel -> array mutated by it (whose old value gets snapshotted)
@@ -222,7 +226,7 @@ class StreamPmem:
                 result.times[name].append(time.perf_counter() - t0)
         if validate:
             check_stream_results(a, b, c, self.config)
-        flush_after = getattr(region, "flush_count", 0)
+        flush_after = region.flush_count
         return StreamPmemResult(
             native=result,
             backend=self.backend,

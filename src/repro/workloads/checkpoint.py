@@ -101,9 +101,12 @@ class CheckpointManager:
         new_oids: dict[str, PMEMoid] = {}
         for key, values in arrays.items():
             pa = PersistentArray.create(self.pool, values.shape,
-                                        values.dtype.str)
-            pa.write(np.ascontiguousarray(values), persist=True)
+                                        values.dtype.str, zero=False)
+            pa.write(np.ascontiguousarray(values), persist=False)
             new_oids[key] = pa.oid
+        # one coalesced dirty-line flush covers every new array before
+        # the catalog flips to reference them
+        self.pool.persist_dirty()
 
         entry = self._encode_entry(name, step, new_oids, meta or {})
         with self.pool.transaction() as tx:

@@ -107,9 +107,9 @@ class FarMatrix:
         for i in range(h):
             row_off = self.offset + ((r0 + i) * self.cols + c0) * _ELEM
             self.region.write(row_off, values[i].tobytes())
-        self.region.persist(
-            self.offset + (r0 * self.cols) * _ELEM,
-            ((h - 1) * self.cols + c0 + w) * _ELEM)
+        # dirty-line flush: only the rows written above, not the whole
+        # span between them (block columns are strided in the matrix)
+        self.region.persist()
         if stats is not None:
             stats.stores += 1
             stats.bytes_stored += h * w * _ELEM

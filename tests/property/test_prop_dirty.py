@@ -1,0 +1,150 @@
+"""Property tests: dirty-interval tracking is conservative and bounded.
+
+The contract of the dirty tracker: a no-argument ``persist()`` flushes a
+*superset* of every cacheline mutated since the last flush, never flushes
+outside the region, and hands the backend sorted disjoint line-aligned
+spans.  Losing a dirty line would silently break durability, so this is
+hypothesis territory.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pmdk.dirty import DirtyTracker, coalesce_ranges
+from repro.pmdk.pmem import FLUSH_LINE, VolatileRegion
+
+SIZE = 16 * 1024
+
+
+class RecordingRegion(VolatileRegion):
+    """A volatile region that records every span the flush path sees."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self.flushed: list[tuple[int, int]] = []
+
+    def _flush(self, offset: int, length: int) -> None:
+        self.flushed.append((offset, length))
+
+
+def _lines(offset: int, length: int) -> set[int]:
+    if length <= 0:
+        return set()
+    return set(range(offset // FLUSH_LINE,
+                     (offset + length - 1) // FLUSH_LINE + 1))
+
+
+write_strategy = st.lists(
+    st.tuples(st.integers(0, SIZE - 1), st.integers(1, 512)),
+    min_size=1, max_size=40,
+)
+
+
+@given(writes=write_strategy)
+@settings(max_examples=120, deadline=None)
+def test_no_arg_persist_flushes_superset_of_mutations(writes):
+    region = RecordingRegion(SIZE)
+    mutated: set[int] = set()
+    for offset, length in writes:
+        length = min(length, SIZE - offset)
+        region.write(offset, b"\xaa" * length)
+        mutated |= _lines(offset, length)
+
+    region.persist()
+
+    flushed_lines: set[int] = set()
+    for offset, length in region.flushed:
+        # spans stay inside the region and line-aligned
+        assert 0 <= offset and offset + length <= SIZE
+        assert offset % FLUSH_LINE == 0
+        flushed_lines |= _lines(offset, length)
+    assert mutated <= flushed_lines, (
+        f"dirty lines lost: {sorted(mutated - flushed_lines)}"
+    )
+    # spans are sorted and disjoint (no double flushing)
+    starts = [o for o, _ in region.flushed]
+    assert starts == sorted(starts)
+    ends = [o + n for o, n in region.flushed]
+    assert all(e <= s for e, s in zip(ends, starts[1:]))
+
+    # a second no-arg persist has nothing transient left
+    region.flushed.clear()
+    region.persist()
+    assert region.flushed == []
+
+
+@given(writes=write_strategy,
+       flushes=st.lists(st.tuples(st.integers(0, SIZE - 1),
+                                  st.integers(1, 1024)),
+                        max_size=10))
+@settings(max_examples=120, deadline=None)
+def test_interleaved_ranged_flushes_never_lose_dirt(writes, flushes):
+    """Ranged persists discard only what they cover; the final no-arg
+    persist still reaches everything not yet durable."""
+    region = RecordingRegion(SIZE)
+    mutated: set[int] = set()
+    covered: set[int] = set()
+    ops = [("w", o, n) for o, n in writes] + [("f", o, n) for o, n in flushes]
+    # deterministic interleave: alternate writes and flushes by index
+    ops.sort(key=lambda t: (t[1] + t[2]) % 7)
+    for kind, offset, length in ops:
+        length = min(length, SIZE - offset)
+        if length <= 0:
+            continue
+        if kind == "w":
+            region.write(offset, b"\xbb" * length)
+            mutated |= _lines(offset, length)
+            covered -= _lines(offset, length)
+        else:
+            region.persist(offset, length)
+            covered |= _lines(offset, length)
+
+    region.flushed.clear()
+    region.persist()
+    flushed = set()
+    for offset, length in region.flushed:
+        assert 0 <= offset and offset + length <= SIZE
+        flushed |= _lines(offset, length)
+    assert (mutated - covered) <= flushed
+
+
+@given(writes=write_strategy)
+@settings(max_examples=100, deadline=None)
+def test_tracker_spans_match_brute_force(writes):
+    tracker = DirtyTracker(SIZE, FLUSH_LINE)
+    expected: set[int] = set()
+    for offset, length in writes:
+        length = min(length, SIZE - offset)
+        tracker.mark(offset, length)
+        expected |= _lines(offset, length)
+    got: set[int] = set()
+    prev_end = -1
+    for offset, length in tracker.take():
+        assert offset % FLUSH_LINE == 0
+        assert offset > prev_end          # sorted, disjoint, non-adjacent
+        prev_end = offset + length
+        got |= _lines(offset, length)
+    assert got == expected
+
+
+@given(ranges=st.lists(st.tuples(st.integers(-100, SIZE + 100),
+                                 st.integers(-10, 2048)),
+                       max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_coalesce_ranges_is_exact_line_cover(ranges):
+    got = coalesce_ranges(ranges, bound=SIZE)
+    expected: set[int] = set()
+    for offset, length in ranges:
+        start = max(offset, 0)
+        end = min(offset + length, SIZE)
+        expected |= _lines(start, end - start)
+    covered: set[int] = set()
+    prev_end = -1
+    for offset, length in got:
+        assert offset % FLUSH_LINE == 0
+        assert 0 <= offset and offset + length <= SIZE
+        assert offset > prev_end
+        prev_end = offset + length
+        covered |= _lines(offset, length)
+    assert covered == expected
