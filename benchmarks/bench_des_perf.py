@@ -1,0 +1,235 @@
+"""DES engine performance: batched vector backend vs the scalar oracle.
+
+Three gates, all recorded in ``results/BENCH_des.json``:
+
+* **throughput** — events/sec of both backends on the validation-scale
+  configurations (10 threads, 200 us window, triad) for the three paths
+  of the paper's evaluation (local DDR5, remote DDR5, CXL).  Target:
+  >= 10x on every path at full scale;
+* **oracle equivalence** — at small scale every ``DesResult`` field from
+  the vector backend is byte-identical to the scalar oracle, across
+  single- and multi-target policies on both testbeds;
+* **validation tolerances** — the analytic-vs-DES deviations of
+  ``bench_model_validation.py`` still hold at a 10x longer window
+  (affordable only because of the fast backend).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_des_perf.py [--smoke]
+
+or via pytest (CI smoke step)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_des_perf.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.machine.affinity import place_threads
+from repro.machine.numa import NumaPolicy
+from repro.machine.presets import setup1, setup2
+from repro.memsim.des import (
+    _build_setup,
+    _finalize,
+    _run_scalar,
+    simulate_stream_des,
+)
+from repro.memsim.des_fast import run_vector
+
+try:
+    from benchmarks.bench_model_validation import TOLERANCE, _validate_all
+except ImportError:                                   # CLI: script-dir import
+    from bench_model_validation import TOLERANCE, _validate_all
+
+RESULTS_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "results"))
+
+#: validation-scale window (ns) — what bench_model_validation runs
+FULL_SIM_NS = 200_000.0
+#: reduced window for ``--smoke`` / CI
+SMOKE_SIM_NS = 50_000.0
+
+#: throughput scenarios: the three paths of the paper's evaluation
+SCENARIOS = [
+    ("local_ddr5", NumaPolicy.bind(0)),
+    ("remote_ddr5", NumaPolicy.bind(1)),
+    ("cxl", NumaPolicy.bind(2)),
+]
+
+#: oracle-scale equivalence matrix (small placements, every policy kind)
+ORACLE_CASES = [
+    ("setup1", NumaPolicy.bind(0), 1),
+    ("setup1", NumaPolicy.bind(0), 3),
+    ("setup1", NumaPolicy.bind(1), 3),
+    ("setup1", NumaPolicy.bind(2), 3),
+    ("setup1", NumaPolicy.interleave(0, 2), 4),
+    ("setup1", NumaPolicy.interleave(0, 1, 2), 6),
+    ("setup1", NumaPolicy.weighted({0: 3, 2: 1}), 4),
+    ("setup2", NumaPolicy.bind(0), 4),
+    ("setup2", NumaPolicy.bind(1), 4),
+]
+
+
+def _best_of(repeat: int, fn) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _throughput(sim_ns: float, threads: int, repeat: int) -> dict:
+    m = setup1().machine
+    out: dict[str, dict] = {}
+    for key, policy in SCENARIOS:
+        cores = place_threads(m, threads, sockets=[0])
+        setup = _build_setup(m, "triad", cores, policy, False,
+                             sim_ns, sim_ns * 0.1)
+        scalar_s, counts_s = _best_of(repeat, lambda: _run_scalar(setup))
+        vector_s, counts_v = _best_of(repeat, lambda: run_vector(setup))
+        if _finalize(setup, counts_s) != _finalize(setup, counts_v):
+            raise AssertionError(f"{key}: backends disagree at bench scale")
+        events = int(np.sum(counts_s.completed))
+        out[key] = {
+            "events": events,
+            "scalar_s": round(scalar_s, 6),
+            "vector_s": round(vector_s, 6),
+            "scalar_events_per_s": round(events / scalar_s),
+            "vector_events_per_s": round(events / vector_s),
+            "speedup": round(scalar_s / vector_s, 2),
+        }
+    return out
+
+
+def _oracle_identical(sim_ns: float) -> tuple[bool, list[str]]:
+    testbeds = {"setup1": setup1(), "setup2": setup2()}
+    mismatched: list[str] = []
+    for tb_key, policy, n in ORACLE_CASES:
+        m = testbeds[tb_key].machine
+        kwargs = {} if tb_key == "setup2" else {"sockets": [0]}
+        cores = place_threads(m, n, **kwargs)
+        scalar = simulate_stream_des(m, "triad", cores, policy,
+                                     sim_ns=sim_ns, warmup_ns=sim_ns * 0.1,
+                                     des_backend="scalar")
+        vector = simulate_stream_des(m, "triad", cores, policy,
+                                     sim_ns=sim_ns, warmup_ns=sim_ns * 0.1,
+                                     des_backend="vector")
+        if scalar != vector:
+            mismatched.append(f"{tb_key}/{policy.describe()}/n={n}")
+    return not mismatched, mismatched
+
+
+def run_bench(sim_ns: float = FULL_SIM_NS, threads: int = 10,
+              repeat: int = 3) -> dict:
+    """Measure both backends; return the ``BENCH_des.json`` document."""
+    scenarios = _throughput(sim_ns, threads, repeat)
+    identical, mismatched = _oracle_identical(sim_ns / 4)
+
+    deviations = {
+        label: round(abs(des - analytic) / analytic, 4)
+        for label, (analytic, des)
+        in _validate_all(sim_ns=10 * sim_ns).items()
+    }
+    worst = max(deviations.values())
+
+    return {
+        "config": {
+            "sim_ns": sim_ns,
+            "threads": threads,
+            "repeat": repeat,
+            "oracle_cases": len(ORACLE_CASES),
+        },
+        "scenarios": scenarios,
+        "speedup_min": min(s["speedup"] for s in scenarios.values()),
+        "oracle_identical": identical,
+        "oracle_mismatched": mismatched,
+        "deviation_10x_window": {
+            "per_config": deviations,
+            "worst": worst,
+            "tolerance": TOLERANCE,
+            "ok": worst <= TOLERANCE,
+        },
+    }
+
+
+def _report(doc: dict) -> str:
+    cfg = doc["config"]
+    lines = [
+        f"=== DES backends: events/sec ({cfg['threads']} threads, "
+        f"{cfg['sim_ns']:,.0f} ns window, triad) ===",
+        f"{'scenario':<14}{'events':>9}{'scalar ev/s':>14}"
+        f"{'vector ev/s':>14}{'speedup':>9}",
+    ]
+    for key, s in doc["scenarios"].items():
+        lines.append(
+            f"{key:<14}{s['events']:>9,}{s['scalar_events_per_s']:>14,}"
+            f"{s['vector_events_per_s']:>14,}{s['speedup']:>8.1f}x"
+        )
+    dev = doc["deviation_10x_window"]
+    lines += [
+        f"minimum speedup: {doc['speedup_min']:.1f}x",
+        f"oracle-scale results identical: {doc['oracle_identical']} "
+        f"({cfg['oracle_cases']} cases)",
+        f"worst analytic deviation at 10x window: {dev['worst']:.2%} "
+        f"(tolerance {dev['tolerance']:.0%})",
+    ]
+    return "\n".join(lines)
+
+
+def _write(doc: dict, out_path: str) -> None:
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (CI smoke step)
+# ---------------------------------------------------------------------------
+
+def test_des_perf_smoke(results_dir):
+    """Reduced-scale run; asserts equivalence and a conservative speedup
+    floor (full-scale numbers are committed from a standalone run)."""
+    doc = run_bench(sim_ns=SMOKE_SIM_NS, threads=10, repeat=2)
+    _write(doc, os.path.join(results_dir, "BENCH_des.json"))
+    print("\n" + _report(doc))
+    assert doc["oracle_identical"], doc["oracle_mismatched"]
+    assert doc["deviation_10x_window"]["ok"], doc["deviation_10x_window"]
+    assert doc["speedup_min"] >= 3.0
+
+
+# ---------------------------------------------------------------------------
+# standalone CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--smoke", action="store_true",
+                   help=f"reduced window ({SMOKE_SIM_NS:,.0f} ns)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="repetitions per backend (best-of)")
+    p.add_argument("--threads", type=int, default=10)
+    p.add_argument("--out", default=os.path.join(RESULTS_DIR,
+                                                 "BENCH_des.json"))
+    args = p.parse_args(argv)
+
+    sim_ns = SMOKE_SIM_NS if args.smoke else FULL_SIM_NS
+    doc = run_bench(sim_ns=sim_ns, threads=args.threads, repeat=args.repeat)
+    _write(doc, args.out)
+    print(_report(doc))
+    print(f"wrote {args.out}")
+    ok = (doc["oracle_identical"] and doc["deviation_10x_window"]["ok"]
+          and doc["speedup_min"] >= (3.0 if args.smoke else 10.0))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,16 @@ from repro.cxl.spec import (
     S2MNDROpcode,
 )
 from repro.cxl.transaction import M2SReq, M2SRwD, S2MDRS, S2MNDR
-from repro.cxl.flit import FlitPacker, stream_efficiency
+from repro.cxl.flit import (
+    FlitPacker,
+    FlitStats,
+    class_half_slots,
+    half_slot_arrays,
+    message_half_slots,
+    pack_messages,
+    pack_stats,
+    stream_efficiency,
+)
 from repro.cxl.link import CreditPool, CxlLink
 from repro.cxl.hdm import HdmDecoder, HdmDecoderSet
 from repro.cxl.device import MediaController, Type3Device
@@ -48,6 +57,7 @@ __all__ = [
     "CxlVersion",
     "DeviceType",
     "FlitPacker",
+    "FlitStats",
     "HdmDecoder",
     "HdmDecoderSet",
     "HostBridge",
@@ -67,6 +77,11 @@ __all__ = [
     "S2MNDR",
     "S2MNDROpcode",
     "Type3Device",
+    "class_half_slots",
     "enumerate_endpoints",
+    "half_slot_arrays",
+    "message_half_slots",
+    "pack_messages",
+    "pack_stats",
     "stream_efficiency",
 ]

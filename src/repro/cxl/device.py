@@ -27,7 +27,7 @@ from repro.cxl.spec import (
     S2MNDROpcode,
 )
 from repro.cxl.transaction import M2SReq, M2SRwD, S2MDRS, S2MNDR
-from repro.errors import CxlError
+from repro.errors import CxlError, CxlPoisonError
 from repro.machine.dram import DramSpeedGrade, population_effective_gbps
 
 _PAGE = 4096
@@ -339,6 +339,98 @@ class Type3Device:
         addr, line = next(iter(self._write_buffer.items()))
         del self._write_buffer[addr]
         self.memory.write(addr, line)
+
+    # ------------------------------------------------------------------
+    # batched line transfers
+    # ------------------------------------------------------------------
+
+    def _check_span(self, dpa: int, nbytes: int) -> int:
+        self._check_power()
+        self._line_addr(dpa)
+        end = dpa + nbytes
+        if end > self.capacity_bytes:
+            raise CxlError(
+                f"batched span [{dpa:#x}, {end:#x}) outside device "
+                f"capacity {self.capacity_bytes:#x}"
+            )
+        return end
+
+    def read_lines(self, dpa: int, count: int) -> bytes:
+        """Bulk MemRd: ``count`` consecutive cachelines starting at ``dpa``.
+
+        Coherent with the write buffer (buffered lines overlay media, as
+        in :meth:`process_req`).  Unlike the per-message path — which
+        flags poison in the DRS — a batched read fails wholesale:
+
+        Raises:
+            CxlPoisonError: any line in the span is poisoned (no line is
+                serviced, the read is not counted).
+            CxlError: unaligned/out-of-range span or the device is off.
+        """
+        if count < 0:
+            raise CxlError(f"negative line count {count}")
+        if count == 0:
+            self._check_power()
+            return b""
+        end = self._check_span(dpa, count * CACHELINE_BYTES)
+        if self._poison:
+            for addr in self._poison:
+                if dpa <= addr < end:
+                    raise CxlPoisonError(
+                        f"poisoned line at DPA {addr:#x} in batched read "
+                        f"[{dpa:#x}, {end:#x})"
+                    )
+        self.stats["reads"] += count
+        data = bytearray(self.memory.read(dpa, count * CACHELINE_BYTES))
+        for addr, line in self._write_buffer.items():
+            if dpa <= addr < end:
+                off = addr - dpa
+                data[off:off + CACHELINE_BYTES] = line
+        return bytes(data)
+
+    def write_lines(self, dpa: int, data: bytes | bytearray | memoryview) -> None:
+        """Bulk MemWr: whole cachelines starting at ``dpa``.
+
+        Produces exactly the state a per-line :meth:`process_rwd` walk
+        would: the write buffer ends holding the last
+        :data:`WRITE_BUFFER_LINES` lines (in insertion order) and every
+        earlier line reaches media.  Spans at least as large as the
+        buffer that don't touch buffered addresses take a drain + bulk
+        media write instead of the per-line insert/evict walk.
+        """
+        data = bytes(data)
+        n, rem = divmod(len(data), CACHELINE_BYTES)
+        if rem:
+            raise CxlError(
+                f"write_lines takes whole {CACHELINE_BYTES}-byte lines, "
+                f"got {len(data)} bytes"
+            )
+        if n == 0:
+            self._check_power()
+            return
+        end = self._check_span(dpa, len(data))
+        self.stats["writes"] += n
+        if self._poison:
+            self._poison -= {a for a in self._poison if dpa <= a < end}
+        wb = self._write_buffer
+        keep = self.WRITE_BUFFER_LINES
+        if n >= keep and not any(dpa <= a < end for a in wb):
+            # The per-line walk would evict every pre-existing buffer
+            # entry and then all but the last `keep` lines of this span,
+            # in insertion order; replay that wholesale.
+            for addr, line in wb.items():
+                self.memory.write(addr, line)
+            wb.clear()
+            split = (n - keep) * CACHELINE_BYTES
+            if split:
+                self.memory.write(dpa, data[:split])
+            for off in range(split, len(data), CACHELINE_BYTES):
+                wb[dpa + off] = data[off:off + CACHELINE_BYTES]
+            return
+        for off in range(0, len(data), CACHELINE_BYTES):
+            wb[dpa + off] = data[off:off + CACHELINE_BYTES]
+            if len(wb) > keep:
+                self._evict_oldest()
 
     # ------------------------------------------------------------------
     # persistence domain

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.cxl.spec import (
     CACHELINE_BYTES,
     FLIT_BYTES,
@@ -55,6 +57,14 @@ def message_half_slots(msg: Message) -> tuple[int, int]:
         return _HALF_SLOT_COST[type(msg)]
     except KeyError:
         raise CxlError(f"not a CXL.mem message: {type(msg).__name__}") from None
+
+
+def class_half_slots(cls: type) -> tuple[int, int]:
+    """(header half-slots, data full-slots) for a message *class*."""
+    try:
+        return _HALF_SLOT_COST[cls]
+    except KeyError:
+        raise CxlError(f"not a CXL.mem message class: {cls.__name__}") from None
 
 
 @dataclass
@@ -128,6 +138,89 @@ class FlitPacker:
         return out
 
 
+@dataclass(frozen=True)
+class FlitStats:
+    """Wire accounting for one packed message batch, without the flits.
+
+    Produced by :func:`pack_stats` / :func:`pack_messages` — identical
+    numbers to materializing :class:`Flit` objects through
+    :class:`FlitPacker` and measuring them, at array speed.
+    """
+
+    messages: int
+    flits: int
+    wire_bytes: int
+    payload_bytes: int
+
+    @property
+    def packing_efficiency(self) -> float:
+        """Payload bytes / wire bytes (0.0 for an empty batch)."""
+        return self.payload_bytes / self.wire_bytes if self.wire_bytes else 0.0
+
+
+#: usable (non-header) half-slots per 68-byte flit
+_USABLE_HALVES = FLIT_SLOTS * 2 - 2
+
+
+def half_slot_arrays(messages: Sequence[Message]) -> tuple[np.ndarray,
+                                                           np.ndarray]:
+    """Per-message (header half-slots, data full-slots) as int64 arrays."""
+    n = len(messages)
+    header = np.empty(n, dtype=np.int64)
+    data = np.empty(n, dtype=np.int64)
+    for i, msg in enumerate(messages):
+        header[i], data[i] = message_half_slots(msg)
+    return header, data
+
+
+def pack_stats(header_halves, data_slots) -> FlitStats:
+    """Wire statistics of greedy flit packing, from slot-cost vectors.
+
+    ``header_halves[i]`` / ``data_slots[i]`` describe message ``i`` (see
+    :data:`_HALF_SLOT_COST`).  Reproduces :meth:`FlitPacker.pack` bit for
+    bit: a message consumes ``h + 2·d`` usable half-slots laid out
+    sequentially over flits of :data:`_USABLE_HALVES` each, except that a
+    header never straddles flits — when the current flit's remainder
+    cannot hold it, the remainder is padding.  Headers of 1 half-slot
+    always fit, and 2-half-slot headers keep the running total even, so
+    any batch with a uniform header size never pads and the total is a
+    plain sum; mixed batches fall back to the sequential recurrence.
+    """
+    h = np.atleast_1d(np.asarray(header_halves, dtype=np.int64))
+    d = np.atleast_1d(np.asarray(data_slots, dtype=np.int64))
+    if h.shape != d.shape or h.ndim != 1:
+        raise CxlError("header/data cost vectors must be 1-D and equal length")
+    n = int(h.size)
+    if n == 0:
+        return FlitStats(0, 0, 0, 0)
+    if int(h.min()) < 1 or int(h.max()) > _USABLE_HALVES:
+        raise CxlError(f"header half-slots must be in [1, {_USABLE_HALVES}]")
+    if int(d.min()) < 0:
+        raise CxlError("data slot counts must be non-negative")
+    cost = h + 2 * d
+    if int(h.max()) == int(h.min()) and int(h[0]) <= 2:
+        used = int(cost.sum())
+    else:
+        used = 0
+        for hi, ci in zip(h.tolist(), cost.tolist()):
+            r = used % _USABLE_HALVES
+            if r and _USABLE_HALVES - r < hi:
+                used += _USABLE_HALVES - r        # padding before the header
+            used += ci
+    n_flits = -(-used // _USABLE_HALVES)
+    return FlitStats(
+        messages=n,
+        flits=n_flits,
+        wire_bytes=n_flits * FLIT_BYTES,
+        payload_bytes=int(d.sum()) * SLOT_BYTES,
+    )
+
+
+def pack_messages(messages: Sequence[Message]) -> FlitStats:
+    """Batched equivalent of ``FlitPacker().pack(messages)`` + measuring."""
+    return pack_stats(*half_slot_arrays(messages))
+
+
 def wire_bytes(flits: Sequence[Flit]) -> int:
     """Total bytes on the wire for ``flits``."""
     return len(flits) * FLIT_BYTES
@@ -154,12 +247,24 @@ def stream_efficiency(read_fraction: float) -> float:
     rides *both* directions at once, which is exactly the full-duplex
     advantage CXL has over a half-duplex bus.
 
+    Accepts a scalar or an ndarray of fractions; an array input returns
+    an elementwise array (the batched path used by sweep-style callers),
+    with values bit-identical to the scalar formula.
+
     >>> 0.5 < stream_efficiency(1.0) < 0.95
     True
     """
-    if not 0.0 <= read_fraction <= 1.0:
-        raise CxlError(f"read_fraction must be in [0,1], got {read_fraction}")
-    r, w = read_fraction, 1.0 - read_fraction
+    if isinstance(read_fraction, np.ndarray):
+        rf = np.asarray(read_fraction, dtype=np.float64)
+        if np.any((rf < 0.0) | (rf > 1.0)):
+            raise CxlError("read_fraction values must be in [0,1]")
+        r, w = rf, 1.0 - rf
+    else:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise CxlError(
+                f"read_fraction must be in [0,1], got {read_fraction}"
+            )
+        r, w = read_fraction, 1.0 - read_fraction
 
     # Half-slot budgets per transferred cacheline, split by direction.
     m2s_half = r * _HALF_SLOT_COST[M2SReq][0] + w * (
@@ -170,6 +275,16 @@ def stream_efficiency(read_fraction: float) -> float:
     ) + w * _HALF_SLOT_COST[S2MNDR][0]
 
     per_flit_half = Flit.MAX_HALF_SLOTS - 2  # minus the flit header slot
+    if isinstance(r, np.ndarray):
+        # same operation order as the scalar branch → bit-identical values
+        busier_half = np.maximum(m2s_half, s2m_half)
+        nonzero = busier_half > 0
+        flits_per_line = np.divide(busier_half, per_flit_half,
+                                   out=np.ones_like(busier_half),
+                                   where=nonzero)
+        out = CACHELINE_BYTES / (flits_per_line * FLIT_BYTES)
+        out[~nonzero] = 0.0
+        return out
     busier_half = max(m2s_half, s2m_half)
     if busier_half == 0:
         return 0.0

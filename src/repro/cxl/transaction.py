@@ -15,6 +15,7 @@ bugs live.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.cxl.spec import (
     CACHELINE_BYTES,
@@ -159,9 +160,37 @@ class TagAllocator:
                 return tag
         raise CxlError("tag allocator invariant violated")  # pragma: no cover
 
+    def allocate_many(self, count: int) -> list[int]:
+        """Allocate ``count`` free tags at once (batched transfers).
+
+        Raises:
+            CxlError: fewer than ``count`` tags are free.
+        """
+        if count < 0:
+            raise CxlError(f"negative tag count {count}")
+        if count > self.available:
+            raise CxlError(
+                f"{count} tags requested, only {self.available} of "
+                f"{self.capacity} free"
+            )
+        if not self._inflight:
+            # nothing in flight: the round-robin scan degenerates to a
+            # consecutive window, so skip the per-tag membership checks
+            start = self._next
+            tags = [(start + i) % self.capacity for i in range(count)]
+            self._next = (start + count) % self.capacity
+            self._inflight.update(tags)
+            return tags
+        return [self.allocate() for _ in range(count)]
+
     def retire(self, tag: int) -> None:
         """Retire a tag on response arrival."""
         try:
             self._inflight.remove(tag)
         except KeyError:
             raise CxlError(f"retiring tag {tag:#x} that is not in flight") from None
+
+    def retire_many(self, tags: Iterable[int]) -> None:
+        """Retire a batch of tags (every one must be in flight)."""
+        for tag in tags:
+            self.retire(tag)

@@ -45,6 +45,10 @@ class CxlMailboxError(CxlError):
     """A mailbox command failed (unsupported opcode, bad payload...)."""
 
 
+class CxlPoisonError(CxlError):
+    """A read touched a poisoned cacheline (media error reached the host)."""
+
+
 class CxlEnumerationError(CxlError):
     """CXL.io enumeration walked into an inconsistent config space."""
 

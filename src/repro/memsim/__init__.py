@@ -19,7 +19,11 @@ Four ingredients reproduce STREAM's measured behaviour on real machines:
 """
 
 from repro.memsim.bwmodel import Flow, FlowAllocation, solve_max_min
-from repro.memsim.des import DesResult, simulate_stream_des
+from repro.memsim.des import (
+    DES_VECTORIZE_THRESHOLD,
+    DesResult,
+    simulate_stream_des,
+)
 from repro.memsim.concurrency import thread_bandwidth_cap
 from repro.memsim.engine import AccessMode, StreamSimResult, simulate_stream
 from repro.memsim.latency import path_latency_ns
@@ -33,6 +37,7 @@ from repro.memsim.traffic import KERNEL_TRAFFIC, KernelTraffic, reported_fractio
 
 __all__ = [
     "AccessMode",
+    "DES_VECTORIZE_THRESHOLD",
     "DesResult",
     "Flow",
     "FlowAllocation",

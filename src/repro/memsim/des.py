@@ -15,18 +15,40 @@ The DES reproduces, from first principles:
 * the concurrency-limited regime (throughput = MLP × 64 B / latency);
 * saturation at the bottleneck station's capacity;
 * fair sharing among symmetric threads, and bottleneck-dependent sharing
-  for heterogeneous mixes (FIFO approximates max-min).
+  for heterogeneous mixes (FIFO approximates max-min);
+* the calibrated refinements: multi-target (interleaved / weighted)
+  policies, the 1.15× remote-snoop occupancy on UPI-crossing streams,
+  and the home-agent ``snoop_caps`` clamp on mixed local+remote
+  controllers.
+
+Two backends produce *identical* results (``des_backend=``):
+
+* ``"scalar"`` — the reference heapq event loop, one event at a time;
+* ``"vector"`` — :mod:`repro.memsim.des_fast`, which advances the whole
+  closed-loop window per epoch with closed-form NumPy FIFO admission;
+* ``"auto"`` (default) — picks the vector path once the primed request
+  count reaches :data:`DES_VECTORIZE_THRESHOLD`, mirroring the ≥8-flow
+  dispatch of :func:`repro.memsim.bwmodel.solve_max_min`.
+
+Identical means identical: both backends advance time in an integer tick
+domain (:data:`TICKS_PER_NS` per nanosecond), where FIFO admission is
+exact integer arithmetic, so the closed-form scan equals the sequential
+recurrence bit for bit and every :class:`DesResult` field matches
+(`tests/property/test_prop_des.py`).
 
 `benchmarks/bench_model_validation.py` sweeps both models across the
-paper's configurations and reports the deviation.
+paper's configurations and reports the deviation;
+`benchmarks/bench_des_perf.py` gates the vector path's speedup.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.calibration import DEFAULT_CALIBRATION, CalibrationProfile
 from repro.errors import SimulationError
@@ -39,38 +61,105 @@ from repro.units import CACHELINE
 #: simulated line size (bytes) — one CXL.mem / DDR burst
 LINE = CACHELINE
 
+#: Integer ticks per nanosecond.  Both backends simulate in this fixed-
+#: point domain: integer max/add FIFO admission is exact and associative,
+#: which is what lets the vectorized closed-form scan reproduce the
+#: sequential recurrence bit for bit.  2^20 ticks/ns keeps quantization
+#: error ~1e-6 relative while leaving int64 headroom for multi-ms runs.
+TICKS_PER_NS = 1 << 20
 
-class _Station:
-    """A deterministic single-server FIFO station."""
+#: ``des_backend="auto"`` switches to the vectorized engine once the
+#: primed closed-loop window (sum of per-thread MLP) reaches this many
+#: requests — the point where NumPy's fixed per-batch overhead wins.
+DES_VECTORIZE_THRESHOLD = 64
 
-    __slots__ = ("name", "service_ns", "next_free", "busy_ns")
+#: valid ``des_backend=`` values
+DES_BACKENDS = ("auto", "scalar", "vector")
 
-    def __init__(self, name: str, capacity_gbps: float) -> None:
-        self.name = name
-        self.service_ns = LINE / capacity_gbps      # ns per 64B line
-        self.next_free = 0.0
-        self.busy_ns = 0.0
 
-    def serve(self, arrival: float) -> float:
-        """Admit a line at ``arrival``; returns its departure time."""
-        start = max(arrival, self.next_free)
-        departure = start + self.service_ns
-        self.next_free = departure
-        self.busy_ns += self.service_ns
-        return departure
+def _ticks(ns: float) -> int:
+    """Nanoseconds → integer simulation ticks."""
+    return int(round(ns * TICKS_PER_NS))
+
+
+# ---------------------------------------------------------------------------
+# deterministic multi-target route schedules
+# ---------------------------------------------------------------------------
+
+_PATTERN_CACHE: dict[tuple[float, ...], np.ndarray] = {}
+
+
+def _route_pattern(fracs: tuple[float, ...], n: int) -> np.ndarray:
+    """First ``n`` route choices of the deterministic weighted round-robin.
+
+    A thread with target fractions ``fracs`` sends its ``k``-th request to
+    route ``pattern[k]``.  The schedule is smooth weighted round-robin:
+    choice ``k`` goes to the route minimizing ``(count + 1) / frac`` (ties
+    to the lowest index), which interleaves routes as evenly as possible
+    while matching each fraction exactly in the long run.  Both DES
+    backends read the same cached pattern, so their route choices agree
+    by construction.
+    """
+    pat = _PATTERN_CACHE.get(fracs)
+    if pat is None or len(pat) < n:
+        length = max(n, 64, 0 if pat is None else 2 * len(pat))
+        counts = [0] * len(fracs)
+        out = np.empty(length, dtype=np.int64)
+        for k in range(length):
+            best = 0
+            best_cost = (counts[0] + 1) / fracs[0]
+            for r in range(1, len(fracs)):
+                cost = (counts[r] + 1) / fracs[r]
+                if cost < best_cost:
+                    best, best_cost = r, cost
+            out[k] = best
+            counts[best] += 1
+        _PATTERN_CACHE[fracs] = pat = out
+    return pat[:n]
+
+
+# ---------------------------------------------------------------------------
+# shared setup: flows, stations, schedules — all in integer ticks
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Flow:
+    """One (thread, route) request stream."""
+
+    thread: int
+    stations: tuple[int, ...]   # station indices along the path, in order
+    service: tuple[int, ...]    # per-station occupancy (ticks, incl. weights)
+    latency: int                # fixed propagation ticks after the stations
+    total: int                  # latency + sum(service): min issue→completion
 
 
 @dataclass
-class _ThreadState:
-    """One closed-loop requester."""
+class _Setup:
+    """Everything both backends need, precomputed once."""
 
-    thread_id: int
-    stations: tuple[_Station, ...]
-    fixed_latency_ns: float
-    mlp: int
-    outstanding: int = 0
-    completed: int = 0
-    completed_after_warmup: int = 0
+    station_names: list[str]
+    flows: list[_Flow]
+    thread_flows: list[tuple[int, ...]]           # per thread: flow ids
+    thread_fracs: list[tuple[float, ...] | None]  # schedule key (None=single)
+    mlp: list[int]
+    sim_ns: float
+    warmup_ns: float
+    sim_ticks: int
+    warmup_ticks: int
+    ratio: float      # reported_fraction(kernel)
+    eff: float        # pmdk_bw_efficiency if app_direct else 1.0
+
+
+@dataclass
+class _Counts:
+    """Raw integer outcome of a run — the unit of backend equivalence."""
+
+    completed: np.ndarray        # per thread
+    completed_warm: np.ndarray   # per thread, at/after warmup
+    issued: np.ndarray           # per thread
+    busy: np.ndarray             # per station, in-window busy ticks
+    latency_sum: int             # ticks, warm completions only
+    latency_count: int
 
 
 @dataclass(frozen=True)
@@ -85,6 +174,12 @@ class DesResult:
     #: mean request round-trip (issue -> data) after warmup — the
     #: *loaded* latency, which exceeds the idle latency once queues form
     mean_latency_ns: float = 0.0
+    #: requests issued / completed over the whole run, and the closed-loop
+    #: window still in flight at exit — always issued == completed +
+    #: outstanding (requests past ``sim_ns`` stay outstanding, not lost)
+    total_issued: int = 0
+    total_completed: int = 0
+    total_outstanding: int = 0
 
 
 def _effective_mlp(core: Core, smt_sharers: int,
@@ -92,22 +187,10 @@ def _effective_mlp(core: Core, smt_sharers: int,
     return max(1, round(core.lfb_entries * prefetch_boost / smt_sharers))
 
 
-def simulate_stream_des(machine: Machine, kernel_name: str,
-                        placement: Sequence[Core], policy: NumaPolicy,
-                        app_direct: bool = False,
-                        sim_ns: float = 200_000.0,
-                        warmup_ns: float = 40_000.0) -> DesResult:
-    """Event-driven counterpart of
-    :func:`repro.memsim.engine.simulate_stream`.
-
-    Limitations relative to the analytic engine (documented, deliberate):
-    single-target policies only (BIND / single-node LOCAL), no snoop
-    weighting — it validates the *core* scaling/saturation/sharing
-    mechanics, not every calibration refinement.
-
-    Raises:
-        SimulationError: empty placement or a multi-target policy.
-    """
+def _build_setup(machine: Machine, kernel_name: str,
+                 placement: Sequence[Core], policy: NumaPolicy,
+                 app_direct: bool, sim_ns: float,
+                 warmup_ns: float) -> _Setup:
     if not placement:
         raise SimulationError("placement must contain at least one thread")
     if warmup_ns >= sim_ns:
@@ -116,86 +199,235 @@ def simulate_stream_des(machine: Machine, kernel_name: str,
     if not isinstance(cal, CalibrationProfile):
         cal = DEFAULT_CALIBRATION
 
-    stations: dict[str, _Station] = {}
     smt: dict[int, int] = {}
     for core in placement:
         smt[core.core_id] = smt.get(core.core_id, 0) + 1
 
-    threads: list[_ThreadState] = []
-    for i, core in enumerate(placement):
+    # Pass 1: resolve routes; find which socket controllers see both local
+    # and UPI-crossing initiators (the snoop-clamp condition, mirroring
+    # SimulationPlan.snoop_clamps).
+    thread_routes = []
+    mc_initiators: dict[str, set[bool]] = {}
+    for core in placement:
         targets = policy.targets_for(machine, core)
-        if len(targets) != 1:
+        routes = []
+        for node_id, frac in targets.items():
+            if frac <= 0.0:
+                continue
+            path = machine.route(core.socket_id, node_id)
+            routes.append((frac, path))
+            for res in path.resources:
+                if res.endswith(".mc") and res.startswith("s"):
+                    mc_initiators.setdefault(res, set()).add(path.crosses_upi)
+        if not routes:
             raise SimulationError(
-                "the DES validates single-target policies; got "
-                f"{policy.describe()}"
+                f"policy {policy.describe()} yields no targets for "
+                f"core {core.core_id}"
             )
-        node_id = next(iter(targets))
-        path = machine.route(core.socket_id, node_id)
-        path_stations = []
-        for res in path.resources:
-            if res not in stations:
-                stations[res] = _Station(res, machine.resources[res])
-            path_stations.append(stations[res])
-        service_total = sum(s.service_ns for s in path_stations)
-        latency = path_latency_ns(path, app_direct, cal)
-        threads.append(_ThreadState(
-            thread_id=i,
-            stations=tuple(path_stations),
-            fixed_latency_ns=max(0.0, latency - service_total),
-            mlp=_effective_mlp(core, smt[core.core_id]),
-        ))
+        thread_routes.append(routes)
+    clamps = {res: clamp for res, clamp in cal.snoop_caps.items()
+              if len(mc_initiators.get(res, ())) == 2}
 
-    # event queue: (completion time, seq, thread id, issue time)
-    events: list[tuple[float, int, int, float]] = []
+    # Pass 2: build stations and per-(thread, route) flows in ticks.
+    station_index: dict[str, int] = {}
+    station_names: list[str] = []
+    station_caps: list[float] = []
+    flows: list[_Flow] = []
+    thread_flows: list[tuple[int, ...]] = []
+    thread_fracs: list[tuple[float, ...] | None] = []
+    mlp: list[int] = []
+    for i, (core, routes) in enumerate(zip(placement, thread_routes)):
+        ids = []
+        for _, path in routes:
+            st_ids, svc = [], []
+            for res in path.resources:
+                idx = station_index.get(res)
+                if idx is None:
+                    idx = station_index[res] = len(station_names)
+                    station_names.append(res)
+                    cap = machine.resources[res]
+                    station_caps.append(min(cap, clamps.get(res, cap)))
+                service_ns = LINE / station_caps[idx]
+                if (path.crosses_upi and not path.crosses_cxl
+                        and res.endswith(".mc")):
+                    # UPI-crossing streams occupy the home controller
+                    # longer (directory/snoop amplification) — the same
+                    # remote_mc_weight the analytic solver applies.
+                    service_ns *= cal.remote_mc_weight
+                st_ids.append(idx)
+                svc.append(_ticks(service_ns))
+            total_svc = sum(svc)
+            fixed = max(0, _ticks(path_latency_ns(path, app_direct, cal))
+                        - total_svc)
+            if fixed + total_svc == 0:
+                fixed = 1   # keep issue→completion strictly positive
+            flows.append(_Flow(i, tuple(st_ids), tuple(svc), fixed,
+                               fixed + total_svc))
+            ids.append(len(flows) - 1)
+        thread_flows.append(tuple(ids))
+        thread_fracs.append(tuple(f for f, _ in routes)
+                            if len(ids) > 1 else None)
+        mlp.append(_effective_mlp(core, smt[core.core_id]))
+
+    return _Setup(
+        station_names=station_names,
+        flows=flows,
+        thread_flows=thread_flows,
+        thread_fracs=thread_fracs,
+        mlp=mlp,
+        sim_ns=sim_ns,
+        warmup_ns=warmup_ns,
+        sim_ticks=_ticks(sim_ns),
+        warmup_ticks=_ticks(warmup_ns),
+        ratio=reported_fraction(kernel_name),
+        eff=cal.pmdk_bw_efficiency if app_direct else 1.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# scalar reference backend
+# ---------------------------------------------------------------------------
+
+def _run_scalar(setup: _Setup) -> _Counts:
+    """The oracle: one heapq event per completed cacheline."""
+    n_threads = len(setup.thread_flows)
+    flows = setup.flows
+    thread_flows = setup.thread_flows
+    thread_fracs = setup.thread_fracs
+    sim_t = setup.sim_ticks
+    warm_t = setup.warmup_ticks
+
+    next_free = [0] * len(setup.station_names)
+    busy = [0] * len(setup.station_names)
+    completed = [0] * n_threads
+    completed_warm = [0] * n_threads
+    issued = [0] * n_threads
+
+    # event queue: (completion tick, seq, thread id, issue tick)
+    events: list[tuple[int, int, int, int]] = []
     seq = itertools.count()
 
-    def issue(thread: _ThreadState, now: float) -> None:
-        """Send one request down the thread's path."""
-        thread.outstanding += 1
+    def issue(tid: int, now: int) -> None:
+        """Send one request down the thread's (scheduled) route."""
+        k = issued[tid]
+        issued[tid] = k + 1
+        fids = thread_flows[tid]
+        if len(fids) == 1:
+            flow = flows[fids[0]]
+        else:
+            flow = flows[fids[int(_route_pattern(thread_fracs[tid],
+                                                 k + 1)[k])]]
         t = now
-        for station in thread.stations:
-            t = station.serve(t)
-        t += thread.fixed_latency_ns
-        heapq.heappush(events, (t, next(seq), thread.thread_id, now))
+        for s, svc in zip(flow.stations, flow.service):
+            start = next_free[s]
+            if t > start:
+                start = t
+            dep = start + svc
+            next_free[s] = dep
+            if start < sim_t:
+                # charge only the in-window portion of the service
+                busy[s] += (dep if dep < sim_t else sim_t) - start
+            t = dep
+        heapq.heappush(events, (t + flow.latency, next(seq), tid, now))
 
     # prime: every thread fills its MLP window at t=0
-    for thread in threads:
-        for _ in range(thread.mlp):
-            issue(thread, 0.0)
+    for tid in range(n_threads):
+        for _ in range(setup.mlp[tid]):
+            issue(tid, 0)
 
-    now = 0.0
-    latency_sum = 0.0
+    latency_sum = 0
     latency_count = 0
-    while events:
+    # peek before popping: events past sim_ns stay in flight (outstanding),
+    # they are not silently dropped
+    while events and events[0][0] <= sim_t:
         now, _, tid, issued_at = heapq.heappop(events)
-        if now > sim_ns:
-            break
-        thread = threads[tid]
-        thread.outstanding -= 1
-        thread.completed += 1
-        if now >= warmup_ns:
-            thread.completed_after_warmup += 1
+        completed[tid] += 1
+        if now >= warm_t:
+            completed_warm[tid] += 1
             latency_sum += now - issued_at
             latency_count += 1
         # closed loop: immediately reissue
-        issue(thread, now)
+        issue(tid, now)
 
-    window = sim_ns - warmup_ns
+    return _Counts(
+        completed=np.asarray(completed, dtype=np.int64),
+        completed_warm=np.asarray(completed_warm, dtype=np.int64),
+        issued=np.asarray(issued, dtype=np.int64),
+        busy=np.asarray(busy, dtype=np.int64),
+        latency_sum=latency_sum,
+        latency_count=latency_count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# result conversion (single code path → identical floats for both backends)
+# ---------------------------------------------------------------------------
+
+def _finalize(setup: _Setup, c: _Counts) -> DesResult:
+    window = setup.sim_ns - setup.warmup_ns
     per_thread = {
-        t.thread_id: t.completed_after_warmup * LINE / window
-        for t in threads
+        tid: int(c.completed_warm[tid]) * LINE / window
+        for tid in range(len(setup.thread_flows))
     }
     actual = sum(per_thread.values())
-    ratio = reported_fraction(kernel_name)
-    eff = cal.pmdk_bw_efficiency if app_direct else 1.0
     utilization = {
-        name: min(1.0, s.busy_ns / sim_ns) for name, s in stations.items()
+        name: int(b) / setup.sim_ticks
+        for name, b in zip(setup.station_names, c.busy)
     }
+    mean_latency = (c.latency_sum / c.latency_count / TICKS_PER_NS
+                    if c.latency_count else 0.0)
     return DesResult(
-        reported_gbps=actual * ratio * eff,
+        reported_gbps=actual * setup.ratio * setup.eff,
         actual_gbps=actual,
         per_thread_gbps=per_thread,
-        simulated_ns=sim_ns,
+        simulated_ns=setup.sim_ns,
         station_utilization=utilization,
-        mean_latency_ns=latency_sum / latency_count if latency_count else 0.0,
+        mean_latency_ns=mean_latency,
+        total_issued=int(c.issued.sum()),
+        total_completed=int(c.completed.sum()),
+        total_outstanding=int((c.issued - c.completed).sum()),
     )
+
+
+def simulate_stream_des(machine: Machine, kernel_name: str,
+                        placement: Sequence[Core], policy: NumaPolicy,
+                        app_direct: bool = False,
+                        sim_ns: float = 200_000.0,
+                        warmup_ns: float = 40_000.0,
+                        des_backend: str = "auto") -> DesResult:
+    """Event-driven counterpart of
+    :func:`repro.memsim.engine.simulate_stream`.
+
+    Supports every policy the analytic engine does — single-target BIND /
+    LOCAL, and multi-target INTERLEAVE / WEIGHTED (each thread's reissue
+    stream is split across its routes by a deterministic weighted
+    round-robin) — with the calibrated snoop weighting and home-agent
+    clamps applied, so the DES validates the *calibrated* engine, not
+    just the core mechanics.
+
+    ``des_backend`` selects the engine: ``"scalar"`` (reference event
+    loop), ``"vector"`` (batched NumPy epochs), or ``"auto"`` (vector
+    once the closed-loop window holds ≥ :data:`DES_VECTORIZE_THRESHOLD`
+    requests).  All backends return identical results.
+
+    Raises:
+        SimulationError: empty placement, no usable targets, warmup not
+            shorter than the simulation, or an unknown backend.
+    """
+    if des_backend not in DES_BACKENDS:
+        raise SimulationError(
+            f"unknown des_backend {des_backend!r}; expected one of "
+            f"{DES_BACKENDS}"
+        )
+    setup = _build_setup(machine, kernel_name, placement, policy,
+                         app_direct, sim_ns, warmup_ns)
+    backend = des_backend
+    if backend == "auto":
+        backend = ("vector" if sum(setup.mlp) >= DES_VECTORIZE_THRESHOLD
+                   else "scalar")
+    if backend == "vector":
+        from repro.memsim.des_fast import run_vector
+        counts = run_vector(setup)
+    else:
+        counts = _run_scalar(setup)
+    return _finalize(setup, counts)

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.cxl.flit import (
     Flit,
     FlitPacker,
+    pack_messages,
     packing_efficiency,
     stream_efficiency,
     wire_bytes,
@@ -89,3 +91,42 @@ def test_stream_efficiency_continuous_and_bounded(read_fraction):
     eff = stream_efficiency(read_fraction)
     # full-duplex: balanced mixes may slightly exceed one direction's raw
     assert 0.0 < eff < 1.15
+
+
+# ---------------------------------------------------------------------------
+# batched wire accounting == materialized FlitPacker, bit for bit
+# ---------------------------------------------------------------------------
+
+def _assert_stats_match(messages):
+    flits = FlitPacker().pack(messages)
+    stats = pack_messages(messages)
+    assert stats.messages == len(messages)
+    assert stats.flits == len(flits)
+    assert stats.wire_bytes == wire_bytes(flits)
+    assert stats.payload_bytes == sum(f.payload_bytes for f in flits)
+    assert stats.packing_efficiency == packing_efficiency(flits)
+
+
+@given(_sequences)
+@settings(max_examples=150, deadline=None)
+def test_pack_messages_matches_flitpacker(messages):
+    """Random mixes of 1- and 2-half-slot headers exercise both the
+    uniform closed form and the sequential padding fallback."""
+    _assert_stats_match(messages)
+
+
+@given(st.sampled_from(["req", "rwd", "ndr", "drs"]), st.integers(0, 200))
+@settings(max_examples=80, deadline=None)
+def test_pack_messages_uniform_batches(kind, n):
+    """Single-class batches take the closed-form (no-padding) path."""
+    _assert_stats_match([_message(kind, i) for i in range(n)])
+
+
+@given(st.lists(st.floats(0.0, 1.0), min_size=0, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_stream_efficiency_vectorized_matches_scalar(fracs):
+    arr = np.array(fracs, dtype=np.float64)
+    vec = stream_efficiency(arr)
+    assert isinstance(vec, np.ndarray) and vec.shape == arr.shape
+    for i in range(len(fracs)):
+        assert vec[i] == stream_efficiency(float(arr[i]))
