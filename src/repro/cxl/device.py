@@ -28,6 +28,7 @@ from repro.cxl.spec import (
 )
 from repro.cxl.transaction import M2SReq, M2SRwD, S2MDRS, S2MNDR
 from repro.errors import CxlError, CxlPoisonError
+from repro import obs
 from repro.machine.dram import DramSpeedGrade, population_effective_gbps
 
 _PAGE = 4096
@@ -305,14 +306,18 @@ class Type3Device:
                 addr = self._line_addr(req.addr)
             except CxlError:
                 # Access outside the HDM-backed capacity → NXM response.
+                obs.inc("cxl.device.nxm_reads")
                 return S2MDRS(S2MDRSOpcode.MEM_DATA_NXM, req.tag,
                               b"\xff" * CACHELINE_BYTES, poison=True)
             self.stats["reads"] += 1
             data = self._write_buffer.get(addr)
             if data is None:
                 data = self.memory.read(addr, CACHELINE_BYTES)
+            poisoned = addr in self._poison
+            if poisoned:
+                obs.inc("cxl.device.poison_served")
             return S2MDRS(S2MDRSOpcode.MEM_DATA, req.tag, data,
-                          poison=addr in self._poison)
+                          poison=poisoned)
         # invalidates / fwd flavors complete without data
         return S2MNDR(S2MNDROpcode.CMP_E, req.tag)
 
@@ -376,6 +381,7 @@ class Type3Device:
         if self._poison:
             for addr in self._poison:
                 if dpa <= addr < end:
+                    obs.inc("cxl.device.poison_served")
                     raise CxlPoisonError(
                         f"poisoned line at DPA {addr:#x} in batched read "
                         f"[{dpa:#x}, {end:#x})"
@@ -508,6 +514,7 @@ class Type3Device:
     def inject_poison(self, dpa: int) -> None:
         """Mark a cacheline poisoned (media error)."""
         self._poison.add(self._line_addr(dpa))
+        obs.inc("cxl.device.poison_injected")
 
     # ------------------------------------------------------------------
     # mailbox command handlers

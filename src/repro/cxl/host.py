@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cxl.device import Type3Device
 from repro.cxl.flit import Flit, class_half_slots, pack_stats
 from repro.cxl.link import CreditPool, CxlLink
@@ -109,10 +110,12 @@ class CxlMemPort:
             self._m2s_batch.append(_REQ_HD)
             resp = self.device.process_req(req)
             self.stats.reads += 1
+            obs.inc("cxl.reads")
             if isinstance(resp, S2MDRS):
                 self._s2m_batch.append(_DRS_HD)
                 if resp.poison:
                     self.stats.poisoned_reads += 1
+                    obs.inc("cxl.poison_reads")
                     raise CxlPoisonError(
                         f"poisoned read at DPA {dpa:#x} "
                         f"({resp.opcode.value})"
@@ -140,6 +143,7 @@ class CxlMemPort:
             self._s2m_batch.append(_NDR_HD)
             self.stats.writes += 1
             self.stats.payload_bytes += CACHELINE_BYTES
+            obs.inc("cxl.writes")
         finally:
             self.tags.retire(tag)
             self.rwd_credits.release()
@@ -176,6 +180,7 @@ class CxlMemPort:
                 data = self.device.read_lines(addr, n)
             except CxlPoisonError:
                 self.stats.poisoned_reads += 1
+                obs.inc("cxl.poison_reads")
                 raise
             finally:
                 self.tags.retire_many(tags)
@@ -183,6 +188,7 @@ class CxlMemPort:
             self._account(_REQ_HD, _DRS_HD, n)
             self.stats.reads += n
             self.stats.payload_bytes += n * CACHELINE_BYTES
+            obs.inc("cxl.reads", n)
             out += data
             addr += n * CACHELINE_BYTES
             remaining -= n
@@ -216,6 +222,7 @@ class CxlMemPort:
             self._account(_RWD_HD, _NDR_HD, n)
             self.stats.writes += n
             self.stats.payload_bytes += n * CACHELINE_BYTES
+            obs.inc("cxl.writes", n)
             addr += n * CACHELINE_BYTES
             pos += n * CACHELINE_BYTES
             remaining -= n
@@ -306,6 +313,10 @@ class CxlMemPort:
                     getattr(self.stats, flits_attr) + flits)
             setattr(self.stats, wire_attr,
                     getattr(self.stats, wire_attr) + flits * FLIT_BYTES)
+            if obs.metrics_enabled():
+                direction = flits_attr.split("_", 1)[0]
+                obs.inc(f"cxl.flits.{direction}", flits)
+                obs.inc(f"cxl.wire_bytes.{direction}", flits * FLIT_BYTES)
 
     def flush_flits(self) -> None:
         """Pack the pending message batches and account the wire bytes."""
@@ -315,12 +326,20 @@ class CxlMemPort:
             self.stats.m2s_flits += st.flits
             self.stats.m2s_wire_bytes += st.wire_bytes
             self._m2s_batch.clear()
+            if obs.metrics_enabled():
+                obs.inc("cxl.flits.m2s", st.flits)
+                obs.inc("cxl.wire_bytes.m2s", st.wire_bytes)
         if self._s2m_batch:
             st = pack_stats([h for h, _ in self._s2m_batch],
                             [d for _, d in self._s2m_batch])
             self.stats.s2m_flits += st.flits
             self.stats.s2m_wire_bytes += st.wire_bytes
             self._s2m_batch.clear()
+            if obs.metrics_enabled():
+                obs.inc("cxl.flits.s2m", st.flits)
+                obs.inc("cxl.wire_bytes.s2m", st.wire_bytes)
+        if obs.metrics_enabled():
+            obs.gauge("cxl.wire_efficiency", self.stats.efficiency())
 
     def describe(self) -> str:
         s = self.stats

@@ -95,6 +95,11 @@ class CoherenceError(ReproError):
     far memory (e.g. writing without holding the far-memory lock)."""
 
 
+class ObsError(ReproError):
+    """Misuse of the observability layer (metric kind conflicts, invalid
+    histogram buckets, malformed trace documents)."""
+
+
 class BenchmarkError(ReproError):
     """The STREAM/STREAMer harness detected an invalid configuration or a
     failed result validation."""

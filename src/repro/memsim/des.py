@@ -50,6 +50,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.calibration import DEFAULT_CALIBRATION, CalibrationProfile
 from repro.errors import SimulationError
 from repro.machine.numa import NumaPolicy
@@ -425,9 +426,20 @@ def simulate_stream_des(machine: Machine, kernel_name: str,
     if backend == "auto":
         backend = ("vector" if sum(setup.mlp) >= DES_VECTORIZE_THRESHOLD
                    else "scalar")
-    if backend == "vector":
-        from repro.memsim.des_fast import run_vector
-        counts = run_vector(setup)
-    else:
-        counts = _run_scalar(setup)
-    return _finalize(setup, counts)
+    with obs.span("des.run", meta={"backend": backend,
+                                   "kernel": kernel_name,
+                                   "threads": len(placement)}):
+        if backend == "vector":
+            from repro.memsim.des_fast import run_vector
+            counts = run_vector(setup)
+        else:
+            counts = _run_scalar(setup)
+    result = _finalize(setup, counts)
+    if obs.metrics_enabled():
+        obs.inc("des.runs")
+        obs.inc("des.events_issued", result.total_issued)
+        obs.inc("des.events_completed", result.total_completed)
+        for name, busy_ticks in zip(setup.station_names, counts.busy):
+            obs.inc(f"des.station.busy_ns.{name}",
+                    int(busy_ticks) / TICKS_PER_NS)
+    return result

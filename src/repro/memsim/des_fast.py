@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 
 #: sentinel for "flow has no station at this level"
@@ -255,6 +256,7 @@ def run_vector(setup) -> "object":
         and all(uniform_level)
         and len({(f.stations, f.service, f.latency) for f in flows}) == 1
     )
+    n_fast_windows = 0
     if uniform_fast:
         f0 = flows[0]
         lvl_station = [int(flow_station[lvl][0]) for lvl in range(n_levels)]
@@ -314,8 +316,10 @@ def run_vector(setup) -> "object":
             issued += n_windows * mlp
             completed_warm += n_warm_windows * mlp
         next_free[:] = nf
+        n_fast_windows = n_windows
 
     # --- epoch loop -------------------------------------------------------
+    n_epochs = 0
     while True:
         if pend_seq is None:
             order = np.argsort(pend_time, kind="stable")
@@ -325,6 +329,7 @@ def run_vector(setup) -> "object":
         tmin = int(bt[0])
         if tmin > sim_t:
             break
+        n_epochs += 1
         flow_bound = (next_free[bound_station] + bound_tail).max(axis=1)
         horizon = max(tmin + l_min, int(flow_bound.min()))
         tmax = int(bt[-1])
@@ -377,6 +382,10 @@ def run_vector(setup) -> "object":
             pend_seq[batch] = np.arange(seq_next, seq_next + k,
                                         dtype=np.int64)
             seq_next += k
+
+    # one obs call per run: closed-loop windows advanced (fast-path full
+    # windows + general epochs), the vector backend's unit of progress
+    obs.inc("des.windows", n_fast_windows + n_epochs)
 
     return _Counts(
         completed=completed,

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.calibration import DEFAULT_CALIBRATION, CalibrationProfile
 from repro.errors import SimulationError
 from repro.machine.numa import NumaPolicy
@@ -125,6 +126,7 @@ def simulate_stream(machine: Machine, kernel_name: str,
     """
     if not placement:
         raise SimulationError("placement must contain at least one thread")
+    obs.inc("engine.simulations")
     traffic = kernel_traffic(kernel_name)
 
     if plan is None:

@@ -1,0 +1,240 @@
+"""Unified observability for the simulation stack.
+
+Three planes, one module-level singleton:
+
+* **metrics** — counters, gauges, fixed-bucket histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, snapshot to JSON;
+* **tracing** — nested spans with Chrome trace-event export
+  (:class:`~repro.obs.tracing.Tracer`), loadable in ``chrome://tracing``
+  / Perfetto;
+* **logging** — a structured ``repro.*`` stdlib-logger hierarchy
+  (:mod:`repro.obs.logs`).
+
+The hot layers (DES, CXL datapath, PMDK persistence, sweep runner) call
+the module-level hooks below — ``obs.inc(...)``, ``obs.span(...)`` —
+which are **true no-ops while disabled**: one module-global flag check,
+then return a shared null sink.  Nothing allocates, nothing formats,
+and ``benchmarks/bench_obs_overhead.py`` gates the disabled-mode cost
+at <= 2% against a hook-bypassed baseline.
+
+Typical use (the streamer CLI does exactly this for ``--trace`` /
+``--metrics-out`` / ``--log-level``)::
+
+    from repro import obs
+
+    obs.enable()                       # metrics + tracing
+    ...run a sweep...
+    obs.write_metrics("metrics.json")
+    obs.write_trace("trace.json")
+    obs.disable()
+
+Naming scheme: ``layer.noun[.detail]`` — ``des.events_completed``,
+``cxl.wire_bytes.m2s``, ``pmdk.flush_lines``, ``sweep.cache.hits`` —
+documented in ``docs/MODEL.md`` §9.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.obs.logs import get_logger, kv, setup_logging
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, validate_chrome_trace
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span", "Tracer",
+    "DEFAULT_BUCKETS", "NULL_SPAN",
+    "enable", "disable", "enabled", "metrics_enabled", "trace_enabled",
+    "reset", "registry", "tracer",
+    "inc", "gauge", "observe", "span", "instant", "clock", "observe_since",
+    "metrics_snapshot", "write_metrics", "write_trace",
+    "setup_logging", "get_logger", "kv", "validate_chrome_trace",
+    "bypassed",
+]
+
+# ---------------------------------------------------------------------------
+# the singleton
+# ---------------------------------------------------------------------------
+
+_metrics_on = False
+_trace_on = False
+_registry = MetricsRegistry()
+_tracer = Tracer()
+
+
+def enable(metrics: bool = True, trace: bool = True) -> None:
+    """Turn recording on (either plane can be enabled on its own)."""
+    global _metrics_on, _trace_on
+    if metrics:
+        _metrics_on = True
+    if trace:
+        _trace_on = True
+
+
+def disable() -> None:
+    """Back to the no-op path.  Recorded data stays until :func:`reset`."""
+    global _metrics_on, _trace_on
+    _metrics_on = False
+    _trace_on = False
+
+
+def enabled() -> bool:
+    """Is any plane recording?"""
+    return _metrics_on or _trace_on
+
+
+def metrics_enabled() -> bool:
+    return _metrics_on
+
+
+def trace_enabled() -> bool:
+    return _trace_on
+
+
+def reset() -> None:
+    """Drop all recorded metrics and trace events (state flags persist)."""
+    _registry.clear()
+    _tracer.clear()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry (always live; writes to it
+    bypass the enabled check — instrumented code should use the hooks)."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _tracer
+
+
+# ---------------------------------------------------------------------------
+# cheap hooks — the only API instrumented code calls
+# ---------------------------------------------------------------------------
+
+def inc(name: str, value: int | float = 1) -> None:
+    """Increment counter ``name`` (no-op while metrics are disabled)."""
+    if not _metrics_on:
+        return
+    _registry.counter(name).inc(value)
+
+
+def gauge(name: str, value: int | float) -> None:
+    """Set gauge ``name`` (no-op while metrics are disabled)."""
+    if not _metrics_on:
+        return
+    _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: int | float,
+            buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+    """Record ``value`` into histogram ``name`` (no-op while disabled)."""
+    if not _metrics_on:
+        return
+    _registry.histogram(name, buckets).observe(value)
+
+
+def span(name: str, meta: dict | None = None):
+    """Context manager tracing one section; the shared null span while
+    tracing is disabled::
+
+        with obs.span("des.run", meta={"backend": backend}):
+            ...
+    """
+    if not _trace_on:
+        return NULL_SPAN
+    return _tracer.span(name, meta)
+
+
+def instant(name: str, meta: dict | None = None) -> None:
+    """Record an instant trace event (no-op while tracing is disabled)."""
+    if not _trace_on:
+        return
+    _tracer.instant(name, meta)
+
+
+def clock() -> float | None:
+    """``perf_counter()`` when metrics are on, else ``None`` — pair with
+    :func:`observe_since` to time a section without paying for the clock
+    on the disabled path."""
+    if not _metrics_on:
+        return None
+    return time.perf_counter()
+
+
+def observe_since(name: str, start: float | None,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+    """Histogram the wall time since :func:`clock` returned ``start``."""
+    if start is None or not _metrics_on:
+        return
+    _registry.histogram(name, buckets).observe(time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# snapshots / export
+# ---------------------------------------------------------------------------
+
+def metrics_snapshot() -> dict:
+    """The registry snapshot (works regardless of the enabled flag)."""
+    return _registry.snapshot()
+
+
+def write_metrics(path: str) -> None:
+    """Write the metrics snapshot as JSON to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(_registry.to_json())
+        fh.write("\n")
+
+
+def write_trace(path: str, process_name: str = "repro") -> None:
+    """Write the Chrome trace-event JSON to ``path``."""
+    _tracer.write(path, process_name=process_name)
+
+
+# ---------------------------------------------------------------------------
+# benchmark support: hook-bypassed baseline
+# ---------------------------------------------------------------------------
+
+def _noop(*args, **kwargs) -> None:
+    return None
+
+
+def _noop_span(*args, **kwargs):
+    return NULL_SPAN
+
+
+def _noop_clock(*args, **kwargs) -> None:
+    return None
+
+
+class bypassed:
+    """Context manager replacing every hook with a bare no-op.
+
+    This is the overhead benchmark's stand-in for *uninstrumented* code:
+    call sites still pay a function call, but not even the enabled-flag
+    check runs.  Comparing a run under ``bypassed()`` with a normal
+    disabled-mode run isolates the cost the instrumentation adds to
+    production paths.  Not thread-safe — benchmarks only.
+    """
+
+    _HOOKS = ("inc", "gauge", "observe", "span", "instant", "clock",
+              "observe_since")
+
+    def __enter__(self) -> "bypassed":
+        g = globals()
+        self._saved = {name: g[name] for name in self._HOOKS}
+        for name in self._HOOKS:
+            g[name] = _noop
+        g["span"] = _noop_span
+        g["clock"] = _noop_clock
+        return self
+
+    def __exit__(self, *exc) -> None:
+        globals().update(self._saved)

@@ -1,0 +1,103 @@
+"""Structured stdlib logging for the ``repro.*`` hierarchy.
+
+One call configures the package root logger::
+
+    from repro.obs.logs import setup_logging
+    setup_logging("info")
+
+Every module then logs through ``get_logger("streamer.pool")`` etc.,
+producing lines like::
+
+    2026-08-06T12:00:00.123 INFO  repro.streamer.pool | worker pool up | jobs=4 tasks=80
+
+The formatter appends ``key=value`` pairs passed via the ``extra``
+mechanism's ``fields`` key, keeping call sites structured without a
+third-party dependency.  Handlers are installed idempotently (repeat
+calls adjust the level instead of stacking handlers), and propagation
+to the process-root logger is disabled so embedding applications keep
+control of their own output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.errors import ObsError
+
+#: the package logger every repro module hangs off
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+class StructuredFormatter(logging.Formatter):
+    """``ts LEVEL logger | message | key=value ...`` lines."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+    default_msec_format = "%s.%03d"
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (f"{self.formatTime(record)} {record.levelname:<7} "
+                f"{record.name} | {record.getMessage()}")
+        fields = getattr(record, "fields", None)
+        if fields:
+            base += " | " + " ".join(f"{k}={v}" for k, v in fields.items())
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+def parse_level(level: str | int) -> int:
+    """``"info"`` / ``logging.INFO`` → numeric level.
+
+    Raises:
+        ObsError: unknown level name.
+    """
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[level.lower()]
+    except KeyError:
+        raise ObsError(
+            f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+        ) from None
+
+
+def setup_logging(level: str | int = "warning",
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns the root logger.
+
+    Idempotent: a second call re-levels the existing handler rather than
+    adding another one.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(parse_level(level))
+    root.propagate = False
+    handler = next(
+        (h for h in root.handlers if getattr(h, "_repro_obs", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._repro_obs = True        # type: ignore[attr-defined]
+        handler.setFormatter(StructuredFormatter())
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<name>`` logger (``name`` may already carry the prefix)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def kv(**fields) -> dict:
+    """``extra=`` helper: ``log.info("msg", extra=kv(jobs=4))``."""
+    return {"fields": fields}

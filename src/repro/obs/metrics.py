@@ -1,0 +1,230 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns a flat namespace of named instruments
+(``layer.subsystem.metric``, e.g. ``pmdk.flush_lines``) and serializes
+the whole set to a JSON-friendly snapshot.  Instruments are cheap value
+holders — one attribute update per observation — because the hot layers
+call them from simulation inner paths (always behind the enabled check
+in :mod:`repro.obs`).
+
+The registry hands out one instrument per name and enforces that a name
+keeps its kind for the registry's lifetime: incrementing
+``des.events_issued`` as a counter and later reading it as a histogram
+is a programming error, not a silent reinterpretation.
+
+Instruments mutate plain Python ints/floats under the GIL; creation
+(the only structural mutation) is lock-protected so process-pool
+initializers and test threads can race ``counter()`` safely.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.errors import ObsError
+
+#: default histogram bucket upper bounds (seconds-flavoured: wall times
+#: from microseconds to minutes; counts reuse them as plain magnitudes)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def inc(self, value: int | float = 1) -> None:
+        """Add ``value`` (must be >= 0) to the counter."""
+        if value < 0:
+            raise ObsError(
+                f"counter {self.name!r} cannot decrease (inc by {value})"
+            )
+        self._value += value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: int | float = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def set(self, value: int | float) -> None:
+        self._value = value
+
+    def add(self, delta: int | float) -> None:
+        self._value += delta
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-style counts plus sum/count.
+
+    ``buckets`` are the upper bounds (inclusive) of each bin; a final
+    implicit ``+Inf`` bin catches everything above the last bound.
+    Observation is one bisect plus two adds — no per-sample storage.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "bounds", "counts", "_sum", "_count",
+                 "_min", "_max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObsError(f"histogram {name!r} needs at least one bucket")
+        if any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+            raise ObsError(
+                f"histogram {name!r} bucket bounds must strictly increase"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)   # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: int | float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self._sum += v
+        self._count += 1
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+
+    def snapshot(self) -> dict:
+        doc = {
+            "kind": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {
+                ("+Inf" if i == len(self.bounds) else repr(self.bounds[i])):
+                    c
+                for i, c in enumerate(self.counts)
+            },
+        }
+        if self._count:
+            doc["min"] = self._min
+            doc["max"] = self._max
+            doc["mean"] = self.mean
+        return doc
+
+
+class MetricsRegistry:
+    """A named family of instruments with a serializable snapshot."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def _get(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = self._instruments[name] = cls(name, *args)
+        if not isinstance(inst, cls):
+            raise ObsError(
+                f"metric {name!r} is a {inst.kind}, not a {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        The bucket layout is fixed at creation; later calls may omit
+        ``buckets`` (or must pass the same bounds).
+        """
+        h = self._get(name, Histogram, buckets)
+        if tuple(float(b) for b in buckets) != h.bounds:
+            raise ObsError(
+                f"histogram {name!r} already exists with different buckets"
+            )
+        return h
+
+    def value(self, name: str) -> int | float:
+        """Current value of a counter/gauge (raises for unknown names)."""
+        try:
+            inst = self._instruments[name]
+        except KeyError:
+            raise ObsError(f"no metric named {name!r}") from None
+        if isinstance(inst, Histogram):
+            raise ObsError(f"metric {name!r} is a histogram; use snapshot()")
+        return inst.value
+
+    def snapshot(self) -> dict:
+        """All instruments as a plain-JSON document, sorted by name."""
+        return {name: self._instruments[name].snapshot()
+                for name in sorted(self._instruments)}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and fresh benchmark phases)."""
+        with self._lock:
+            self._instruments.clear()

@@ -1,0 +1,219 @@
+"""Span tracing with Chrome trace-event export.
+
+A :class:`Tracer` records *complete* duration events (``ph: "X"``):
+``with tracer.span("des.run", meta={...})`` measures wall time with
+``perf_counter_ns`` and appends one event on exit.  Spans nest through a
+per-thread stack, so every event knows its depth and parent; timestamps
+are microseconds relative to the tracer's epoch, which is what
+``chrome://tracing`` / Perfetto expect from the JSON trace-event format
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+
+The exported document is the "JSON object format"::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}
+
+with one metadata event (``ph: "M"``) naming the process.  Everything is
+plain stdlib; the tracer is process-local (fan-out workers would need
+their own tracer, which the streamer runner intentionally does not set
+up — orchestration spans live in the parent).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.errors import ObsError
+
+#: trace-event phase codes used by the exporter
+_PHASE_COMPLETE = "X"
+_PHASE_INSTANT = "i"
+_PHASE_METADATA = "M"
+
+
+class Span:
+    """One in-flight traced section; use via :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "meta", "_start_ns", "depth", "parent")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 meta: dict | None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.meta = meta
+        self._start_ns = 0
+        self.depth = 0
+        self.parent: str | None = None
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        self.depth = len(stack)
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end_ns = time.perf_counter_ns()
+        stack = self.tracer._stack()
+        if not stack or stack[-1] is not self:
+            raise ObsError(
+                f"span {self.name!r} exited out of order"
+            )
+        stack.pop()
+        self.tracer._record(self, self._start_ns, end_ns)
+
+
+class _NullSpan:
+    """Shared do-nothing span — the disabled-mode sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span and instant events for one process."""
+
+    def __init__(self) -> None:
+        self._epoch_ns = time.perf_counter_ns()
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._pid = os.getpid()
+
+    # -- span bookkeeping -------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, meta: dict | None = None) -> Span:
+        """A context manager timing one section::
+
+            with tracer.span("des.window", meta={"backend": "vector"}):
+                ...
+        """
+        return Span(self, name, meta)
+
+    def instant(self, name: str, meta: dict | None = None) -> None:
+        """Record a point-in-time event (a vertical line in the viewer)."""
+        ts = (time.perf_counter_ns() - self._epoch_ns) / 1000.0
+        event = {
+            "name": name,
+            "ph": _PHASE_INSTANT,
+            "ts": ts,
+            "s": "t",
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if meta:
+            event["args"] = dict(meta)
+        with self._lock:
+            self._events.append(event)
+
+    def _record(self, span: Span, start_ns: int, end_ns: int) -> None:
+        args: dict = {"depth": span.depth}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        if span.meta:
+            args.update(span.meta)
+        event = {
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": _PHASE_COMPLETE,
+            "ts": (start_ns - self._epoch_ns) / 1000.0,
+            "dur": (end_ns - start_ns) / 1000.0,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "args": args,
+        }
+        with self._lock:
+            self._events.append(event)
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> list[dict]:
+        """A copy of the recorded events (complete + instant)."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # -- export -----------------------------------------------------------
+
+    def chrome_trace(self, process_name: str = "repro") -> dict:
+        """The full Chrome trace-event JSON document."""
+        meta = {
+            "name": "process_name",
+            "ph": _PHASE_METADATA,
+            "pid": self._pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+        with self._lock:
+            events = [meta] + [dict(e) for e in self._events]
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs"},
+        }
+
+    def to_json(self, indent: int | None = None,
+                process_name: str = "repro") -> str:
+        return json.dumps(self.chrome_trace(process_name), indent=indent,
+                          sort_keys=True)
+
+    def write(self, path: str, process_name: str = "repro") -> None:
+        """Write the trace to ``path`` (loadable in ``chrome://tracing``)."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=1, process_name=process_name))
+            fh.write("\n")
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Check ``doc`` against the trace-event schema (tests and CI).
+
+    Raises:
+        ObsError: the document would not load in ``chrome://tracing``.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ObsError("trace document must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ObsError("'traceEvents' must be a list")
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise ObsError(f"event #{i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                raise ObsError(f"event #{i} is missing {key!r}")
+        ph = e["ph"]
+        if ph == _PHASE_COMPLETE:
+            if "ts" not in e or "dur" not in e:
+                raise ObsError(f"complete event #{i} needs ts and dur")
+            if e["dur"] < 0:
+                raise ObsError(f"complete event #{i} has negative duration")
+        elif ph == _PHASE_INSTANT:
+            if "ts" not in e:
+                raise ObsError(f"instant event #{i} needs ts")
+        elif ph != _PHASE_METADATA:
+            raise ObsError(f"event #{i} has unknown phase {ph!r}")
+        if "args" in e and not isinstance(e["args"], dict):
+            raise ObsError(f"event #{i} args must be an object")

@@ -36,6 +36,7 @@ from abc import ABC, abstractmethod
 
 from repro.errors import PmemError
 from repro.pmdk.dirty import DirtyTracker, fast_persist_enabled, line_count
+from repro import obs
 
 #: flush granularity — one CPU cacheline
 FLUSH_LINE = 64
@@ -180,8 +181,12 @@ class PmemRegion(ABC):
             ranges = [(offset, length)]
         self._persist_hook()
         self._flush_ranges(ranges)
-        self._flush_count += sum(
-            line_count(o, n, FLUSH_LINE) for o, n in ranges)
+        lines = sum(line_count(o, n, FLUSH_LINE) for o, n in ranges)
+        self._flush_count += lines
+        if obs.metrics_enabled():
+            obs.inc("pmdk.persist_calls")
+            obs.inc(f"pmdk.flush_lines.{self.backend}", lines)
+            obs.inc("pmdk.flush_lines", lines)
 
     def _persist_hook(self) -> None:
         """Called once per :meth:`persist`, before any flushing (the

@@ -17,6 +17,7 @@ persist, so a torn header is always repairable from the other copy.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import struct
 import zlib
@@ -130,8 +131,11 @@ class PmemObjPool:
         try:
             return cls._format(region, layout, log_size, owns)
         except Exception:
+            # best-effort cleanup: a failing close() must not mask the
+            # formatting error that got us here
             if owns:
-                region.close()
+                with contextlib.suppress(Exception):
+                    region.close()
             raise
 
     @classmethod
@@ -199,7 +203,8 @@ class PmemObjPool:
             return cls(region, header, heap, owns)
         except Exception:
             if owns:
-                region.close()
+                with contextlib.suppress(Exception):
+                    region.close()
             raise
 
     @classmethod
@@ -302,8 +307,12 @@ class PmemObjPool:
             for _ in range(count):
                 offs.append(self._heap.alloc(size))
         except Exception:
+            # roll back the objects already carved out; a failing free()
+            # (e.g. a heap left inconsistent by the alloc fault itself)
+            # must not shadow the allocation error — the root cause
             for off in offs:
-                self._heap.free(off)
+                with contextlib.suppress(Exception):
+                    self._heap.free(off)
             raise
         if zero:
             spans = []

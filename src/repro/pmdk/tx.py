@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 from repro.errors import CrashInjected, TransactionAborted, TransactionError
 from repro.pmdk.alloc import HEADER_SIZE as _HEAP_HEADER_SIZE, PersistentHeap
 from repro.pmdk.dirty import coalesce_ranges, fast_persist_enabled
+from repro import obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pmdk.pmem import PmemRegion
@@ -237,8 +238,13 @@ class Transaction:
         if fast_persist_enabled():
             # coalesced line-aligned superset spans via the dirty-interval
             # machinery: adjacent/overlapping ranges flush once
-            for off, length in coalesce_ranges(
-                    self._modified + self._snapshots, bound=region.size):
+            spans = coalesce_ranges(
+                self._modified + self._snapshots, bound=region.size)
+            if obs.metrics_enabled():
+                obs.inc("pmdk.tx.coalesce_ranges_in",
+                        len(self._modified) + len(self._snapshots))
+                obs.inc("pmdk.tx.coalesce_spans_out", len(spans))
+            for off, length in spans:
                 region.persist(off, length)
         else:
             for off, length in self._modified:
@@ -255,6 +261,7 @@ class Transaction:
         # 4. truncate
         if self._tail:
             self._log.write_ctrl(0, STATE_CLEAN)
+        obs.inc("pmdk.tx.commits")
         self._reset()
 
     def abort(self) -> None:
@@ -274,6 +281,7 @@ class Transaction:
             elif etype == ENTRY_ALLOC and self._heap.is_allocated(target):
                 self._heap.free(target)
         self._log.write_ctrl(0, STATE_CLEAN)
+        obs.inc("pmdk.tx.aborts")
         self._reset()
 
     def _reset(self) -> None:
@@ -336,6 +344,7 @@ class Transaction:
         if fast:
             self._log.persist_span(start_tail, tail)
         self._log.write_ctrl(tail, STATE_ACTIVE)
+        obs.inc("pmdk.tx.undo_bytes", tail - start_tail)
         self._tail = tail
         self._snapshots.extend(fresh)
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.provider import pool_from_uri
 from repro.core.runtime import CxlPmemRuntime
 from repro.errors import BenchmarkError
@@ -172,12 +173,16 @@ class StreamPmem:
         region = self.pool.region
         flush_before = region.flush_count
         a, b, c = self._views()
-        native = run_single(self.config, arrays=(a, b, c),
-                            validate=validate)
-        if persist_each_iteration:
-            for arr in self.arrays:
-                arr.persist()
+        with obs.span("stream.run", meta={"backend": self.backend,
+                                          "persist": persist_each_iteration}):
+            native = run_single(self.config, arrays=(a, b, c),
+                                validate=validate)
+            if persist_each_iteration:
+                for arr in self.arrays:
+                    arr.persist()
         flush_after = region.flush_count
+        obs.inc("stream.runs")
+        obs.inc("stream.flushes", flush_after - flush_before)
         return StreamPmemResult(
             native=native,
             backend=self.backend,
@@ -217,16 +222,20 @@ class StreamPmem:
                   "add": self.arrays[2], "triad": self.arrays[0]}
         result = NativeResult(self.config, n_threads=1,
                               times={k: [] for k in KERNELS})
-        for _ in range(self.config.ntimes):
-            for name, fn in KERNELS.items():
-                t0 = time.perf_counter()
-                with self.pool.transaction() as tx:
-                    target[name].snapshot(tx)
-                    fn(a, b, c, self.config.scalar)
-                result.times[name].append(time.perf_counter() - t0)
+        with obs.span("stream.run_tx", meta={"backend": self.backend,
+                                             "ntimes": self.config.ntimes}):
+            for _ in range(self.config.ntimes):
+                for name, fn in KERNELS.items():
+                    t0 = time.perf_counter()
+                    with self.pool.transaction() as tx:
+                        target[name].snapshot(tx)
+                        fn(a, b, c, self.config.scalar)
+                    result.times[name].append(time.perf_counter() - t0)
         if validate:
             check_stream_results(a, b, c, self.config)
         flush_after = region.flush_count
+        obs.inc("stream.runs")
+        obs.inc("stream.flushes", flush_after - flush_before)
         return StreamPmemResult(
             native=result,
             backend=self.backend,

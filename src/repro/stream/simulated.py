@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.errors import BenchmarkError
 from repro.machine.affinity import AffinityMode, place_threads_cached
 from repro.machine.numa import NumaPolicy
@@ -37,13 +38,15 @@ def simulate_sweep(machine: Machine, kernel: str, spec: SweepSpec,
     cfg = config or StreamConfig.paper()
     sockets = list(spec.sockets) if spec.sockets is not None else None
     out: list[StreamSimResult] = []
-    for n in thread_counts:
-        cores = place_threads_cached(machine, n, spec.affinity,
-                                     sockets=sockets)
-        out.append(simulate_stream(
-            machine, kernel, cores, spec.policy, spec.mode,
-            array_elements=cfg.array_size,
-        ))
+    with obs.span("stream.sweep", meta={"label": spec.label, "kernel": kernel,
+                                        "points": len(thread_counts)}):
+        for n in thread_counts:
+            cores = place_threads_cached(machine, n, spec.affinity,
+                                         sockets=sockets)
+            out.append(simulate_stream(
+                machine, kernel, cores, spec.policy, spec.mode,
+                array_elements=cfg.array_size,
+            ))
     return out
 
 

@@ -11,6 +11,16 @@ Usage::
 ``run`` without a stored-results file feeds straight into ``report`` /
 ``compare``; with ``--out`` the CSV can be re-reported later without
 re-running.
+
+Observability flags sit on the top-level parser (before the
+subcommand)::
+
+    streamer --trace trace.json --metrics-out metrics.json run --group 1a
+
+``--trace`` writes a Chrome trace-event JSON (load in
+``chrome://tracing`` or Perfetto), ``--metrics-out`` writes the metrics
+snapshot, ``--log-level`` configures the ``repro.*`` logger hierarchy.
+Without these flags the observability layer stays on its no-op path.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.stream.config import StreamConfig
 from repro.streamer.compare import comparison_report
 from repro.streamer.configs import FIGURE_KERNELS
@@ -31,6 +42,14 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="streamer",
         description="STREAMer — automated CXL/PMem bandwidth evaluation "
                     "(reproduction of the SC'23 paper's tool)")
+    p.add_argument("--trace", metavar="OUT.json",
+                   help="record span traces and write Chrome trace-event "
+                        "JSON here (chrome://tracing / Perfetto)")
+    p.add_argument("--metrics-out", metavar="OUT.json",
+                   help="record metrics and write the snapshot here")
+    p.add_argument("--log-level", metavar="LEVEL",
+                   choices=["debug", "info", "warning", "error", "critical"],
+                   help="configure repro.* structured logging at this level")
     sub = p.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run sweeps on the modelled testbeds")
@@ -99,6 +118,28 @@ def _runner(args) -> StreamerRunner:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
+    if args.log_level:
+        obs.setup_logging(args.log_level)
+    want_metrics = args.metrics_out is not None
+    want_trace = args.trace is not None
+    if want_metrics or want_trace:
+        obs.reset()     # one CLI invocation = one snapshot/trace
+        obs.enable(metrics=want_metrics, trace=want_trace)
+    try:
+        return _dispatch(args)
+    finally:
+        if want_metrics or want_trace:
+            obs.disable()
+            if want_metrics:
+                obs.write_metrics(args.metrics_out)
+                print(f"wrote metrics snapshot to {args.metrics_out}",
+                      file=sys.stderr)
+            if want_trace:
+                obs.write_trace(args.trace)
+                print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+
+
+def _dispatch(args) -> int:
     if args.command == "run":
         runner = _runner(args)
         jobs = args.jobs

@@ -117,17 +117,25 @@ class ResultSet:
 
     _COLUMNS = [f.name for f in fields(ResultRecord)]
 
+    def _csv_rows(self) -> Iterator[list]:
+        yield list(self._COLUMNS)
+        for r in self._records:
+            # repr() is the shortest string that round-trips the float
+            # exactly (float(repr(x)) == x), so to_csv → from_csv is
+            # bit-exact for every gbps value.
+            yield [repr(v) if isinstance(v, float) else v
+                   for v in (getattr(r, c) for c in self._COLUMNS)]
+
     def to_csv(self, path: str | None = None) -> str:
         buf = io.StringIO()
-        writer = csv.writer(buf)
-        writer.writerow(self._COLUMNS)
-        for r in self._records:
-            writer.writerow([getattr(r, c) for c in self._COLUMNS])
-        text = buf.getvalue()
+        csv.writer(buf).writerows(self._csv_rows())
         if path is not None:
-            with open(path, "w") as fh:
-                fh.write(text)
-        return text
+            # newline="" hands line-ending control to the csv module —
+            # without it text-mode translation doubles the \r on Windows
+            # (\r\r\n), breaking the byte-identical round trip.
+            with open(path, "w", newline="") as fh:
+                csv.writer(fh).writerows(self._csv_rows())
+        return buf.getvalue()
 
     # ------------------------------------------------------------------
     # JSON round trip (sweep-cache storage format)

@@ -15,6 +15,7 @@ Three execution strategies, all producing byte-identical
 
 from __future__ import annotations
 
+import enum
 import hashlib
 import json
 import multiprocessing as mp
@@ -23,6 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.errors import BenchmarkError
 from repro.machine.presets import Testbed, setup1, setup2
 from repro.machine.topology import Machine
@@ -38,14 +40,27 @@ from repro.streamer.results import ResultRecord, ResultSet
 
 #: Bump when the cached-result layout or the model semantics change in a
 #: way the content hash cannot see.
-SWEEP_CACHE_SCHEMA = 1
+SWEEP_CACHE_SCHEMA = 2
 
 _KERNELS_DEFAULT = ("copy", "scale", "add", "triad")
 
+_log = obs.get_logger("streamer.runner")
+
 
 def _jsonify(obj: object) -> object:
-    value = getattr(obj, "value", None)
-    return value if value is not None else str(obj)
+    """``json.dumps(default=...)`` hook for the sweep-cache key.
+
+    Only enum members are expected here (policy/mode/affinity kinds in
+    the group specs); anything else means a fingerprint field changed
+    type without a matching schema bump, which must fail loudly — a
+    silent ``str(obj)`` fallback would hash ``repr`` noise (e.g. object
+    ids) into the key and quietly defeat caching.
+    """
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    raise TypeError(
+        f"sweep-cache key cannot serialize {type(obj).__name__!r}: {obj!r}"
+    )
 
 
 def _series_records(group: TestGroup, series: TestSeries, kernel: str,
@@ -136,13 +151,21 @@ class StreamerRunner:
         """Run one test group for the given kernels."""
         group = self._resolve_group(group)
         out = ResultSet()
-        for kernel in kernels:
-            for series in group.series:
-                tb = self._testbed(series.testbed)
-                results = simulate_sweep(
-                    tb.machine, kernel, series.spec, group.thread_counts,
-                    self.config)
-                out.extend(_series_records(group, series, kernel, results))
+        with obs.span("sweep.run_group", meta={"group": group.group_id}):
+            for kernel in kernels:
+                for series in group.series:
+                    tb = self._testbed(series.testbed)
+                    start = obs.clock()
+                    with obs.span("sweep.series",
+                                  meta={"series": series.key,
+                                        "kernel": kernel}):
+                        results = simulate_sweep(
+                            tb.machine, kernel, series.spec,
+                            group.thread_counts, self.config)
+                    obs.observe_since("sweep.series_wall_s", start)
+                    obs.inc("sweep.series_runs")
+                    out.extend(
+                        _series_records(group, series, kernel, results))
         return out
 
     # ------------------------------------------------------------------
@@ -191,29 +214,54 @@ class StreamerRunner:
             cache_key = self.sweep_cache_key(kernels)
             cached = self._cache_load(cache_key)
             if cached is not None:
+                obs.inc("sweep.cache.hits")
+                _log.debug("sweep cache hit", extra=obs.kv(key=cache_key[:12]))
                 return cached
+            obs.inc("sweep.cache.misses")
+            _log.debug("sweep cache miss", extra=obs.kv(key=cache_key[:12]))
 
         jobs = self._n_jobs(parallel)
         tasks = self._tasks(kernels)
         out = ResultSet()
-        if jobs <= 1 or len(tasks) <= 1:
-            for group, series, kernel in tasks:
-                machine = self._testbed(series.testbed).machine
-                results = simulate_sweep(machine, kernel, series.spec,
-                                         group.thread_counts, self.config)
-                out.extend(_series_records(group, series, kernel, results))
-        else:
-            machines = {name: tb.machine for name, tb in self.testbeds.items()}
-            methods = mp.get_all_start_methods()
-            ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-            with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(tasks)),
-                    mp_context=ctx,
-                    initializer=_pool_init,
-                    initargs=(machines, self.config)) as pool:
-                # map() preserves submission order → deterministic records
-                for records in pool.map(_sweep_series_task, tasks):
-                    out.extend(records)
+        with obs.span("sweep.run_all",
+                      meta={"kernels": list(kernels), "jobs": jobs,
+                            "tasks": len(tasks)}):
+            if jobs <= 1 or len(tasks) <= 1:
+                for group, series, kernel in tasks:
+                    machine = self._testbed(series.testbed).machine
+                    start = obs.clock()
+                    with obs.span("sweep.series",
+                                  meta={"series": series.key,
+                                        "kernel": kernel}):
+                        results = simulate_sweep(
+                            machine, kernel, series.spec,
+                            group.thread_counts, self.config)
+                    obs.observe_since("sweep.series_wall_s", start)
+                    obs.inc("sweep.series_runs")
+                    out.extend(
+                        _series_records(group, series, kernel, results))
+            else:
+                machines = {name: tb.machine
+                            for name, tb in self.testbeds.items()}
+                methods = mp.get_all_start_methods()
+                ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+                workers = min(jobs, len(tasks))
+                obs.gauge("sweep.pool.workers", workers)
+                _log.info("starting sweep pool",
+                          extra=obs.kv(workers=workers, tasks=len(tasks)))
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=ctx,
+                        initializer=_pool_init,
+                        initargs=(machines, self.config)) as pool:
+                    # map() preserves submission order → deterministic records
+                    with obs.span("sweep.pool",
+                                  meta={"workers": workers,
+                                        "tasks": len(tasks)}):
+                        for records in pool.map(_sweep_series_task, tasks):
+                            obs.inc("sweep.series_runs")
+                            out.extend(records)
+                _log.info("sweep pool drained", extra=obs.kv(tasks=len(tasks)))
 
         if cache_key is not None:
             self._cache_store(cache_key, out)

@@ -1,0 +1,19 @@
+"""Observability tests share one process-wide singleton — keep it clean.
+
+Every test in this package runs against a reset, disabled ``repro.obs``
+and leaves it that way, so obs tests cannot leak counters or spans into
+each other (or into the rest of the suite).
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,124 @@
+"""The module-level hooks: enabled/disabled gating, bypass, logging."""
+
+import io
+import logging
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs.logs import ROOT_LOGGER, StructuredFormatter, parse_level
+
+
+class TestGating:
+    def test_disabled_hooks_record_nothing(self):
+        obs.inc("a")
+        obs.gauge("g", 1)
+        obs.observe("h", 0.5)
+        obs.instant("i")
+        with obs.span("s"):
+            pass
+        assert obs.metrics_snapshot() == {}
+        assert len(obs.tracer()) == 0
+
+    def test_disabled_span_is_the_null_span(self):
+        assert obs.span("s") is obs.NULL_SPAN
+
+    def test_disabled_clock_is_none(self):
+        assert obs.clock() is None
+        obs.observe_since("h", None)           # must be a silent no-op
+        assert obs.metrics_snapshot() == {}
+
+    def test_enabled_hooks_record(self):
+        obs.enable()
+        obs.inc("a", 2)
+        obs.gauge("g", 1.5)
+        with obs.span("s"):
+            obs.instant("i")
+        start = obs.clock()
+        assert start is not None
+        obs.observe_since("h", start)
+        snap = obs.metrics_snapshot()
+        assert snap["a"]["value"] == 2
+        assert snap["g"]["value"] == 1.5
+        assert snap["h"]["count"] == 1
+        names = [e["name"] for e in obs.tracer().events()]
+        assert names == ["i", "s"]
+
+    def test_planes_enable_independently(self):
+        obs.enable(metrics=True, trace=False)
+        assert obs.metrics_enabled() and not obs.trace_enabled()
+        obs.inc("a")
+        with obs.span("s"):
+            pass
+        assert obs.metrics_snapshot()["a"]["value"] == 1
+        assert len(obs.tracer()) == 0
+
+    def test_disable_keeps_data_until_reset(self):
+        obs.enable()
+        obs.inc("a")
+        obs.disable()
+        assert obs.metrics_snapshot()["a"]["value"] == 1
+        obs.reset()
+        assert obs.metrics_snapshot() == {}
+
+    def test_write_outputs(self, tmp_path):
+        import json
+
+        obs.enable()
+        obs.inc("a")
+        with obs.span("s"):
+            pass
+        obs.disable()
+        mpath, tpath = tmp_path / "m.json", tmp_path / "t.json"
+        obs.write_metrics(str(mpath))
+        obs.write_trace(str(tpath))
+        assert json.loads(mpath.read_text())["a"]["value"] == 1
+        obs.validate_chrome_trace(json.loads(tpath.read_text()))
+
+
+class TestBypassed:
+    def test_bypass_swaps_and_restores_hooks(self):
+        obs.enable()
+        with obs.bypassed():
+            obs.inc("a")
+            assert obs.span("s") is obs.NULL_SPAN
+            assert obs.clock() is None
+        assert obs.metrics_snapshot() == {}
+        obs.inc("a")                   # hooks restored: records again
+        assert obs.metrics_snapshot()["a"]["value"] == 1
+
+
+class TestLogging:
+    def test_parse_level(self):
+        assert parse_level("info") == logging.INFO
+        assert parse_level(logging.DEBUG) == logging.DEBUG
+        with pytest.raises(ObsError, match="unknown log level"):
+            parse_level("chatty")
+
+    def test_setup_is_idempotent(self):
+        root = obs.setup_logging("warning")
+        n = len(root.handlers)
+        again = obs.setup_logging("debug")
+        assert again is root
+        assert len(root.handlers) == n
+        assert root.level == logging.DEBUG
+
+    def test_get_logger_prefixes(self):
+        assert obs.get_logger("streamer.runner").name == "repro.streamer.runner"
+        assert obs.get_logger("repro.cxl").name == "repro.cxl"
+
+    def test_structured_line_format(self):
+        buf = io.StringIO()
+        handler = logging.StreamHandler(buf)
+        handler.setFormatter(StructuredFormatter())
+        logger = logging.getLogger(ROOT_LOGGER + ".test.fields")
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            logger.info("pool up", extra=obs.kv(workers=4, tasks=80))
+        finally:
+            logger.removeHandler(handler)
+        line = buf.getvalue().strip()
+        assert "repro.test.fields | pool up | workers=4 tasks=80" in line
+        assert "INFO" in line

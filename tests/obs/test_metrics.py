@@ -1,0 +1,129 @@
+"""Metrics primitives: counters, gauges, histograms, the registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_float_increments(self):
+        c = Counter("x")
+        c.inc(0.5)
+        c.inc(0.25)
+        assert c.value == 0.75
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ObsError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(3)
+        assert c.snapshot() == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("x")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+        assert g.snapshot() == {"kind": "gauge", "value": 7}
+
+
+class TestHistogram:
+    def test_bucketing_with_overflow_bin(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # upper bounds are inclusive: 1.0 lands in the first bin
+        assert snap["buckets"] == {"1.0": 2, "10.0": 1, "+Inf": 1}
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.5)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 100.0
+        assert snap["mean"] == pytest.approx(106.5 / 4)
+
+    def test_empty_snapshot_has_no_stats(self):
+        snap = Histogram("h", buckets=(1.0,)).snapshot()
+        assert snap["count"] == 0
+        assert "min" not in snap and "max" not in snap and "mean" not in snap
+
+    def test_default_buckets_are_valid(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_BUCKETS
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ObsError, match="at least one bucket"):
+            Histogram("h", buckets=())
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ObsError, match="strictly increase"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ObsError, match="strictly increase"):
+            Histogram("h", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ObsError, match="is a counter, not a gauge"):
+            reg.gauge("a")
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        reg.histogram("h", buckets=(1.0, 2.0))      # same bounds: fine
+        with pytest.raises(ObsError, match="different buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        assert reg.value("a") == 5
+        with pytest.raises(ObsError, match="no metric named"):
+            reg.value("missing")
+        reg.histogram("h").observe(1)
+        with pytest.raises(ObsError, match="use snapshot"):
+            reg.value("h")
+
+    def test_snapshot_sorted_and_json_clean(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.gauge("a").set(1.5)
+        reg.histogram("m").observe(0.2)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "m", "z"]
+        # must survive a strict JSON round trip
+        assert json.loads(reg.to_json()) == snap
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.clear()
+        assert len(reg) == 0 and "a" not in reg

@@ -1,0 +1,127 @@
+"""Span tracing and the Chrome trace-event export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.tracing import NULL_SPAN, Tracer, validate_chrome_trace
+
+
+class TestSpans:
+    def test_complete_event_shape(self):
+        tr = Tracer()
+        with tr.span("des.run", meta={"backend": "vector"}):
+            pass
+        (e,) = tr.events()
+        assert e["name"] == "des.run"
+        assert e["cat"] == "des"
+        assert e["ph"] == "X"
+        assert e["dur"] >= 0
+        assert e["args"]["backend"] == "vector"
+        assert e["args"]["depth"] == 0
+        assert "parent" not in e["args"]
+
+    def test_nesting_records_depth_and_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.events()     # inner exits (and records) first
+        assert inner["args"] == {"depth": 1, "parent": "outer"}
+        assert outer["args"] == {"depth": 0}
+
+    def test_out_of_order_exit_raises(self):
+        tr = Tracer()
+        outer = tr.span("outer")
+        inner = tr.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObsError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_threads_get_independent_stacks(self):
+        tr = Tracer()
+        seen = {}
+
+        def work():
+            with tr.span("worker") as s:
+                seen["depth"] = s.depth
+
+        with tr.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        # the worker thread's stack starts empty: no inherited nesting
+        assert seen["depth"] == 0
+        depths = {e["name"]: e["args"]["depth"] for e in tr.events()}
+        assert depths == {"worker": 0, "main": 0}
+
+    def test_instant_event(self):
+        tr = Tracer()
+        tr.instant("cxl.poison", meta={"dpa": 64})
+        (e,) = tr.events()
+        assert e["ph"] == "i"
+        assert e["args"] == {"dpa": 64}
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+
+
+class TestChromeExport:
+    def test_document_is_valid_and_json_clean(self, tmp_path):
+        tr = Tracer()
+        with tr.span("sweep.run_all", meta={"tasks": 3}):
+            with tr.span("sweep.series"):
+                pass
+        tr.instant("marker")
+        doc = tr.chrome_trace(process_name="streamer")
+        validate_chrome_trace(doc)
+        assert doc["displayTimeUnit"] == "ms"
+        meta = doc["traceEvents"][0]
+        assert meta["ph"] == "M"
+        assert meta["args"]["name"] == "streamer"
+
+        path = tmp_path / "trace.json"
+        tr.write(str(path))
+        loaded = json.loads(path.read_text())
+        validate_chrome_trace(loaded)
+        assert len(loaded["traceEvents"]) == 4     # metadata + 2 spans + 1 instant
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.instant("x")
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ObsError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_required_keys(self):
+        with pytest.raises(ObsError, match="missing 'tid'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "i", "pid": 1,
+                                  "ts": 0.0}]})
+
+    def test_rejects_complete_without_duration(self):
+        with pytest.raises(ObsError, match="needs ts and dur"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
+                                  "tid": 1, "ts": 0.0}]})
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ObsError, match="negative duration"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
+                                  "tid": 1, "ts": 0.0, "dur": -1.0}]})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ObsError, match="unknown phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1,
+                                  "tid": 1}]})

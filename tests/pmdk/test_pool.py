@@ -236,3 +236,55 @@ class TestPoolTransactions:
             pass
         t2 = pool.transaction()
         assert t2 is not t1
+
+
+class _FailingFreeHeap:
+    """Heap double: alloc succeeds a fixed number of times, then faults;
+    every free also faults (models a heap the alloc fault left
+    inconsistent)."""
+
+    def __init__(self, real, alloc_budget):
+        self._real = real
+        self._budget = alloc_budget
+
+    def alloc(self, size):
+        if self._budget <= 0:
+            from repro.errors import AllocError
+            raise AllocError("injected alloc fault")
+        self._budget -= 1
+        return self._real.alloc(size)
+
+    def free(self, off):
+        raise RuntimeError("injected free fault")
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestCleanupErrorMasking:
+    def test_alloc_many_rollback_preserves_root_cause(self, pool):
+        from repro.errors import AllocError
+
+        pool._heap = _FailingFreeHeap(pool._heap, alloc_budget=2)
+        # 2 allocations land, the 3rd faults; rollback frees then fault
+        # too — but the surfaced error must be the allocation fault
+        with pytest.raises(AllocError, match="injected alloc fault"):
+            pool.alloc_many(4, 128)
+
+    def test_create_failure_survives_failing_region_close(
+            self, tmp_path, monkeypatch):
+        import repro.pmdk.pool as pool_mod
+
+        class _Region:
+            size = 1024                       # far too small for a pool
+
+            def read(self, off, length):
+                raise PoolCorruptionError("unformatted")
+
+            def close(self):
+                raise RuntimeError("injected close fault")
+
+        monkeypatch.setattr(pool_mod, "map_file",
+                            lambda *a, **kw: _Region())
+        with pytest.raises(PoolError, match="too small"):
+            PmemObjPool.create(str(tmp_path / "x.pool"), size=1 << 20)

@@ -79,3 +79,26 @@ class TestCsv:
         rec = next(iter(back))
         assert isinstance(rec.n_threads, int)
         assert isinstance(rec.gbps, float)
+
+
+class TestCsvRoundTripExactness:
+    def test_repr_stable_floats_survive_bit_exact(self):
+        # values whose str()/repr() carry full double precision
+        ugly = [0.1 + 0.2, 1 / 3, 2.0 ** -40, 123456.789012345]
+        rs = ResultSet([_rec(n=i + 1, gbps=v) for i, v in enumerate(ugly)])
+        back = ResultSet.from_csv(rs.to_csv())
+        assert [r.gbps for r in back] == ugly          # == , not approx
+
+    def test_file_written_with_csv_writer_newlines(self, rs, tmp_path):
+        path = tmp_path / "r.csv"
+        rs.to_csv(str(path))
+        raw = path.read_bytes()
+        assert b"\r\r\n" not in raw                    # the Windows bug
+        assert raw.decode().splitlines()[0].startswith("group,series")
+
+    def test_file_and_text_forms_parse_identically(self, rs, tmp_path):
+        path = tmp_path / "r.csv"
+        text = rs.to_csv(str(path))
+        from_text = ResultSet.from_csv(text)
+        from_file = ResultSet.from_csv(str(path))
+        assert list(from_text) == list(from_file) == list(rs)

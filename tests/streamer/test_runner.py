@@ -58,3 +58,35 @@ class TestRunAll:
         r = StreamerRunner(testbeds={}, config=CFG)
         with pytest.raises(BenchmarkError):
             r.run_group("1a")
+
+
+class TestSweepCacheKey:
+    def test_key_is_stable_and_content_sensitive(self, runner):
+        k1 = runner.sweep_cache_key(("triad",))
+        assert k1 == runner.sweep_cache_key(("triad",))
+        assert k1 != runner.sweep_cache_key(("copy",))
+        other = StreamerRunner(config=StreamConfig(array_size=1_000_000))
+        assert k1 != other.sweep_cache_key(("triad",))
+
+    def test_jsonify_unwraps_enums_by_value(self):
+        import enum
+
+        from repro.streamer.runner import _jsonify
+
+        class Color(enum.Enum):
+            RED = "red"
+
+        class Prio(enum.IntEnum):
+            LOW = 0                     # falsy value must still unwrap
+
+        assert _jsonify(Color.RED) == "red"
+        assert _jsonify(Prio.LOW) == 0
+
+    def test_jsonify_rejects_unknown_types(self):
+        from repro.streamer.runner import _jsonify
+
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="cannot serialize"):
+            _jsonify(Opaque())
