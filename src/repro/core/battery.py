@@ -47,6 +47,16 @@ class Battery:
                 and self.charge_fraction * self.holdup_seconds
                 >= flush_seconds)
 
+    def coverage_fraction(self, flush_seconds: float) -> float:
+        """How much of a ``flush_seconds`` drain this battery can carry
+        — 1.0 is a full flush, 0.0 is none (unhealthy battery)."""
+        if not self.healthy:
+            return 0.0
+        if flush_seconds <= 0:
+            return 1.0
+        return min(1.0, self.charge_fraction * self.holdup_seconds
+                   / flush_seconds)
+
     def degrade(self, fraction: float) -> None:
         """Age the battery (reduce charge by ``fraction`` of full)."""
         if not 0.0 <= fraction <= 1.0:
@@ -111,15 +121,39 @@ class PowerDomain:
             dev.battery_backed = backed
 
     def power_fail(self) -> PowerFailReport:
-        """Mains loss across the domain."""
+        """Mains loss across the domain.
+
+        With no battery fitted, devices fall back to their own
+        persistence options (GPF) and the report is returned as before.
+        With a battery that can no longer cover the full drain — the
+        silent BBU-DIMM failure mode — the drill runs a *partial* drain
+        (each device keeps ``battery.coverage_fraction`` of its dirty
+        lines, oldest first) and then raises
+        :class:`~repro.errors.PersistenceDomainError` with the
+        :class:`PowerFailReport` attached as ``.report``: a power event
+        hitting a degraded persistence domain must never pass silently.
+        """
         if not self._powered:
             raise PersistenceDomainError(f"domain {self.name} already down")
         self.refresh()
         report = PowerFailReport()
+        degraded = (self.battery is not None
+                    and not self.battery.can_cover(self.FLUSH_SECONDS))
+        frac = (self.battery.coverage_fraction(self.FLUSH_SECONDS)
+                if degraded else None)
         for dev in self._devices:
             report.covered[dev.name] = dev.battery_backed
-            report.lines_lost[dev.name] = dev.power_fail()
+            report.lines_lost[dev.name] = dev.power_fail(
+                holdup_fraction=frac) if degraded else dev.power_fail()
         self._powered = False
+        if degraded:
+            lost = sum(report.lines_lost.values())
+            raise PersistenceDomainError(
+                f"power event on domain {self.name!r} with a degraded "
+                f"battery (coverage {frac:.0%}): {lost} dirty line(s) "
+                "lost beyond the holdup budget",
+                report=report,
+            )
         return report
 
     def restore(self) -> None:

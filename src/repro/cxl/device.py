@@ -236,13 +236,15 @@ class Type3Device:
         self._lsa = bytearray(lsa_bytes)
         self._shutdown_state = ShutdownState.CLEAN
         self._poison: set[int] = set()
+        self._quarantined: set[int] = set()         # scrubbed (data lost)
         self._powered = True
 
         # partition: volatile first, persistent after
         self._volatile_bytes = 0
         self._persistent_bytes = media.capacity_bytes
 
-        self.stats = {"reads": 0, "writes": 0, "flushes": 0, "gpf": 0}
+        self.stats = {"reads": 0, "writes": 0, "flushes": 0, "gpf": 0,
+                      "scrubs": 0}
 
         self.mailbox = Mailbox()
         self._register_mailbox_handlers()
@@ -316,8 +318,12 @@ class Type3Device:
             poisoned = addr in self._poison
             if poisoned:
                 obs.inc("cxl.device.poison_served")
+                # scrub-on-read: the error is reported exactly once,
+                # then the line is quarantined and zeroed — a retried
+                # read observes clean (lost, not corrupt) data
+                self.scrub_line(addr)
             return S2MDRS(S2MDRSOpcode.MEM_DATA, req.tag, data,
-                          poison=poisoned)
+                          poison=poisoned, addr=addr)
         # invalidates / fwd flavors complete without data
         return S2MNDR(S2MNDROpcode.CMP_E, req.tag)
 
@@ -336,6 +342,7 @@ class Type3Device:
             line = rwd.data
         self._write_buffer[addr] = line
         self._poison.discard(addr)
+        self._quarantined.discard(addr)     # fresh data lifts quarantine
         if len(self._write_buffer) > self.WRITE_BUFFER_LINES:
             self._evict_oldest()
         return S2MNDR(S2MNDROpcode.CMP, rwd.tag)
@@ -379,13 +386,19 @@ class Type3Device:
             return b""
         end = self._check_span(dpa, count * CACHELINE_BYTES)
         if self._poison:
-            for addr in self._poison:
-                if dpa <= addr < end:
-                    obs.inc("cxl.device.poison_served")
-                    raise CxlPoisonError(
-                        f"poisoned line at DPA {addr:#x} in batched read "
-                        f"[{dpa:#x}, {end:#x})"
-                    )
+            hit = sorted(a for a in self._poison if dpa <= a < end)
+            if hit:
+                obs.inc("cxl.device.poison_served", len(hit))
+                # scrub-on-read: quarantine + zero every poisoned line in
+                # the span so the retried read succeeds with clean data
+                for addr in hit:
+                    self.scrub_line(addr)
+                raise CxlPoisonError(
+                    f"{len(hit)} poisoned line(s) at DPA "
+                    f"{', '.join(hex(a) for a in hit)} in batched read "
+                    f"[{dpa:#x}, {end:#x})",
+                    dpas=tuple(hit),
+                )
         self.stats["reads"] += count
         data = bytearray(self.memory.read(dpa, count * CACHELINE_BYTES))
         for addr, line in self._write_buffer.items():
@@ -418,6 +431,9 @@ class Type3Device:
         self.stats["writes"] += n
         if self._poison:
             self._poison -= {a for a in self._poison if dpa <= a < end}
+        if self._quarantined:
+            self._quarantined -= {
+                a for a in self._quarantined if dpa <= a < end}
         wb = self._write_buffer
         keep = self.WRITE_BUFFER_LINES
         if n >= keep and not any(dpa <= a < end for a in wb):
@@ -469,7 +485,8 @@ class Type3Device:
         self.stats["gpf"] += 1
         return self.flush()
 
-    def power_fail(self, gpf_energy_ok: bool = True) -> int:
+    def power_fail(self, gpf_energy_ok: bool = True,
+                   holdup_fraction: float | None = None) -> int:
         """Sudden power loss.  Returns the number of lines *lost*.
 
         Three outcomes, mirroring the CXL persistence-domain options:
@@ -479,8 +496,33 @@ class Type3Device:
           (``gpf_energy_ok``) — the Global Persistent Flush runs as the
           power fails; no loss;
         * neither — unflushed lines vanish, shutdown state goes dirty.
+
+        ``holdup_fraction`` overrides those outcomes with a *partial*
+        drain drill: the fraction of the write buffer the failing
+        battery could carry to media.  Lines drain oldest-first (the
+        buffer's eviction order), so exactly
+        ``floor(holdup_fraction * dirty)`` oldest lines become durable
+        and the rest are dropped — the drill
+        :class:`~repro.core.battery.PowerDomain` runs for a degraded
+        battery.
         """
         self._check_power()
+        if holdup_fraction is not None:
+            if not 0.0 <= holdup_fraction <= 1.0:
+                raise CxlError("holdup_fraction must be in [0, 1]")
+            n = len(self._write_buffer)
+            drain = min(n, int(n * holdup_fraction))
+            for addr in list(self._write_buffer)[:drain]:
+                self.memory.write(addr, self._write_buffer.pop(addr))
+            lost = len(self._write_buffer)
+            self._write_buffer.clear()
+            self.stats["flushes"] += 1
+            self._shutdown_state = (
+                ShutdownState.DIRTY if lost else ShutdownState.CLEAN
+            )
+            self._powered = False
+            obs.inc("cxl.device.power_fail_partial")
+            return lost
         if self.battery_backed or (self.gpf_supported and gpf_energy_ok):
             lost = 0
             if not self.battery_backed:
@@ -515,6 +557,28 @@ class Type3Device:
         """Mark a cacheline poisoned (media error)."""
         self._poison.add(self._line_addr(dpa))
         obs.inc("cxl.device.poison_injected")
+
+    def scrub_line(self, dpa: int) -> None:
+        """Quarantine and zero one poisoned cacheline.
+
+        Models the RAS scrub cycle: the line's content is declared lost
+        (zeroed on media, dropped from the write buffer), the poison flag
+        clears, and the line lands on the quarantine list until a host
+        write supplies fresh data.  Reads after a scrub succeed — data
+        loss stays contained to the line instead of wedging the pool.
+        """
+        addr = self._line_addr(dpa)
+        self._write_buffer.pop(addr, None)
+        self.memory.write(addr, b"\x00" * CACHELINE_BYTES)
+        self._poison.discard(addr)
+        self._quarantined.add(addr)
+        self.stats["scrubs"] += 1
+        obs.inc("cxl.device.scrubs")
+
+    @property
+    def quarantined_lines(self) -> frozenset[int]:
+        """DPAs scrubbed after poison and not yet rewritten."""
+        return frozenset(self._quarantined)
 
     # ------------------------------------------------------------------
     # mailbox command handlers
@@ -575,6 +639,7 @@ class Type3Device:
         return {
             "health_status": "ok" if not self._poison else "degraded",
             "media_errors": len(self._poison),
+            "quarantined_lines": len(self._quarantined),
             "dirty_shutdown_count": int(
                 self._shutdown_state is ShutdownState.DIRTY
             ),
@@ -593,4 +658,5 @@ class Type3Device:
         self._write_buffer.clear()
         self.memory = SparseMemory(self.capacity_bytes)
         self._poison.clear()
+        self._quarantined.clear()
         return {"sanitized": True}

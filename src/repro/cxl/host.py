@@ -17,9 +17,10 @@ packing — same statistics, no per-transaction Python overhead.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-from repro import obs
+from repro import faults, obs
 from repro.cxl.device import Type3Device
 from repro.cxl.flit import Flit, class_half_slots, pack_stats
 from repro.cxl.link import CreditPool, CxlLink
@@ -36,7 +37,12 @@ from repro.cxl.transaction import (
     S2MNDR,
     TagAllocator,
 )
-from repro.errors import CxlError, CxlPoisonError
+from repro.errors import (
+    CxlError,
+    CxlPoisonError,
+    CxlTimeoutError,
+    CxlTransientError,
+)
 
 #: (header half-slots, data full-slots) per message class — the batches
 #: below carry these cost tuples instead of message objects.
@@ -49,6 +55,52 @@ _DRS_HD = class_half_slots(S2MDRS)
 _FLIT_HALVES = Flit.MAX_HALF_SLOTS - 2
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient CXL datapath faults.
+
+    A failed operation is retried up to ``max_retries`` times; attempt
+    ``k`` (1-based) waits ``base_delay_ns * backoff_factor**(k-1)``
+    capped at ``max_delay_ns``, plus/minus up to ``jitter_frac`` of the
+    delay (seeded — deterministic).  The delay is *modelled*, not slept:
+    it accumulates in :attr:`PortStats.backoff_ns` like the flit model
+    accumulates wire bytes.
+
+    ``error_budget`` is the port-wide cap on transient errors absorbed
+    over the port's lifetime; once spent, the next transient error
+    escalates immediately to :class:`~repro.errors.CxlTimeoutError` —
+    a link that flaps forever must not be retried forever.
+    """
+
+    max_retries: int = 4
+    base_delay_ns: float = 500.0
+    backoff_factor: float = 2.0
+    max_delay_ns: float = 64_000.0
+    jitter_frac: float = 0.1
+    error_budget: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise CxlError("max_retries must be >= 0")
+        if self.base_delay_ns < 0 or self.max_delay_ns < self.base_delay_ns:
+            raise CxlError("need 0 <= base_delay_ns <= max_delay_ns")
+        if self.backoff_factor < 1.0:
+            raise CxlError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise CxlError("jitter_frac must be in [0, 1]")
+        if self.error_budget < 0:
+            raise CxlError("error_budget must be >= 0")
+
+    def delay_ns(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), jitter applied."""
+        base = min(self.base_delay_ns * self.backoff_factor ** (attempt - 1),
+                   self.max_delay_ns)
+        if self.jitter_frac:
+            base *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return base
+
+
 @dataclass
 class PortStats:
     """Wire accounting for one port."""
@@ -56,6 +108,9 @@ class PortStats:
     reads: int = 0
     writes: int = 0
     poisoned_reads: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    backoff_ns: float = 0.0
     m2s_flits: int = 0
     s2m_flits: int = 0
     m2s_wire_bytes: int = 0
@@ -83,15 +138,70 @@ class CxlMemPort:
 
     def __init__(self, link: CxlLink, device: Type3Device,
                  tag_capacity: int = 64,
-                 req_credits: int = 32, rwd_credits: int = 32) -> None:
+                 req_credits: int = 32, rwd_credits: int = 32,
+                 retry: RetryPolicy | None = None) -> None:
         self.link = link
         self.device = device
         self.tags = TagAllocator(tag_capacity)
         self.req_credits = CreditPool(req_credits, "m2s-req")
         self.rwd_credits = CreditPool(rwd_credits, "m2s-rwd")
+        self.retry = retry or RetryPolicy()
         self.stats = PortStats()
+        self._retry_rng = random.Random(self.retry.seed)
+        self._transient_errors = 0
         self._m2s_batch: list[tuple[int, int]] = []
         self._s2m_batch: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # transient-fault absorption (timeout detection + retry/backoff)
+    # ------------------------------------------------------------------
+
+    def _device_call(self, op: str, dpa: int, nlines: int, fn):
+        """Issue one device access, riding out transient faults.
+
+        With no fault plan installed this is a single plan check plus
+        the call — the fault-free datapath stays byte-identical.  Under
+        an active plan, each attempt first consults the plan (which may
+        inject a timeout / link-down), then calls the device; transient
+        errors are retried per :class:`RetryPolicy` with the modelled
+        backoff accumulated in :attr:`PortStats.backoff_ns`.
+
+        Raises:
+            CxlTimeoutError: retries or the port error budget exhausted.
+        """
+        if not faults.enabled():
+            return fn()
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                faults.on_cxl_op(op, self.device.name, self.link.name,
+                                 dpa, nlines,
+                                 inject_poison=self.device.inject_poison)
+                return fn()
+            except CxlTransientError as exc:
+                self._transient_errors += 1
+                if self._transient_errors > policy.error_budget:
+                    self.stats.timeouts += 1
+                    obs.inc("cxl.timeouts")
+                    raise CxlTimeoutError(
+                        f"port error budget ({policy.error_budget}) "
+                        f"exhausted on {op} at DPA {dpa:#x}: {exc}",
+                        attempts=attempt + 1, budget_exhausted=True,
+                    ) from exc
+                attempt += 1
+                if attempt > policy.max_retries:
+                    self.stats.timeouts += 1
+                    obs.inc("cxl.timeouts")
+                    raise CxlTimeoutError(
+                        f"{op} at DPA {dpa:#x} failed after "
+                        f"{policy.max_retries} retries: {exc}",
+                        attempts=attempt,
+                    ) from exc
+                self.stats.retries += 1
+                self.stats.backoff_ns += policy.delay_ns(
+                    attempt, self._retry_rng)
+                obs.inc("cxl.retries")
 
     # ------------------------------------------------------------------
     # single-line operations
@@ -108,7 +218,8 @@ class CxlMemPort:
         try:
             req = M2SReq(M2SReqOpcode.MEM_RD, dpa, tag)
             self._m2s_batch.append(_REQ_HD)
-            resp = self.device.process_req(req)
+            resp = self._device_call(
+                "read", dpa, 1, lambda: self.device.process_req(req))
             self.stats.reads += 1
             obs.inc("cxl.reads")
             if isinstance(resp, S2MDRS):
@@ -118,7 +229,8 @@ class CxlMemPort:
                     obs.inc("cxl.poison_reads")
                     raise CxlPoisonError(
                         f"poisoned read at DPA {dpa:#x} "
-                        f"({resp.opcode.value})"
+                        f"({resp.opcode.value})",
+                        dpas=(resp.addr if resp.addr is not None else dpa,),
                     )
                 self.stats.payload_bytes += CACHELINE_BYTES
                 return resp.data
@@ -139,7 +251,8 @@ class CxlMemPort:
         try:
             rwd = M2SRwD(M2SRwDOpcode.MEM_WR, dpa, tag, data)
             self._m2s_batch.append(_RWD_HD)
-            resp: S2MNDR = self.device.process_rwd(rwd)
+            resp: S2MNDR = self._device_call(
+                "write", dpa, 1, lambda: self.device.process_rwd(rwd))
             self._s2m_batch.append(_NDR_HD)
             self.stats.writes += 1
             self.stats.payload_bytes += CACHELINE_BYTES
@@ -177,7 +290,9 @@ class CxlMemPort:
             self.req_credits.acquire(n)
             tags = self.tags.allocate_many(n)
             try:
-                data = self.device.read_lines(addr, n)
+                data = self._device_call(
+                    "read", addr, n,
+                    lambda a=addr, c=n: self.device.read_lines(a, c))
             except CxlPoisonError:
                 self.stats.poisoned_reads += 1
                 obs.inc("cxl.poison_reads")
@@ -214,8 +329,10 @@ class CxlMemPort:
             self.rwd_credits.acquire(n)
             tags = self.tags.allocate_many(n)
             try:
-                self.device.write_lines(
-                    addr, data[pos:pos + n * CACHELINE_BYTES])
+                chunk = data[pos:pos + n * CACHELINE_BYTES]
+                self._device_call(
+                    "write", addr, n,
+                    lambda a=addr, c=chunk: self.device.write_lines(a, c))
             finally:
                 self.tags.retire_many(tags)
                 self.rwd_credits.release(n)

@@ -103,12 +103,19 @@ class S2MNDR:
 
 @dataclass(frozen=True)
 class S2MDRS:
-    """Subordinate-to-master data response."""
+    """Subordinate-to-master data response.
+
+    ``addr`` optionally carries the serviced DPA back to the master —
+    real DRS messages are matched by tag alone, but RAS handling (poison
+    quarantine, scrub-on-read) needs the failing line's address, so the
+    device fills it in on poisoned responses.
+    """
 
     opcode: S2MDRSOpcode
     tag: int
     data: bytes = field(repr=False)
     poison: bool = False
+    addr: int | None = None
 
     def __post_init__(self) -> None:
         _check_tag(self.tag)
@@ -116,6 +123,8 @@ class S2MDRS:
             raise CxlError(
                 f"DRS payload must be {CACHELINE_BYTES} B, got {len(self.data)}"
             )
+        if self.addr is not None:
+            _check_addr(self.addr)
 
 
 class TagAllocator:

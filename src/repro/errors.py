@@ -46,7 +46,47 @@ class CxlMailboxError(CxlError):
 
 
 class CxlPoisonError(CxlError):
-    """A read touched a poisoned cacheline (media error reached the host)."""
+    """A read touched a poisoned cacheline (media error reached the host).
+
+    Recoverable: the device quarantines and scrubs the line on the way
+    out, so a retried read observes zeroed (not corrupt) data.  ``dpas``
+    lists the poisoned device-physical addresses the access hit.
+    """
+
+    def __init__(self, message: str, dpas: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.dpas = tuple(dpas)
+
+
+class CxlTransientError(CxlError):
+    """A retryable CXL datapath fault (device timeout, link retrain).
+
+    The host port's retry policy absorbs these; they only escape as a
+    :class:`CxlTimeoutError` once the retry/error budget is exhausted.
+    """
+
+
+class CxlDeviceTimeoutError(CxlTransientError):
+    """The device did not respond within the completion window."""
+
+
+class CxlLinkDownError(CxlTransientError):
+    """The link is down / retraining; traffic must wait and retry."""
+
+
+class CxlTimeoutError(CxlError):
+    """Retry budget exhausted on the CXL datapath (typed terminal error).
+
+    ``attempts`` is how many tries the failing operation made;
+    ``budget_exhausted`` distinguishes a per-op retry limit from the
+    port-wide error budget tripping.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 budget_exhausted: bool = False) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.budget_exhausted = budget_exhausted
 
 
 class CxlEnumerationError(CxlError):
@@ -85,9 +125,30 @@ class CrashInjected(PmemError):
     """
 
 
+class PowerLossInjected(CrashInjected):
+    """A :class:`~repro.faults.plan.FaultPlan` power-loss event fired.
+
+    The bound power domain has already executed its drill (battery
+    drain, partial flush) by the time this propagates.
+    """
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed or references an unknown target."""
+
+
 class PersistenceDomainError(PmemError):
     """An operation assumed persistence that the device cannot guarantee
-    (e.g. no battery backing and no Global Persistent Flush support)."""
+    (e.g. no battery backing and no Global Persistent Flush support).
+
+    When raised by a power event, ``report`` carries the
+    :class:`~repro.core.battery.PowerFailReport` describing what each
+    device actually lost.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class CoherenceError(ReproError):

@@ -1,0 +1,304 @@
+"""The fault-injection plane: one process-wide plan, cheap layer hooks.
+
+Mirrors :mod:`repro.obs`: instrumented layers call the module-level
+hooks below at their batch boundaries — :func:`on_cxl_op` before a host
+port touches the device, :func:`on_persist` at the top of every
+:meth:`~repro.pmdk.pmem.PmemRegion.persist`, :func:`on_sweep_task`
+before the runner executes one series sweep — and each hook is a **true
+no-op while no plan is installed**: one module-global ``None`` check,
+then return.  ``benchmarks/bench_fault_recovery.py`` gates that
+fault-free cost at <= 2% against a :class:`bypassed` baseline.
+
+Typical use (the streamer CLI does this for ``--faults plan.json``)::
+
+    from repro import faults
+    from repro.faults.plan import FaultPlan
+
+    faults.install(FaultPlan.load("plan.json"))
+    try:
+        ...run the workload; injected faults surface as typed errors...
+    finally:
+        faults.clear()
+
+Power-loss specs need their target registered first::
+
+    faults.bind_domain(domain)          # a repro.core.battery.PowerDomain
+
+Injection is deterministic: triggers match seeded RNG draws and
+per-scope operation counters kept on the plan, so the same plan over
+the same workload fires at the same points every run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro import obs
+from repro.errors import (
+    BenchmarkError,
+    CxlDeviceTimeoutError,
+    CxlLinkDownError,
+    FaultPlanError,
+    PowerLossInjected,
+)
+from repro.faults.plan import (
+    DeviceTimeoutSpec,
+    FaultPlan,
+    FaultSpec,
+    LinkFlapSpec,
+    PoisonSpec,
+    PowerLossSpec,
+    SweepFailSpec,
+    TxCrashSpec,
+)
+
+__all__ = [
+    "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
+    "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
+    "SweepFaultInjected",
+    "install", "clear", "active", "enabled", "use_plan", "load_plan",
+    "export_active", "bind_domain", "domains", "unbind_domains",
+    "on_cxl_op", "on_persist", "on_sweep_task",
+    "bypassed",
+]
+
+
+class SweepFaultInjected(BenchmarkError):
+    """A :class:`SweepFailSpec` failed this sweep task on purpose."""
+
+    def __init__(self, message: str, deterministic: bool = False) -> None:
+        super().__init__(message)
+        self.deterministic = deterministic
+
+    def __reduce__(self):
+        # default exception pickling only carries ``args``; keep the
+        # deterministic flag intact across the sweep process pool
+        return (type(self), (str(self), self.deterministic))
+
+
+# ---------------------------------------------------------------------------
+# the singleton plan + target registry
+# ---------------------------------------------------------------------------
+
+_plan: FaultPlan | None = None
+_domains: dict[str, object] = {}        # name -> PowerDomain
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` process-wide (rewinds its run state first)."""
+    global _plan
+    if not isinstance(plan, FaultPlan):
+        raise FaultPlanError(f"install() takes a FaultPlan, got {plan!r}")
+    plan.reset()
+    _plan = plan
+
+
+def clear() -> None:
+    """Remove the active plan; hooks return to the no-op path."""
+    global _plan
+    _plan = None
+
+
+def active() -> FaultPlan | None:
+    """The installed plan, or ``None``."""
+    return _plan
+
+
+def enabled() -> bool:
+    """Is a fault plan installed?"""
+    return _plan is not None
+
+
+@contextlib.contextmanager
+def use_plan(plan: FaultPlan):
+    """Scoped :func:`install` / :func:`clear` (restores the prior plan)."""
+    prev = _plan
+    install(plan)
+    try:
+        yield plan
+    finally:
+        if prev is None:
+            clear()
+        else:
+            install(prev)
+
+
+def load_plan(path: str) -> FaultPlan:
+    """Load (but do not install) a JSON plan file."""
+    return FaultPlan.load(path)
+
+
+def export_active() -> str | None:
+    """The active plan's JSON content, or ``None`` — used to forward the
+    plan into sweep worker processes (counters start fresh there)."""
+    return None if _plan is None else _plan.to_json()
+
+
+def bind_domain(domain) -> None:
+    """Register a :class:`~repro.core.battery.PowerDomain` so power-loss
+    specs can find it by name."""
+    _domains[domain.name] = domain
+
+
+def domains() -> dict[str, object]:
+    return dict(_domains)
+
+
+def unbind_domains() -> None:
+    """Drop every domain binding (test isolation / teardown)."""
+    _domains.clear()
+
+
+# ---------------------------------------------------------------------------
+# layer hooks — the only API instrumented code calls
+# ---------------------------------------------------------------------------
+
+def on_cxl_op(op: str, device: str, link: str, dpa: int, nlines: int,
+              inject_poison=None) -> None:
+    """Consult the plan before one host-port CXL operation.
+
+    Args:
+        op: ``"read"`` or ``"write"``.
+        device / link: names identifying the datapath.
+        dpa / nlines: the span about to be accessed.
+        inject_poison: callable ``(dpa) -> None`` poisoning one line on
+            the target device (so this module needs no cxl import).
+
+    Raises:
+        CxlDeviceTimeoutError: a :class:`DeviceTimeoutSpec` fired.
+        CxlLinkDownError: the op landed in a link-retrain window.
+    """
+    plan = _plan
+    if plan is None:
+        return
+    dev_op = plan.next_cxl_op(f"dev:{device}")
+    link_op = plan.next_cxl_op(f"link:{link}")
+    for spec in plan.specs("poison"):
+        if spec.device == device and dev_op == spec.at_op:
+            spec._fire()
+            if inject_poison is not None:
+                for i in range(spec.lines):
+                    inject_poison(spec.dpa + i * 64)
+            obs.inc("faults.injected.poison")
+            obs.instant("fault.poison",
+                        meta={"device": device, "dpa": spec.dpa,
+                              "lines": spec.lines})
+    for spec in plan.specs("link_flap"):
+        if (spec.link == link
+                and spec.at_op <= link_op < spec.at_op + spec.retrain_ops):
+            spec._fire()
+            obs.inc("faults.injected.link_flap")
+            raise CxlLinkDownError(
+                f"link {link} retraining (op {link_op} in flap window "
+                f"[{spec.at_op}, {spec.at_op + spec.retrain_ops}))"
+            )
+    for spec in plan.specs("device_timeout"):
+        if spec.device == device and plan.rng.random() < spec.p:
+            spec._fire()
+            obs.inc("faults.injected.device_timeout")
+            raise CxlDeviceTimeoutError(
+                f"device {device} timed out on {op} of {nlines} line(s) "
+                f"at DPA {dpa:#x} (op {dev_op})"
+            )
+
+
+def on_persist(region) -> None:
+    """Consult the plan at the top of one ``PmemRegion.persist``.
+
+    Raises:
+        PowerLossInjected: a :class:`PowerLossSpec` fired (its bound
+            domain has already run the power-fail drill).
+        CrashInjected: a :class:`TxCrashSpec` fired (a crash-capable
+            region has already dropped its store buffer).
+    """
+    plan = _plan
+    if plan is None:
+        return
+    n = plan.next_persist_op()
+    for spec in plan.specs("power_loss"):
+        if n == spec.at_persist:
+            spec._fire()
+            obs.inc("faults.injected.power_loss")
+            domain = _domains.get(spec.domain)
+            if domain is None:
+                raise FaultPlanError(
+                    f"power_loss targets unbound domain {spec.domain!r}; "
+                    "call faults.bind_domain(domain) first"
+                )
+            report = None
+            try:
+                report = domain.power_fail()
+            except Exception as exc:        # degraded-battery loss path
+                report = getattr(exc, "report", None)
+            err = PowerLossInjected(
+                f"injected power loss on domain {spec.domain!r} at "
+                f"persist #{n}"
+            )
+            err.report = report
+            raise err
+    for spec in plan.specs("tx_crash"):
+        if n == spec.at_persist:
+            spec._fire()
+            obs.inc("faults.injected.tx_crash")
+            crash = getattr(region, "crash", None)
+            if crash is not None:
+                crash(spec.survivor_prob, plan.rng)
+            from repro.errors import CrashInjected
+            raise CrashInjected(
+                f"injected tx crash at persist #{n} "
+                f"(survivor_prob={spec.survivor_prob})"
+            )
+
+
+def on_sweep_task(series: str, kernel: str, attempt: int) -> None:
+    """Consult the plan before one sweep task execution.
+
+    Raises:
+        SweepFaultInjected: a :class:`SweepFailSpec` covers this attempt
+            (``deterministic`` set when the spec fails *every* attempt).
+    """
+    plan = _plan
+    if plan is None:
+        return
+    for spec in plan.specs("sweep_fail"):
+        if not spec.matches(series, kernel):
+            continue
+        if spec.attempts is None or attempt < spec.attempts:
+            spec._fire()
+            obs.inc("faults.injected.sweep_fail")
+            raise SweepFaultInjected(
+                f"injected sweep failure for {series}/{kernel} "
+                f"(attempt {attempt})",
+                deterministic=spec.attempts is None,
+            )
+
+
+# ---------------------------------------------------------------------------
+# benchmark support: hook-bypassed baseline
+# ---------------------------------------------------------------------------
+
+def _noop(*args, **kwargs) -> None:
+    return None
+
+
+class bypassed:
+    """Context manager replacing every hook with a bare no-op.
+
+    The stand-in for *uninstrumented* code in
+    ``benchmarks/bench_fault_recovery.py``: call sites still pay a
+    function call, but not even the plan-installed check runs.  Not
+    thread-safe — benchmarks only.
+    """
+
+    _HOOKS = ("on_cxl_op", "on_persist", "on_sweep_task", "enabled")
+
+    def __enter__(self) -> "bypassed":
+        g = globals()
+        self._saved = {name: g[name] for name in self._HOOKS}
+        for name in self._HOOKS:
+            g[name] = _noop
+        g["enabled"] = lambda: False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        globals().update(self._saved)

@@ -1,0 +1,293 @@
+"""Fault plans: declarative, seedable fault schedules.
+
+A :class:`FaultPlan` is a list of scoped injector specs plus one RNG
+seed.  Each spec targets one layer's batch boundary — the CXL datapath
+(:class:`PoisonSpec`, :class:`LinkFlapSpec`, :class:`DeviceTimeoutSpec`),
+the pmdk persist path (:class:`TxCrashSpec`, :class:`PowerLossSpec`) or
+the sweep runner (:class:`SweepFailSpec`) — and fires when its trigger
+matches the layer's deterministic operation counter.  The same plan over
+the same workload therefore injects the same faults at the same points,
+every run, which is what makes chaos sweeps reproducible.
+
+Plans round-trip through JSON (``examples/faultplans/`` ships runnable
+ones)::
+
+    {"seed": 7, "faults": [
+        {"kind": "device_timeout", "device": "cxl0", "p": 0.2,
+         "max_fires": 3}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.errors import FaultPlanError
+
+__all__ = [
+    "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
+    "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
+]
+
+
+@dataclass
+class FaultSpec:
+    """Base injector spec: shared bookkeeping for all fault kinds.
+
+    ``fires`` counts how many times this spec has injected (mutable run
+    state, excluded from equality-relevant plan content); ``max_fires``
+    caps it (``None`` = unlimited).
+    """
+
+    kind = "abstract"
+
+    max_fires: int | None = None
+    fires: int = field(default=0, compare=False)
+
+    def _spent(self) -> bool:
+        return self.max_fires is not None and self.fires >= self.max_fires
+
+    def _fire(self) -> None:
+        self.fires += 1
+
+    def reset(self) -> None:
+        self.fires = 0
+
+
+@dataclass
+class PoisonSpec(FaultSpec):
+    """Inject media poison into ``lines`` cachelines at ``dpa`` when the
+    ``at_op``-th CXL operation on ``device`` is issued (1-based count of
+    host-port reads/writes reaching that device)."""
+
+    kind = "poison"
+
+    device: str = ""
+    dpa: int = 0
+    lines: int = 1
+    at_op: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_op < 1:
+            raise FaultPlanError("poison at_op is 1-based")
+        if self.lines < 1:
+            raise FaultPlanError("poison needs at least one line")
+
+
+@dataclass
+class LinkFlapSpec(FaultSpec):
+    """Take link ``link`` down for ``retrain_ops`` consecutive CXL
+    operations starting at the ``at_op``-th op over that link.  Ops in
+    the retrain window fail with :class:`~repro.errors.CxlLinkDownError`
+    (transient — the port's retry policy rides them out)."""
+
+    kind = "link_flap"
+
+    link: str = ""
+    at_op: int = 1
+    retrain_ops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_op < 1:
+            raise FaultPlanError("link_flap at_op is 1-based")
+        if self.retrain_ops < 1:
+            raise FaultPlanError("retrain window must cover >= 1 op")
+
+
+@dataclass
+class DeviceTimeoutSpec(FaultSpec):
+    """Each CXL operation on ``device`` times out with probability ``p``
+    (drawn from the plan's seeded RNG — deterministic per plan+workload).
+    A timed-out op fails with :class:`~repro.errors.CxlDeviceTimeoutError`
+    (transient)."""
+
+    kind = "device_timeout"
+
+    device: str = ""
+    p: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise FaultPlanError("timeout probability must be in [0, 1]")
+
+
+@dataclass
+class PowerLossSpec(FaultSpec):
+    """Cut power to the bound domain ``domain`` at the ``at_persist``-th
+    process-wide persist operation.  The domain runs its drain drill
+    (battery holdup → partial flush) and the persist raises
+    :class:`~repro.errors.PowerLossInjected`."""
+
+    kind = "power_loss"
+
+    domain: str = ""
+    at_persist: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_persist < 1:
+            raise FaultPlanError("power_loss at_persist is 1-based")
+        if self.max_fires is None:
+            self.max_fires = 1          # power loss is one-shot by nature
+
+
+@dataclass
+class TxCrashSpec(FaultSpec):
+    """Crash (power loss to the CPU caches) at the ``at_persist``-th
+    process-wide persist operation.  A :class:`~repro.pmdk.crash.
+    CrashRegion` target drops its store-buffer shadow (each dirty line
+    surviving with ``survivor_prob``); any region then raises
+    :class:`~repro.errors.CrashInjected` so recovery runs at reopen."""
+
+    kind = "tx_crash"
+
+    at_persist: int = 1
+    survivor_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_persist < 1:
+            raise FaultPlanError("tx_crash at_persist is 1-based")
+        if not 0.0 <= self.survivor_prob <= 1.0:
+            raise FaultPlanError("survivor_prob must be in [0, 1]")
+        if self.max_fires is None:
+            self.max_fires = 1
+
+
+@dataclass
+class SweepFailSpec(FaultSpec):
+    """Fail the sweep task for ``series`` (optionally one ``kernel``) on
+    its first ``attempts`` tries; ``attempts=None`` fails every try — a
+    deterministic failer the runner must quarantine."""
+
+    kind = "sweep_fail"
+
+    series: str = ""
+    kernel: str | None = None
+    attempts: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.attempts is not None and self.attempts < 1:
+            raise FaultPlanError("sweep_fail attempts must be >= 1 or None")
+
+    def matches(self, series: str, kernel: str) -> bool:
+        return (series == self.series
+                and (self.kernel is None or kernel == self.kernel))
+
+
+_SPEC_KINDS: dict[str, type[FaultSpec]] = {
+    cls.kind: cls
+    for cls in (PoisonSpec, LinkFlapSpec, DeviceTimeoutSpec,
+                PowerLossSpec, TxCrashSpec, SweepFailSpec)
+}
+
+
+@dataclass
+class FaultPlan:
+    """A seeded schedule of fault injections.
+
+    Run state (operation counters, per-spec fire counts, the RNG stream)
+    lives on the plan; :meth:`reset` rewinds everything so the same plan
+    object can drive repeated deterministic runs.
+    """
+
+    seed: int = 0
+    faults: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    # -- run state ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind counters and the RNG stream to the start of the plan."""
+        self.rng = random.Random(self.seed)
+        self.cxl_ops: dict[str, int] = {}       # scope key -> op count
+        self.persist_ops = 0
+        for spec in self.faults:
+            spec.reset()
+
+    def specs(self, kind: str) -> list[FaultSpec]:
+        return [s for s in self.faults if s.kind == kind and not s._spent()]
+
+    def next_cxl_op(self, scope: str) -> int:
+        """Advance and return the 1-based op counter for ``scope``."""
+        n = self.cxl_ops.get(scope, 0) + 1
+        self.cxl_ops[scope] = n
+        return n
+
+    def next_persist_op(self) -> int:
+        self.persist_ops += 1
+        return self.persist_ops
+
+    # -- JSON round trip ------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """Plan content as a JSON-ready dict (run state excluded)."""
+        out = []
+        for spec in self.faults:
+            doc = {k: v for k, v in asdict(spec).items() if k != "fires"}
+            doc["kind"] = spec.kind
+            out.append(doc)
+        return {"seed": self.seed, "faults": out}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "FaultPlan":
+        if not isinstance(doc, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        specs: list[FaultSpec] = []
+        for i, raw in enumerate(doc.get("faults", [])):
+            if not isinstance(raw, dict) or "kind" not in raw:
+                raise FaultPlanError(f"fault #{i} needs a 'kind' field")
+            kind = raw["kind"]
+            spec_cls = _SPEC_KINDS.get(kind)
+            if spec_cls is None:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r}; "
+                    f"have {sorted(_SPEC_KINDS)}"
+                )
+            allowed = {f.name for f in fields(spec_cls)} - {"fires"}
+            kwargs = {k: v for k, v in raw.items() if k != "kind"}
+            unknown = set(kwargs) - allowed
+            if unknown:
+                raise FaultPlanError(
+                    f"fault #{i} ({kind}): unknown fields {sorted(unknown)}"
+                )
+            try:
+                specs.append(spec_cls(**kwargs))
+            except TypeError as exc:
+                raise FaultPlanError(
+                    f"fault #{i} ({kind}): {exc}") from exc
+        try:
+            seed = int(doc.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"bad plan seed: {doc.get('seed')!r}") from exc
+        return cls(seed=seed, faults=specs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise FaultPlanError(f"malformed fault-plan JSON: {exc}") from exc
+        return cls.from_doc(doc)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed {self.seed}, {len(self.faults)} faults)"]
+        for spec in self.faults:
+            doc = {k: v for k, v in asdict(spec).items()
+                   if k != "fires" and v is not None}
+            doc.pop("max_fires", None)
+            args = ", ".join(f"{k}={v}" for k, v in sorted(doc.items()))
+            cap = ("" if spec.max_fires is None
+                   else f" (max {spec.max_fires} fires)")
+            lines.append(f"  - {spec.kind}: {args}{cap}")
+        return "\n".join(lines)

@@ -172,6 +172,25 @@ class CrashRegion(PmemRegion):
             # beats the CLWB to the persistence domain
             self.controller.note("persist")
 
+    def _flush_ranges(self, ranges: list[tuple[int, int]]) -> None:
+        # A no-argument persist() under fast-persist mode flushes many
+        # coalesced spans in one call, but _persist_hook fires only once
+        # per call — which would collapse a K-span batched flush into a
+        # single crash point and hide every mid-batch crash state from
+        # enumeration sweeps.  Count each span after the first as its own
+        # persist op: a crash then lands *between* spans, with earlier
+        # spans durable and later ones dropped, exactly like a power
+        # loss between two CLWB trains.  Legacy-mode persists are always
+        # single-span, so their op counts are unchanged.
+        first = True
+        for off, n in ranges:
+            if not n:
+                continue
+            if not first and self.controller is not None:
+                self.controller.note("persist")
+            first = False
+            self._flush(off, n)
+
     def _flush(self, offset: int, length: int) -> None:
         for line in self._lines(offset, length):
             buf = self._shadow.pop(line, None)

@@ -36,7 +36,7 @@ from abc import ABC, abstractmethod
 
 from repro.errors import PmemError
 from repro.pmdk.dirty import DirtyTracker, fast_persist_enabled, line_count
-from repro import obs
+from repro import faults, obs
 
 #: flush granularity — one CPU cacheline
 FLUSH_LINE = 64
@@ -180,6 +180,10 @@ class PmemRegion(ABC):
             self.dirty.discard(offset, length)
             ranges = [(offset, length)]
         self._persist_hook()
+        if faults.enabled():
+            # the fault plane injects power loss / tx crashes here —
+            # after the crash wrapper's own hook, before any flushing
+            faults.on_persist(self)
         self._flush_ranges(ranges)
         lines = sum(line_count(o, n, FLUSH_LINE) for o, n in ranges)
         self._flush_count += lines

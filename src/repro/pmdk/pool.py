@@ -29,7 +29,13 @@ from repro.pmdk.alloc import PersistentHeap, align_up
 from repro.pmdk.dirty import coalesce_ranges, fast_persist_enabled
 from repro.pmdk.oid import OID_NULL, PMEMoid
 from repro.pmdk.pmem import FileRegion, PmemRegion, map_file
-from repro.pmdk.tx import Transaction, UndoLog, recover as tx_recover
+from repro.pmdk.tx import (
+    RecoveryReport,
+    Transaction,
+    UndoLog,
+    recover as tx_recover,
+)
+from repro import obs
 
 POOL_MAGIC = b"REPROPMO"
 POOL_VERSION = 1
@@ -104,6 +110,9 @@ class PmemObjPool:
         self._owns_region = owns_region
         self._tx: Transaction | None = None
         self._closed = False
+        #: the :class:`~repro.pmdk.tx.RecoveryReport` from the last
+        #: :meth:`open` of this pool (``None`` for a freshly created one)
+        self.last_recovery: "RecoveryReport | None" = None
 
     # ------------------------------------------------------------------
     # create / open
@@ -188,7 +197,7 @@ class PmemObjPool:
         owns = isinstance(target, str)
         region = map_file(target) if owns else target
         try:
-            header = cls._read_header_with_repair(region)
+            header, repaired = cls._read_header_with_repair(region)
             if layout is not None and header.layout != layout:
                 raise PoolError(
                     f"pool layout is {header.layout!r}, expected {layout!r}"
@@ -196,11 +205,17 @@ class PmemObjPool:
             heap = PersistentHeap.open(region, header.heap_offset,
                                        header.heap_size)
             log = UndoLog(region, header.log_offset, header.log_size)
-            tx_recover(log, heap)
+            with obs.span("pmdk.recovery"):
+                report = tx_recover(log, heap)
+            report.header_repaired = repaired
+            if repaired:
+                obs.inc("pmdk.recovery.header_repairs")
             # recovery may have freed chunks; rebuild the heap index
             heap = PersistentHeap.open(region, header.heap_offset,
                                        header.heap_size)
-            return cls(region, header, heap, owns)
+            pool = cls(region, header, heap, owns)
+            pool.last_recovery = report
+            return pool
         except Exception:
             if owns:
                 with contextlib.suppress(Exception):
@@ -208,11 +223,14 @@ class PmemObjPool:
             raise
 
     @classmethod
-    def _read_header_with_repair(cls, region: PmemRegion) -> _Header:
+    def _read_header_with_repair(cls, region: PmemRegion
+                                 ) -> tuple[_Header, bool]:
+        """Returns ``(header, repaired)`` — ``repaired`` flags that the
+        primary copy was torn and has been rewritten from the backup."""
         primary_exc: Exception | None = None
         try:
             hdr = _Header.unpack(region.read(PRIMARY_HEADER_OFF, _HDR_LEN))
-            return hdr
+            return hdr, False
         except PoolCorruptionError as exc:
             primary_exc = exc
         try:
@@ -224,7 +242,7 @@ class PmemObjPool:
         # repair the primary from the backup
         region.write(PRIMARY_HEADER_OFF, hdr.pack())
         region.persist(PRIMARY_HEADER_OFF, _HDR_LEN)
-        return hdr
+        return hdr, True
 
     def _write_header(self) -> None:
         raw = self._hdr.pack()

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import CrashInjected, TransactionAborted, TransactionError
@@ -416,27 +417,74 @@ class Transaction:
         return False
 
 
-def recover(log: UndoLog, heap: PersistentHeap) -> str:
+@dataclass(eq=False)
+class RecoveryReport:
+    """What the pool-open recovery pass found and did.
+
+    ``action`` is one of ``"clean"`` (no interrupted transaction),
+    ``"rolled_back"`` (an active transaction's undo log was replayed
+    backwards) or ``"completed"`` (a committed transaction's deferred
+    frees were finished).  For source compatibility the report compares
+    equal to — and prints as — its action string.
+    """
+
+    action: str
+    log_entries: int = 0
+    data_bytes_restored: int = 0
+    allocs_released: int = 0
+    frees_completed: int = 0
+    header_repaired: bool = False       # filled in by PmemObjPool.open
+
+    def __str__(self) -> str:
+        return self.action
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            return self.action == other
+        if isinstance(other, RecoveryReport):
+            return (self.action, self.log_entries, self.data_bytes_restored,
+                    self.allocs_released, self.frees_completed,
+                    self.header_repaired) == (
+                    other.action, other.log_entries,
+                    other.data_bytes_restored, other.allocs_released,
+                    other.frees_completed, other.header_repaired)
+        return NotImplemented
+
+    __hash__ = None     # type: ignore[assignment]  # mutable, str-comparable
+
+
+def recover(log: UndoLog, heap: PersistentHeap) -> RecoveryReport:
     """Pool-open recovery of an interrupted transaction.
 
-    Returns one of ``"clean"``, ``"rolled_back"``, ``"completed"``.
+    Returns a :class:`RecoveryReport`; its ``action`` is ``"clean"``,
+    ``"rolled_back"`` or ``"completed"`` (and the report compares equal
+    to those strings).
     """
     tail, state = log.read_ctrl()
     if state == STATE_CLEAN and tail == 0:
-        return "clean"
+        return RecoveryReport("clean")
     if state == STATE_COMMITTED:
         # finish the commit: replay deferred frees, truncate
+        report = RecoveryReport("completed")
         for etype, target, _ in log.entries(tail):
+            report.log_entries += 1
             if etype == ENTRY_FREE and heap.is_allocated(target):
                 heap.free(target)
+                report.frees_completed += 1
         log.write_ctrl(0, STATE_CLEAN)
-        return "completed"
+        obs.inc("pmdk.recovery.completed")
+        return report
     # ACTIVE (or CLEAN with nonzero tail — treat as active): roll back
+    report = RecoveryReport("rolled_back")
     for etype, target, data in reversed(log.entries(tail)):
+        report.log_entries += 1
         if etype == ENTRY_DATA:
             log.region.write(target, data)
             log.region.persist(target, len(data))
+            report.data_bytes_restored += len(data)
         elif etype == ENTRY_ALLOC and heap.is_allocated(target):
             heap.free(target)
+            report.allocs_released += 1
     log.write_ctrl(0, STATE_CLEAN)
-    return "rolled_back"
+    obs.inc("pmdk.recovery.rolled_back")
+    return report

@@ -28,7 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import obs
+from repro import faults, obs
 from repro.stream.config import StreamConfig
 from repro.streamer.compare import comparison_report
 from repro.streamer.configs import FIGURE_KERNELS
@@ -50,6 +50,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log-level", metavar="LEVEL",
                    choices=["debug", "info", "warning", "error", "critical"],
                    help="configure repro.* structured logging at this level")
+    p.add_argument("--faults", metavar="PLAN.json",
+                   help="install a fault-injection plan for this invocation "
+                        "(see examples/faultplans/)")
     sub = p.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run sweeps on the modelled testbeds")
@@ -71,6 +74,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: .streamer-cache)")
     run.add_argument("--no-cache", action="store_true",
                      help="ignore and do not write the sweep cache")
+    run.add_argument("--max-retries", type=int, default=2, metavar="N",
+                     help="retries per failed sweep task before the task "
+                          "lands in the failures section (default: 2)")
+    run.add_argument("--worker-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-task budget for parallel workers; timed-out "
+                          "tasks are retried in the parent process")
 
     rep = sub.add_parser("report", help="render figure tables from a CSV")
     rep.add_argument("--results", required=True, help="results CSV path")
@@ -125,9 +135,15 @@ def main(argv: list[str] | None = None) -> int:
     if want_metrics or want_trace:
         obs.reset()     # one CLI invocation = one snapshot/trace
         obs.enable(metrics=want_metrics, trace=want_trace)
+    if args.faults:
+        plan = faults.load_plan(args.faults)
+        faults.install(plan)
+        print(f"fault plan installed: {plan.describe()}", file=sys.stderr)
     try:
         return _dispatch(args)
     finally:
+        if args.faults:
+            faults.clear()
         if want_metrics or want_trace:
             obs.disable()
             if want_metrics:
@@ -149,12 +165,19 @@ def _dispatch(args) -> int:
                 _build_parser().error(
                     f"--jobs must be >= 0 (0 = one per CPU), got {jobs}")
             parallel = True if jobs == 0 else jobs
+        if args.max_retries < 0:
+            _build_parser().error(
+                f"--max-retries must be >= 0, got {args.max_retries}")
         if args.group:
             results = runner.run_group(args.group)
         elif args.figure:
-            results = runner.run_figure(args.figure, parallel=parallel)
+            results = runner.run_figure(args.figure, parallel=parallel,
+                                        max_retries=args.max_retries,
+                                        worker_timeout=args.worker_timeout)
         else:
-            results = runner.run_all(parallel=parallel)
+            results = runner.run_all(parallel=parallel,
+                                     max_retries=args.max_retries,
+                                     worker_timeout=args.worker_timeout)
         if args.out:
             results.to_csv(args.out)
             print(f"wrote {len(results)} records to {args.out}")
@@ -170,6 +193,15 @@ def _dispatch(args) -> int:
                 if results.filter(kernel=kernel):
                     print(figure_report(results, f))
                     print()
+        if results.failures:
+            print(f"{len(results.failures)} sweep task(s) failed:",
+                  file=sys.stderr)
+            for f in results.failures:
+                detail = ("quarantined" if f.attempts == 0
+                          else f"{f.attempts} attempt(s)")
+                print(f"  {f.series}/{f.kernel}: {f.error_type} "
+                      f"({detail}) - {f.message}", file=sys.stderr)
+            return 1
         return 0
 
     if args.command == "report":

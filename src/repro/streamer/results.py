@@ -28,11 +28,46 @@ class ResultRecord:
         return (self.group, self.series, self.kernel, self.n_threads)
 
 
-class ResultSet:
-    """An ordered, queryable collection of result records."""
+@dataclass(frozen=True)
+class FailureRecord:
+    """One sweep task the self-healing runner could not complete.
 
-    def __init__(self, records: Iterable[ResultRecord] = ()) -> None:
+    ``attempts`` counts executions actually tried (0 for a task skipped
+    because its series was already quarantined); ``quarantined`` marks
+    tasks whose series was benched as a deterministic failer.
+    """
+
+    group: str
+    series: str
+    kernel: str
+    testbed: str
+    error_type: str
+    message: str
+    attempts: int
+    quarantined: bool
+
+
+class ResultSet:
+    """An ordered, queryable collection of result records.
+
+    ``failures`` carries the tasks a self-healing sweep gave up on; a
+    fault-free run leaves it empty, and serialization only emits the
+    section when it is populated — so fault-free output stays
+    byte-identical with or without the failure machinery.
+    """
+
+    def __init__(self, records: Iterable[ResultRecord] = (),
+                 failures: Iterable[FailureRecord] = ()) -> None:
         self._records: list[ResultRecord] = list(records)
+        self.failures: list[FailureRecord] = list(failures)
+
+    def add_failure(self, failure: FailureRecord) -> None:
+        self.failures.append(failure)
+
+    @property
+    def complete(self) -> bool:
+        """True when no sweep task was lost to a failure."""
+        return not self.failures
 
     def add(self, record: ResultRecord) -> None:
         self._records.append(record)
@@ -142,9 +177,15 @@ class ResultSet:
     # ------------------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialize to a JSON document (stable record order)."""
-        return json.dumps({"records": [asdict(r) for r in self._records]},
-                          indent=0, sort_keys=True)
+        """Serialize to a JSON document (stable record order).
+
+        The ``failures`` key appears only when failures exist, keeping
+        fault-free documents byte-identical to pre-failure-aware ones.
+        """
+        doc: dict = {"records": [asdict(r) for r in self._records]}
+        if self.failures:
+            doc["failures"] = [asdict(f) for f in self.failures]
+        return json.dumps(doc, indent=0, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
@@ -165,9 +206,19 @@ class ResultSet:
                 n_threads=int(row["n_threads"]),
                 gbps=float(row["gbps"]),
             ) for row in doc["records"]]
+            failures = [FailureRecord(
+                group=str(row["group"]),
+                series=str(row["series"]),
+                kernel=str(row["kernel"]),
+                testbed=str(row["testbed"]),
+                error_type=str(row["error_type"]),
+                message=str(row["message"]),
+                attempts=int(row["attempts"]),
+                quarantined=bool(row["quarantined"]),
+            ) for row in doc.get("failures", [])]
         except (ValueError, KeyError, TypeError) as exc:
             raise BenchmarkError(f"malformed ResultSet JSON: {exc}") from exc
-        return cls(records)
+        return cls(records, failures)
 
     @classmethod
     def from_csv(cls, source: str) -> "ResultSet":

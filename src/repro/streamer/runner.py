@@ -20,12 +20,15 @@ import hashlib
 import json
 import multiprocessing as mp
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import asdict
 from typing import Iterable, Sequence
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import BenchmarkError
+from repro.faults.plan import FaultPlan
 from repro.machine.presets import Testbed, setup1, setup2
 from repro.machine.topology import Machine
 from repro.stream.config import StreamConfig
@@ -36,7 +39,7 @@ from repro.streamer.configs import (
     TestSeries,
     test_groups,
 )
-from repro.streamer.results import ResultRecord, ResultSet
+from repro.streamer.results import FailureRecord, ResultRecord, ResultSet
 
 #: Bump when the cached-result layout or the model semantics change in a
 #: way the content hash cannot see.
@@ -87,14 +90,21 @@ def _series_records(group: TestGroup, series: TestSeries, kernel: str,
 _POOL_STATE: dict[str, object] = {}
 
 
-def _pool_init(machines: dict[str, Machine], config: StreamConfig) -> None:
+def _pool_init(machines: dict[str, Machine], config: StreamConfig,
+               fault_plan_json: str | None = None) -> None:
     _POOL_STATE["machines"] = machines
     _POOL_STATE["config"] = config
+    if fault_plan_json is not None:
+        # forward the parent's plan into the worker (fresh counters —
+        # each worker consults with attempt=0; parent-side retries use
+        # the parent's own plan state)
+        faults.install(FaultPlan.from_json(fault_plan_json))
 
 
 def _sweep_series_task(task: tuple[TestGroup, TestSeries, str]
                        ) -> list[ResultRecord]:
     group, series, kernel = task
+    faults.on_sweep_task(series.key, kernel, 0)
     machines: dict[str, Machine] = _POOL_STATE["machines"]  # type: ignore[assignment]
     config: StreamConfig = _POOL_STATE["config"]            # type: ignore[assignment]
     results = simulate_sweep(machines[series.testbed], kernel, series.spec,
@@ -116,6 +126,11 @@ class StreamerRunner:
         cache_dir: directory for the on-disk sweep cache; ``None``
             disables result caching.
     """
+
+    #: Base of the real (slept) exponential backoff between sweep-task
+    #: retries.  Kept tiny — the point is ordering/jitter realism in the
+    #: self-healing loop, not to slow the test suite down.
+    RETRY_BACKOFF_S = 0.01
 
     def __init__(self, testbeds: dict[str, Testbed] | None = None,
                  config: StreamConfig | None = None,
@@ -195,9 +210,84 @@ class StreamerRunner:
             raise BenchmarkError(f"parallel job count must be >= 1, got {jobs}")
         return jobs
 
+    # ------------------------------------------------------------------
+    # self-healing task execution
+    # ------------------------------------------------------------------
+
+    def _note_quarantine_skip(self, group: TestGroup, series: TestSeries,
+                              kernel: str, out: ResultSet,
+                              quarantine: dict[str, str]) -> None:
+        obs.inc("sweep.quarantine_skips")
+        _log.warning("skipping quarantined series",
+                     extra=obs.kv(series=series.key, kernel=kernel))
+        out.add_failure(FailureRecord(
+            group=group.group_id, series=series.key, kernel=kernel,
+            testbed=series.testbed, error_type="SeriesQuarantined",
+            message=f"series benched after {quarantine[series.key]}",
+            attempts=0, quarantined=True))
+
+    def _run_task_healed(self, group: TestGroup, series: TestSeries,
+                         kernel: str, max_retries: int, out: ResultSet,
+                         quarantine: dict[str, str], *,
+                         start_attempt: int = 0,
+                         prior_exc: BaseException | None = None) -> None:
+        """Run one sweep task with bounded retries and quarantine.
+
+        On success the records land in ``out``; when every attempt fails
+        (or the failure is known-deterministic) a :class:`FailureRecord`
+        is appended instead and the series is quarantined so later tasks
+        on it are skipped rather than re-failed.  ``start_attempt`` /
+        ``prior_exc`` let the parallel path account for a try that
+        already failed inside a worker process.
+        """
+        if series.key in quarantine:
+            self._note_quarantine_skip(group, series, kernel, out, quarantine)
+            return
+        last_exc = prior_exc
+        tries = start_attempt
+        deterministic = bool(getattr(prior_exc, "deterministic", False))
+        if not deterministic:
+            for attempt in range(start_attempt, max_retries + 1):
+                if attempt > 0:
+                    obs.inc("sweep.retries")
+                    time.sleep(self.RETRY_BACKOFF_S * (2 ** (attempt - 1)))
+                try:
+                    faults.on_sweep_task(series.key, kernel, attempt)
+                    start = obs.clock()
+                    with obs.span("sweep.series",
+                                  meta={"series": series.key,
+                                        "kernel": kernel}):
+                        results = simulate_sweep(
+                            self._testbed(series.testbed).machine, kernel,
+                            series.spec, group.thread_counts, self.config)
+                    obs.observe_since("sweep.series_wall_s", start)
+                    obs.inc("sweep.series_runs")
+                    out.extend(
+                        _series_records(group, series, kernel, results))
+                    return
+                except faults.SweepFaultInjected as exc:
+                    last_exc, tries = exc, attempt + 1
+                    if exc.deterministic:
+                        break   # retrying a fail-every-attempt spec is futile
+                except Exception as exc:          # noqa: BLE001 — heal all
+                    last_exc, tries = exc, attempt + 1
+        quarantine[series.key] = type(last_exc).__name__
+        obs.inc("sweep.failures")
+        obs.inc("sweep.quarantined")
+        _log.warning("sweep task failed; series quarantined",
+                     extra=obs.kv(series=series.key, kernel=kernel,
+                                  error=type(last_exc).__name__,
+                                  attempts=tries))
+        out.add_failure(FailureRecord(
+            group=group.group_id, series=series.key, kernel=kernel,
+            testbed=series.testbed, error_type=type(last_exc).__name__,
+            message=str(last_exc), attempts=tries, quarantined=True))
+
     def run_all(self, kernels: Iterable[str] = _KERNELS_DEFAULT,
                 parallel: int | bool | None = None,
-                use_cache: bool = True) -> ResultSet:
+                use_cache: bool = True,
+                max_retries: int = 2,
+                worker_timeout: float | None = None) -> ResultSet:
         """The full evaluation: every group, every kernel.
 
         Args:
@@ -206,9 +296,20 @@ class StreamerRunner:
                 process per CPU; an integer pins the worker count.
                 Record order is identical in every mode.
             use_cache: consult/populate the on-disk cache (only if the
-                runner was built with a ``cache_dir``).
+                runner was built with a ``cache_dir``).  A run that lost
+                tasks to failures is never cached.
+            max_retries: extra attempts per sweep task after its first
+                failure; a task that still fails is recorded in the
+                :class:`ResultSet` ``failures`` section and its series
+                quarantined for the rest of the run.
+            worker_timeout: seconds to wait for each parallel worker
+                result before retrying the task in the parent process
+                (``None`` waits forever).
         """
         kernels = tuple(kernels)
+        if max_retries < 0:
+            raise BenchmarkError(
+                f"max_retries must be >= 0, got {max_retries}")
         cache_key = None
         if self.cache_dir is not None and use_cache:
             cache_key = self.sweep_cache_key(kernels)
@@ -223,52 +324,80 @@ class StreamerRunner:
         jobs = self._n_jobs(parallel)
         tasks = self._tasks(kernels)
         out = ResultSet()
+        quarantine: dict[str, str] = {}
         with obs.span("sweep.run_all",
                       meta={"kernels": list(kernels), "jobs": jobs,
                             "tasks": len(tasks)}):
             if jobs <= 1 or len(tasks) <= 1:
                 for group, series, kernel in tasks:
-                    machine = self._testbed(series.testbed).machine
-                    start = obs.clock()
-                    with obs.span("sweep.series",
-                                  meta={"series": series.key,
-                                        "kernel": kernel}):
-                        results = simulate_sweep(
-                            machine, kernel, series.spec,
-                            group.thread_counts, self.config)
-                    obs.observe_since("sweep.series_wall_s", start)
-                    obs.inc("sweep.series_runs")
-                    out.extend(
-                        _series_records(group, series, kernel, results))
+                    self._run_task_healed(group, series, kernel,
+                                          max_retries, out, quarantine)
             else:
-                machines = {name: tb.machine
-                            for name, tb in self.testbeds.items()}
-                methods = mp.get_all_start_methods()
-                ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-                workers = min(jobs, len(tasks))
-                obs.gauge("sweep.pool.workers", workers)
-                _log.info("starting sweep pool",
-                          extra=obs.kv(workers=workers, tasks=len(tasks)))
-                with ProcessPoolExecutor(
-                        max_workers=workers,
-                        mp_context=ctx,
-                        initializer=_pool_init,
-                        initargs=(machines, self.config)) as pool:
-                    # map() preserves submission order → deterministic records
-                    with obs.span("sweep.pool",
-                                  meta={"workers": workers,
-                                        "tasks": len(tasks)}):
-                        for records in pool.map(_sweep_series_task, tasks):
-                            obs.inc("sweep.series_runs")
-                            out.extend(records)
-                _log.info("sweep pool drained", extra=obs.kv(tasks=len(tasks)))
+                self._run_pool(tasks, max_retries, worker_timeout,
+                               jobs, out, quarantine)
 
-        if cache_key is not None:
+        if cache_key is not None and out.complete:
             self._cache_store(cache_key, out)
         return out
 
+    def _run_pool(self, tasks, max_retries: int,
+                  worker_timeout: float | None, jobs: int,
+                  out: ResultSet, quarantine: dict[str, str]) -> None:
+        machines = {name: tb.machine for name, tb in self.testbeds.items()}
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        workers = min(jobs, len(tasks))
+        obs.gauge("sweep.pool.workers", workers)
+        _log.info("starting sweep pool",
+                  extra=obs.kv(workers=workers, tasks=len(tasks)))
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx, initializer=_pool_init,
+            initargs=(machines, self.config, faults.export_active()))
+        timed_out = False
+        try:
+            # one future per task, results consumed in submission order
+            # → deterministic records identical to the serial path
+            futures = [pool.submit(_sweep_series_task, t) for t in tasks]
+            with obs.span("sweep.pool",
+                          meta={"workers": workers, "tasks": len(tasks)}):
+                for (group, series, kernel), fut in zip(tasks, futures):
+                    if series.key in quarantine:
+                        fut.cancel()
+                        self._note_quarantine_skip(group, series, kernel,
+                                                   out, quarantine)
+                        continue
+                    try:
+                        records = fut.result(timeout=worker_timeout)
+                    except FutureTimeoutError:
+                        timed_out = True
+                        obs.inc("sweep.worker_timeouts")
+                        _log.warning("sweep worker timed out",
+                                     extra=obs.kv(series=series.key,
+                                                  kernel=kernel,
+                                                  timeout_s=worker_timeout))
+                        self._run_task_healed(
+                            group, series, kernel, max_retries, out,
+                            quarantine, start_attempt=1,
+                            prior_exc=BenchmarkError(
+                                f"worker exceeded {worker_timeout}s budget"))
+                        continue
+                    except Exception as exc:      # noqa: BLE001 — heal all
+                        # worker try counts as attempt 0; retry here in
+                        # the parent, where the plan state is live
+                        self._run_task_healed(
+                            group, series, kernel, max_retries, out,
+                            quarantine, start_attempt=1, prior_exc=exc)
+                        continue
+                    obs.inc("sweep.series_runs")
+                    out.extend(records)
+        finally:
+            # a wedged worker must not hang shutdown; abandon it instead
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+        _log.info("sweep pool drained", extra=obs.kv(tasks=len(tasks)))
+
     def run_figure(self, figure: int, parallel: int | bool | None = None,
-                   use_cache: bool = True) -> ResultSet:
+                   use_cache: bool = True, max_retries: int = 2,
+                   worker_timeout: float | None = None) -> ResultSet:
         """Regenerate one of Figures 5–8 (all five groups, one kernel)."""
         try:
             kernel = FIGURE_KERNELS[figure]
@@ -277,7 +406,8 @@ class StreamerRunner:
                 f"figure must be one of {sorted(FIGURE_KERNELS)}, got {figure}"
             ) from None
         return self.run_all(kernels=(kernel,), parallel=parallel,
-                            use_cache=use_cache)
+                            use_cache=use_cache, max_retries=max_retries,
+                            worker_timeout=worker_timeout)
 
     # ------------------------------------------------------------------
     # on-disk result cache

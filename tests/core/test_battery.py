@@ -88,7 +88,33 @@ class TestPowerDomain:
         dom.refresh()
         assert not dev.battery_backed
         _dirty(dev)
-        assert dom.power_fail().data_loss
+        # the power event must be loud: a fitted-but-dead battery raises,
+        # carrying the drill report
+        with pytest.raises(PersistenceDomainError) as ei:
+            dom.power_fail()
+        assert ei.value.report is not None
+        assert ei.value.report.data_loss
+        assert ei.value.report.lines_lost[dev.name] == 1
+
+    def test_partial_holdup_drains_oldest_lines_first(self):
+        # battery covers exactly half the 2 s drain window → the oldest
+        # half of the dirty buffer reaches media, the rest is dropped
+        battery = Battery(holdup_seconds=2.0, charge_fraction=0.5)
+        dom = PowerDomain("rack", battery)
+        dev = _device()
+        dom.attach(dev)
+        for i in range(8):
+            dev.process_rwd(M2SRwD(M2SRwDOpcode.MEM_WR, i * 64, 1,
+                                   bytes([i]) * 64))
+        assert battery.coverage_fraction(dom.FLUSH_SECONDS) == 0.5
+        with pytest.raises(PersistenceDomainError) as ei:
+            dom.power_fail()
+        assert ei.value.report.lines_lost[dev.name] == 4
+        dom.restore()
+        for i in range(4):          # oldest-first drain → durable
+            assert dev.memory.read(i * 64, 64) == bytes([i]) * 64
+        for i in range(4, 8):       # beyond the holdup budget → dropped
+            assert dev.memory.read(i * 64, 64) == b"\x00" * 64
 
     def test_restore_repowers_devices(self):
         dom = PowerDomain("rack", Battery())

@@ -1,0 +1,23 @@
+"""The fault plane is a process-wide singleton — keep it clean.
+
+Every test in this package starts and ends with no plan installed, no
+domain bindings, and a reset, disabled ``repro.obs``, so chaos tests
+cannot leak injections into each other (or into the rest of the suite).
+"""
+
+import pytest
+
+from repro import faults, obs
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plane():
+    faults.clear()
+    faults.unbind_domains()
+    obs.disable()
+    obs.reset()
+    yield
+    faults.clear()
+    faults.unbind_domains()
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,168 @@
+"""CXL RAS through the fault plane: retries, budgets, poison quarantine."""
+
+import pytest
+
+from repro import faults, obs, units
+from repro.cxl.device import MediaController, Type3Device
+from repro.cxl.host import CxlMemPort, RetryPolicy
+from repro.cxl.link import CxlLink
+from repro.cxl.spec import CxlVersion
+from repro.errors import CxlError, CxlPoisonError, CxlTimeoutError
+from repro.faults.plan import (
+    DeviceTimeoutSpec,
+    FaultPlan,
+    LinkFlapSpec,
+    PoisonSpec,
+)
+from repro.machine.dram import DDR4_1333
+
+LINE = bytes(range(64))
+
+
+def _port(**retry_kw) -> CxlMemPort:
+    media = MediaController("m", DDR4_1333, 2, 2, units.mib(8), 0.6, 130.0)
+    device = Type3Device("cxl0", media, battery_backed=False,
+                         gpf_supported=False)
+    link = CxlLink(CxlVersion.CXL_2_0, 16, 330.0)
+    return CxlMemPort(link, device, retry=RetryPolicy(**retry_kw))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(CxlError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(CxlError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(CxlError):
+            RetryPolicy(jitter_frac=1.5)
+        with pytest.raises(CxlError):
+            RetryPolicy(error_budget=-1)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        p = RetryPolicy(base_delay_ns=100.0, backoff_factor=2.0,
+                        max_delay_ns=350.0, jitter_frac=0.0)
+        assert p.delay_ns(1, None) == 100.0
+        assert p.delay_ns(2, None) == 200.0
+        assert p.delay_ns(3, None) == 350.0       # capped
+
+    def test_jitter_stays_in_band(self):
+        import random
+        p = RetryPolicy(base_delay_ns=100.0, jitter_frac=0.1)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 90.0 <= p.delay_ns(1, rng) <= 110.0
+
+
+class TestTransientAbsorption:
+    def test_link_flap_window_is_ridden_out(self):
+        port = _port(max_retries=8)
+        faults.install(FaultPlan(faults=[
+            LinkFlapSpec(link="cxl.link", at_op=2, retrain_ops=3)]))
+        port.write_line(0, LINE)                  # op 1: clean
+        assert port.read_line(0) == LINE          # ops 2-5: flap absorbed
+        assert port.stats.retries == 3
+        assert port.stats.timeouts == 0
+        assert port.stats.backoff_ns > 0
+
+    def test_retries_exhausted_raises_typed_timeout(self):
+        port = _port(max_retries=2)
+        faults.install(FaultPlan(faults=[
+            LinkFlapSpec(link="cxl.link", at_op=1, retrain_ops=50)]))
+        with pytest.raises(CxlTimeoutError) as ei:
+            port.write_line(0, LINE)
+        assert ei.value.attempts == 3
+        assert not ei.value.budget_exhausted
+        assert port.stats.timeouts == 1
+        assert port.stats.retries == 2
+
+    def test_error_budget_exhaustion_is_terminal(self):
+        port = _port(max_retries=4, error_budget=6)
+        faults.install(FaultPlan(seed=1, faults=[
+            DeviceTimeoutSpec(device="cxl0", p=1.0)]))
+        raised = []
+        for _ in range(4):
+            try:
+                port.write_line(0, LINE)
+            except CxlTimeoutError as exc:
+                raised.append(exc)
+        assert raised
+        assert any(e.budget_exhausted for e in raised)
+
+    def test_probabilistic_timeouts_are_deterministic_per_seed(self):
+        def run() -> tuple[int, int]:
+            port = _port(max_retries=10)
+            faults.install(FaultPlan(seed=7, faults=[
+                DeviceTimeoutSpec(device="cxl0", p=0.3)]))
+            for i in range(16):
+                port.write_line(i * 64, LINE)
+            faults.clear()
+            return port.stats.retries, port.stats.timeouts
+
+        assert run() == run()
+
+    def test_obs_counters_track_retries(self):
+        obs.enable(metrics=True, trace=False)
+        port = _port(max_retries=8)
+        faults.install(FaultPlan(faults=[
+            LinkFlapSpec(link="cxl.link", at_op=1, retrain_ops=2)]))
+        port.write_line(0, LINE)
+        snap = obs.metrics_snapshot()
+        assert snap["cxl.retries"]["value"] == 2
+        assert snap["faults.injected.link_flap"]["value"] == 2
+
+    def test_no_plan_means_no_retry_machinery(self):
+        port = _port()
+        port.write_line(0, LINE)
+        assert port.read_line(0) == LINE
+        assert port.stats.retries == 0 and port.stats.backoff_ns == 0.0
+
+
+class TestPoisonQuarantine:
+    def test_injected_poison_round_trip(self):
+        """Inject → first read raises with the DPA → scrub-on-read
+        quarantines and zeroes the line → retried read succeeds → a host
+        write lifts the quarantine."""
+        port = _port()
+        port.write_line(128, LINE)
+        faults.install(FaultPlan(faults=[
+            PoisonSpec(device="cxl0", dpa=128, at_op=2)]))
+        port.write_line(0, LINE)                  # op 1
+        with pytest.raises(CxlPoisonError) as ei:  # op 2 injects, op 2 reads
+            port.read_line(128)
+        assert ei.value.dpas == (128,)
+        assert port.stats.poisoned_reads == 1
+        assert 128 in port.device.quarantined_lines
+        # scrubbed: the retried read sees clean zeros, not stale data
+        assert port.read_line(128) == b"\x00" * 64
+        assert port.device.stats["scrubs"] == 1
+        # a fresh write repairs the line and lifts the quarantine
+        port.write_line(128, LINE)
+        assert port.read_line(128) == LINE
+        assert 128 not in port.device.quarantined_lines
+
+    def test_multi_line_poison_bulk_read(self):
+        port = _port()
+        data = bytes(range(256))
+        port.write(0, data)
+        faults.install(FaultPlan(faults=[
+            PoisonSpec(device="cxl0", dpa=64, lines=2, at_op=1)]))
+        with pytest.raises(CxlPoisonError) as ei:
+            port.read(0, 256)
+        assert ei.value.dpas == (64, 128)
+        faults.clear()
+        got = port.read(0, 256)
+        assert got[:64] == data[:64]              # untouched line survives
+        assert got[64:192] == b"\x00" * 128       # scrubbed lines are zeros
+        assert got[192:] == data[192:]
+
+    def test_health_reports_quarantine(self):
+        port = _port()
+        port.device.inject_poison(0)
+        with pytest.raises(CxlPoisonError):
+            port.read_line(0)
+        from repro.cxl.mailbox import MailboxOpcode
+        health = port.device.mailbox.execute(
+            MailboxOpcode.GET_HEALTH_INFO).payload
+        assert health["quarantined_lines"] == 1
+        port.device.mailbox.execute(MailboxOpcode.SANITIZE)
+        assert not port.device.quarantined_lines

@@ -1,0 +1,171 @@
+"""Fault plans: validation, JSON round trip, deterministic run state."""
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    DeviceTimeoutSpec,
+    FaultPlan,
+    LinkFlapSpec,
+    PoisonSpec,
+    PowerLossSpec,
+    SweepFailSpec,
+    TxCrashSpec,
+)
+
+
+class TestSpecValidation:
+    def test_poison_rejects_zero_based_op(self):
+        with pytest.raises(FaultPlanError):
+            PoisonSpec(device="d", at_op=0)
+
+    def test_poison_needs_a_line(self):
+        with pytest.raises(FaultPlanError):
+            PoisonSpec(device="d", lines=0)
+
+    def test_link_flap_window_bounds(self):
+        with pytest.raises(FaultPlanError):
+            LinkFlapSpec(link="l", retrain_ops=0)
+
+    def test_timeout_probability_bounds(self):
+        with pytest.raises(FaultPlanError):
+            DeviceTimeoutSpec(device="d", p=1.5)
+
+    def test_survivor_prob_bounds(self):
+        with pytest.raises(FaultPlanError):
+            TxCrashSpec(survivor_prob=-0.1)
+
+    def test_sweep_fail_attempts(self):
+        with pytest.raises(FaultPlanError):
+            SweepFailSpec(series="s", attempts=0)
+        assert SweepFailSpec(series="s", attempts=None).attempts is None
+
+    def test_one_shot_specs_default_to_single_fire(self):
+        assert PowerLossSpec(domain="d").max_fires == 1
+        assert TxCrashSpec().max_fires == 1
+        assert PoisonSpec(device="d").max_fires is None
+
+
+class TestJsonRoundTrip:
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(seed=9, faults=[
+            PoisonSpec(device="cxl0", dpa=128, lines=2, at_op=3),
+            LinkFlapSpec(link="cxl.link", at_op=5, retrain_ops=2),
+            DeviceTimeoutSpec(device="cxl0", p=0.25, max_fires=2),
+            PowerLossSpec(domain="dom0", at_persist=4),
+            TxCrashSpec(at_persist=7, survivor_prob=0.5),
+            SweepFailSpec(series="1b.cxl", kernel="triad", attempts=None),
+        ])
+
+    def test_round_trip_preserves_content(self):
+        plan = self._plan()
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_doc() == plan.to_doc()
+        assert clone.seed == 9
+        assert [s.kind for s in clone.faults] == [
+            "poison", "link_flap", "device_timeout", "power_loss",
+            "tx_crash", "sweep_fail"]
+
+    def test_fires_is_run_state_not_content(self):
+        plan = self._plan()
+        plan.faults[0]._fire()
+        assert "fires" not in plan.to_doc()["faults"][0]
+        assert FaultPlan.from_json(plan.to_json()).faults[0].fires == 0
+
+    def test_load_file(self, tmp_path):
+        p = tmp_path / "plan.json"
+        p.write_text(self._plan().to_json())
+        assert faults.load_plan(str(p)).to_doc() == self._plan().to_doc()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_doc({"faults": [{"kind": "meteor_strike"}]})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_doc(
+                {"faults": [{"kind": "poison", "device": "d", "dpa2": 1}]})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_doc({"faults": [{"device": "d"}]})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_doc([1, 2])
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("{not json")
+
+    def test_describe_names_every_fault(self):
+        text = self._plan().describe()
+        for kind in ("poison", "link_flap", "device_timeout",
+                     "power_loss", "tx_crash", "sweep_fail"):
+            assert kind in text
+
+
+class TestRunState:
+    def test_counters_are_per_scope(self):
+        plan = FaultPlan()
+        assert plan.next_cxl_op("dev:a") == 1
+        assert plan.next_cxl_op("dev:a") == 2
+        assert plan.next_cxl_op("dev:b") == 1
+        assert plan.next_persist_op() == 1
+
+    def test_reset_rewinds_everything(self):
+        plan = FaultPlan(seed=3, faults=[DeviceTimeoutSpec(device="d", p=1.0)])
+        plan.next_cxl_op("dev:d")
+        plan.next_persist_op()
+        plan.faults[0]._fire()
+        first_draw = None
+        plan.reset()
+        first_draw = plan.rng.random()
+        plan.reset()
+        assert plan.rng.random() == first_draw
+        assert plan.cxl_ops == {} and plan.persist_ops == 0
+        assert plan.faults[0].fires == 0
+
+    def test_spent_specs_drop_out(self):
+        plan = FaultPlan(faults=[DeviceTimeoutSpec(device="d", p=1.0,
+                                                   max_fires=1)])
+        assert plan.specs("device_timeout")
+        plan.faults[0]._fire()
+        assert plan.specs("device_timeout") == []
+
+
+class TestInstallation:
+    def test_install_rewinds_and_enables(self):
+        plan = FaultPlan(faults=[TxCrashSpec(at_persist=1)])
+        plan.faults[0]._fire()
+        faults.install(plan)
+        assert faults.enabled() and faults.active() is plan
+        assert plan.faults[0].fires == 0
+        faults.clear()
+        assert not faults.enabled() and faults.active() is None
+
+    def test_install_rejects_non_plans(self):
+        with pytest.raises(FaultPlanError):
+            faults.install({"seed": 1})
+
+    def test_use_plan_restores_previous(self):
+        outer, inner = FaultPlan(seed=1), FaultPlan(seed=2)
+        faults.install(outer)
+        with faults.use_plan(inner):
+            assert faults.active() is inner
+        assert faults.active() is outer
+
+    def test_export_active_round_trips(self):
+        assert faults.export_active() is None
+        plan = FaultPlan(seed=5, faults=[PoisonSpec(device="d")])
+        faults.install(plan)
+        clone = FaultPlan.from_json(faults.export_active())
+        assert clone.to_doc() == plan.to_doc()
+
+    def test_bypassed_disables_every_hook(self):
+        faults.install(FaultPlan(faults=[SweepFailSpec(series="s")]))
+        with faults.bypassed():
+            assert not faults.enabled()
+            faults.on_sweep_task("s", "triad", 0)    # would raise if live
+        assert faults.enabled()
+        with pytest.raises(faults.SweepFaultInjected):
+            faults.on_sweep_task("s", "triad", 0)
