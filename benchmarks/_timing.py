@@ -1,0 +1,51 @@
+"""Shared best-of-N timing helpers for the perf benches.
+
+Every perf benchmark measures through one of these two functions, and
+both run **one untimed warm-up iteration** before the timed repeats.
+The warm-up absorbs one-time costs that are not the steady-state being
+measured — JIT/C kernel compilation and self-checks in the compiled
+tier, lazy imports, allocator pool growth, CPU frequency ramp — so the
+recorded best-of is a steady-state number.  ``benchmarks/conftest.py``
+asserts that the perf benches actually route their timing through this
+module, keeping the hygiene uniform.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: untimed iterations run before measurement starts
+WARMUP_ITERATIONS = 1
+
+
+def best_of(repeat: int, fn) -> tuple[float, object]:
+    """Best wall-clock seconds of ``repeat`` calls to ``fn()``.
+
+    Runs :data:`WARMUP_ITERATIONS` untimed calls first.  Returns
+    ``(best_seconds, last_result)``.
+    """
+    for _ in range(WARMUP_ITERATIONS):
+        fn()
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def best_of_timed(repeat: int, fn) -> tuple[float, object]:
+    """Best-of for self-timing scenarios: ``fn()`` returns
+    ``(elapsed_seconds, result)`` so setup/teardown inside ``fn`` can be
+    excluded from its own measurement.
+
+    Runs :data:`WARMUP_ITERATIONS` untimed calls first.  Returns
+    ``(best_seconds, last_result)``.
+    """
+    for _ in range(WARMUP_ITERATIONS):
+        fn()
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        elapsed, result = fn()
+        best = min(best, elapsed)
+    return best, result

@@ -1,17 +1,20 @@
-"""DES engine performance: batched vector backend vs the scalar oracle.
+"""DES engine performance: vector and compiled backends vs the scalar oracle.
 
-Three gates, all recorded in ``results/BENCH_des.json``:
+Four gates, all recorded in ``results/BENCH_des.json``:
 
-* **throughput** — events/sec of both backends on the validation-scale
-  configurations (10 threads, 200 us window, triad) for the three paths
-  of the paper's evaluation (local DDR5, remote DDR5, CXL).  Target:
-  >= 10x on every path at full scale;
+* **throughput** — events/sec of every available backend on the
+  validation-scale configurations (10 threads, 200 us window, triad) for
+  the three paths of the paper's evaluation (local DDR5, remote DDR5,
+  CXL).  Target: vector >= 10x scalar on every path at full scale;
+* **small-N** — the compiled event loop vs the scalar loop in the
+  regime below the vectorization threshold (2 threads), where ``auto``
+  dispatches to it.  Target: >= 5x when a compiled provider exists;
 * **oracle equivalence** — at small scale every ``DesResult`` field from
-  the vector backend is byte-identical to the scalar oracle, across
-  single- and multi-target policies on both testbeds;
+  the vector and compiled backends is byte-identical to the scalar
+  oracle, across single- and multi-target policies on both testbeds;
 * **validation tolerances** — the analytic-vs-DES deviations of
   ``bench_model_validation.py`` still hold at a 10x longer window
-  (affordable only because of the fast backend).
+  (affordable only because of the fast backends).
 
 Run standalone::
 
@@ -28,13 +31,14 @@ import argparse
 import json
 import os
 import sys
-import time
 
 import numpy as np
 
+from repro import compiled
 from repro.machine.affinity import place_threads
 from repro.machine.numa import NumaPolicy
 from repro.machine.presets import setup1, setup2
+from repro.memsim import des_jit
 from repro.memsim.des import (
     _build_setup,
     _finalize,
@@ -44,8 +48,10 @@ from repro.memsim.des import (
 from repro.memsim.des_fast import run_vector
 
 try:
+    from benchmarks._timing import best_of as _best_of
     from benchmarks.bench_model_validation import TOLERANCE, _validate_all
 except ImportError:                                   # CLI: script-dir import
+    from _timing import best_of as _best_of
     from bench_model_validation import TOLERANCE, _validate_all
 
 RESULTS_DIR = os.path.abspath(
@@ -77,15 +83,6 @@ ORACLE_CASES = [
 ]
 
 
-def _best_of(repeat: int, fn) -> tuple[float, object]:
-    best, result = float("inf"), None
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
 def _throughput(sim_ns: float, threads: int, repeat: int) -> dict:
     m = setup1().machine
     out: dict[str, dict] = {}
@@ -106,6 +103,42 @@ def _throughput(sim_ns: float, threads: int, repeat: int) -> dict:
             "vector_events_per_s": round(events / vector_s),
             "speedup": round(scalar_s / vector_s, 2),
         }
+        if des_jit.available():
+            compiled_s, counts_c = _best_of(
+                repeat, lambda: des_jit.run_compiled(setup))
+            if _finalize(setup, counts_s) != _finalize(setup, counts_c):
+                raise AssertionError(
+                    f"{key}: compiled backend disagrees at bench scale")
+            out[key]["compiled_s"] = round(compiled_s, 6)
+            out[key]["compiled_events_per_s"] = round(events / compiled_s)
+            out[key]["speedup_compiled"] = round(scalar_s / compiled_s, 2)
+    return out
+
+
+def _small_n(sim_ns: float, repeat: int) -> dict:
+    """Scalar vs compiled in the small-N regime (below the vectorization
+    threshold, where ``auto`` picks the compiled loop)."""
+    m = setup1().machine
+    out: dict[str, dict] = {}
+    for key, policy in SCENARIOS:
+        cores = place_threads(m, 2, sockets=[0])
+        setup = _build_setup(m, "triad", cores, policy, False,
+                             sim_ns, sim_ns * 0.1)
+        scalar_s, counts_s = _best_of(repeat, lambda: _run_scalar(setup))
+        events = int(np.sum(counts_s.completed))
+        entry = {
+            "events": events,
+            "scalar_s": round(scalar_s, 6),
+        }
+        if des_jit.available():
+            compiled_s, counts_c = _best_of(
+                repeat, lambda: des_jit.run_compiled(setup))
+            if _finalize(setup, counts_s) != _finalize(setup, counts_c):
+                raise AssertionError(
+                    f"small_n/{key}: compiled backend disagrees")
+            entry["compiled_s"] = round(compiled_s, 6)
+            entry["speedup"] = round(scalar_s / compiled_s, 2)
+        out[key] = entry
     return out
 
 
@@ -124,13 +157,23 @@ def _oracle_identical(sim_ns: float) -> tuple[bool, list[str]]:
                                      des_backend="vector")
         if scalar != vector:
             mismatched.append(f"{tb_key}/{policy.describe()}/n={n}")
+        if des_jit.available():
+            comp = simulate_stream_des(m, "triad", cores, policy,
+                                       sim_ns=sim_ns,
+                                       warmup_ns=sim_ns * 0.1,
+                                       des_backend="compiled")
+            if scalar != comp:
+                mismatched.append(
+                    f"{tb_key}/{policy.describe()}/n={n} (compiled)")
     return not mismatched, mismatched
 
 
 def run_bench(sim_ns: float = FULL_SIM_NS, threads: int = 10,
               repeat: int = 3) -> dict:
-    """Measure both backends; return the ``BENCH_des.json`` document."""
+    """Measure every backend; return the ``BENCH_des.json`` document."""
+    compiled.warmup()
     scenarios = _throughput(sim_ns, threads, repeat)
+    small_n = _small_n(sim_ns, repeat)
     identical, mismatched = _oracle_identical(sim_ns / 4)
 
     deviations = {
@@ -148,7 +191,12 @@ def run_bench(sim_ns: float = FULL_SIM_NS, threads: int = 10,
             "oracle_cases": len(ORACLE_CASES),
         },
         "scenarios": scenarios,
+        "small_n": small_n,
         "speedup_min": min(s["speedup"] for s in scenarios.values()),
+        "compiled_provider": des_jit.provider(),
+        "small_n_speedup_min": (
+            min(s["speedup"] for s in small_n.values())
+            if des_jit.available() else None),
         "oracle_identical": identical,
         "oracle_mismatched": mismatched,
         "deviation_10x_window": {
@@ -166,16 +214,25 @@ def _report(doc: dict) -> str:
         f"=== DES backends: events/sec ({cfg['threads']} threads, "
         f"{cfg['sim_ns']:,.0f} ns window, triad) ===",
         f"{'scenario':<14}{'events':>9}{'scalar ev/s':>14}"
-        f"{'vector ev/s':>14}{'speedup':>9}",
+        f"{'vector ev/s':>14}{'compiled ev/s':>15}{'speedup':>9}",
     ]
     for key, s in doc["scenarios"].items():
+        comp = (f"{s['compiled_events_per_s']:>15,}"
+                if "compiled_events_per_s" in s else f"{'n/a':>15}")
         lines.append(
             f"{key:<14}{s['events']:>9,}{s['scalar_events_per_s']:>14,}"
-            f"{s['vector_events_per_s']:>14,}{s['speedup']:>8.1f}x"
+            f"{s['vector_events_per_s']:>14,}{comp}{s['speedup']:>8.1f}x"
         )
     dev = doc["deviation_10x_window"]
     lines += [
-        f"minimum speedup: {doc['speedup_min']:.1f}x",
+        f"minimum speedup (vector vs scalar): {doc['speedup_min']:.1f}x",
+        f"compiled provider: {doc['compiled_provider'] or 'none'}",
+    ]
+    if doc["small_n_speedup_min"] is not None:
+        lines.append(
+            "small-N compiled vs scalar (2 threads), minimum speedup: "
+            f"{doc['small_n_speedup_min']:.1f}x")
+    lines += [
         f"oracle-scale results identical: {doc['oracle_identical']} "
         f"({cfg['oracle_cases']} cases)",
         f"worst analytic deviation at 10x window: {dev['worst']:.2%} "
@@ -204,6 +261,11 @@ def test_des_perf_smoke(results_dir):
     assert doc["oracle_identical"], doc["oracle_mismatched"]
     assert doc["deviation_10x_window"]["ok"], doc["deviation_10x_window"]
     assert doc["speedup_min"] >= 3.0
+    # small-N gate: the compiled event loop must beat the scalar loop
+    # >= 5x in the regime auto-dispatch hands it (skipped only when no
+    # compiled provider exists in this environment)
+    if doc["compiled_provider"] is not None:
+        assert doc["small_n_speedup_min"] >= 5.0, doc["small_n"]
 
 
 # ---------------------------------------------------------------------------
@@ -228,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.out}")
     ok = (doc["oracle_identical"] and doc["deviation_10x_window"]["ok"]
           and doc["speedup_min"] >= (3.0 if args.smoke else 10.0))
+    if doc["compiled_provider"] is not None:
+        ok = ok and doc["small_n_speedup_min"] >= 5.0
     return 0 if ok else 1
 
 

@@ -32,7 +32,6 @@ import json
 import os
 import sys
 import tempfile
-import time
 
 from repro.machine import affinity
 from repro.memsim.plan import (
@@ -42,6 +41,11 @@ from repro.memsim.plan import (
 )
 from repro.stream.config import StreamConfig
 from repro.streamer.runner import StreamerRunner
+
+try:
+    from benchmarks._timing import best_of as _best_of
+except ImportError:                                   # CLI: script-dir import
+    from _timing import best_of as _best_of
 
 RESULTS_DIR = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir, "results"))
@@ -56,15 +60,6 @@ def _fresh_runner(config: StreamConfig,
     clear_plan_cache()
     affinity._PLACEMENT_CACHE.clear()
     return StreamerRunner(config=config, cache_dir=cache_dir)
-
-
-def _best_of(repeat: int, fn) -> tuple[float, object]:
-    best, result = float("inf"), None
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
 
 
 def run_bench(config: StreamConfig | None = None, repeat: int = 3,

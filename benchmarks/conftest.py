@@ -8,6 +8,8 @@ leaves the complete reproduced evaluation on disk.
 
 from __future__ import annotations
 
+import glob
+import importlib
 import os
 
 import pytest
@@ -15,6 +17,39 @@ import pytest
 from repro.streamer.runner import StreamerRunner
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+
+def _timing_module():
+    try:
+        from benchmarks import _timing
+    except ImportError:
+        import _timing
+    return _timing
+
+
+@pytest.fixture(autouse=True, scope="session")
+def assert_warmup_hygiene():
+    """Timing hygiene: every perf bench must measure through the shared
+    :mod:`benchmarks._timing` helpers, which run one untimed warm-up
+    iteration before the timed repeats.  A bench reintroducing a private
+    best-of loop (no warm-up) fails the whole benchmark session here."""
+    _timing = _timing_module()
+    assert _timing.WARMUP_ITERATIONS >= 1
+    shared = {_timing.best_of, _timing.best_of_timed}
+    root = os.path.dirname(os.path.abspath(__file__))
+    paths = sorted(glob.glob(os.path.join(root, "bench_*_perf.py")))
+    paths.append(os.path.join(root, "bench_pmem_persist.py"))
+    assert paths, "no perf benches found"
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            mod = importlib.import_module(f"benchmarks.{name}")
+        except ImportError:
+            mod = importlib.import_module(name)
+        timer = getattr(mod, "_best_of", None)
+        assert timer in shared, (
+            f"{name} must take _best_of from benchmarks._timing "
+            f"(one untimed warm-up iteration before measurement)")
 
 
 @pytest.fixture(scope="session")

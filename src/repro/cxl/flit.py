@@ -201,12 +201,8 @@ def pack_stats(header_halves, data_slots) -> FlitStats:
     if int(h.max()) == int(h.min()) and int(h[0]) <= 2:
         used = int(cost.sum())
     else:
-        used = 0
-        for hi, ci in zip(h.tolist(), cost.tolist()):
-            r = used % _USABLE_HALVES
-            if r and _USABLE_HALVES - r < hi:
-                used += _USABLE_HALVES - r        # padding before the header
-            used += ci
+        from repro.cxl import flit_jit
+        used = flit_jit.pack_used(h, d, _USABLE_HALVES)
     n_flits = -(-used // _USABLE_HALVES)
     return FlitStats(
         messages=n,

@@ -1,0 +1,171 @@
+"""Compiled kernels for greedy flit packing with mixed header sizes.
+
+:func:`repro.cxl.flit.pack_stats` has a closed form for uniform-header
+batches, but mixed batches (interleaved NDR/DRS half-slot headers with
+Req/RwD full-slot headers) fall back to the sequential layout
+recurrence — a per-message Python loop.  This module compiles that
+recurrence as a fixed-width integer kernel: message ``i`` consumes
+``h[i] + 2·d[i]`` usable half-slots laid out over flits of
+``usable`` half-slots each, with the header-never-straddles padding
+rule, and reports which flit each message's *header* landed in (the
+unpack-relevant assignment :meth:`repro.cxl.flit.FlitPacker.pack`
+produces).
+
+Providers and self-checks follow :mod:`repro.compiled`; with no
+provider the pure-Python recurrence below is the (always-correct)
+fallback, so the packing numbers are byte-identical in every tier.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro import compiled
+
+#: below this many messages the interpreter loop beats the kernel-call
+#: overhead; outputs are identical either way, so this is purely a
+#: latency crossover (module attribute so tests can pin it)
+MIN_KERNEL_MESSAGES = 16
+
+
+def _pack_kernel(h, d, usable, header_flit, out):
+    """The sequential packing recurrence over flat int64 arrays.
+
+    ``header_flit[i]`` receives the flit index of message ``i``'s
+    header; ``out[0]`` the total used half-slots (flit count is
+    ``ceil(out[0] / usable)``).
+    """
+    used = 0
+    for i in range(h.shape[0]):
+        r = used % usable
+        if r != 0 and usable - r < h[i]:
+            used += usable - r
+        header_flit[i] = used // usable
+        used += h[i] + 2 * d[i]
+    out[0] = used
+
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+void flit_pack(int64_t n, const int64_t *h, const int64_t *d,
+               int64_t usable, int64_t *header_flit, int64_t *out)
+{
+    int64_t used = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t r = used % usable;
+        if (r != 0 && usable - r < h[i])
+            used += usable - r;
+        header_flit[i] = used / usable;
+        used += h[i] + 2 * d[i];
+    }
+    out[0] = used;
+}
+"""
+
+
+def _cc_runner(lib: ctypes.CDLL):
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    fn = lib.flit_pack
+    fn.restype = None
+    fn.argtypes = [ctypes.c_int64, i64p, i64p, ctypes.c_int64, i64p, i64p]
+
+    def run(h, d, usable, header_flit, out):
+        fn(len(h), h.ctypes.data_as(i64p), d.ctypes.data_as(i64p),
+           usable, header_flit.ctypes.data_as(i64p),
+           out.ctypes.data_as(i64p))
+
+    return run
+
+
+def _self_check(run) -> bool:
+    h = np.array([2, 1, 2, 1, 1, 2, 1], dtype=np.int64)
+    d = np.array([4, 0, 0, 4, 0, 4, 4], dtype=np.int64)
+    for usable in (6, 7):
+        want_f = np.zeros(len(h), dtype=np.int64)
+        want_u = np.zeros(1, dtype=np.int64)
+        _pack_kernel(h, d, usable, want_f, want_u)
+        got_f = np.zeros(len(h), dtype=np.int64)
+        got_u = np.zeros(1, dtype=np.int64)
+        run(h, d, usable, got_f, got_u)
+        if not (np.array_equal(want_f, got_f)
+                and np.array_equal(want_u, got_u)):
+            return False
+    return True
+
+
+_resolved = False
+_provider: str | None = None
+_run = None
+
+
+def _resolve() -> None:
+    global _resolved, _provider, _run
+    if _resolved:
+        return
+    _resolved = True
+    njit = compiled.numba_njit()
+    if njit is not None:
+        try:
+            fn = njit(_pack_kernel)
+            if _self_check(fn):
+                _provider, _run = "numba", fn
+                return
+        except Exception:
+            pass
+    lib = compiled.cc_build("flit", _C_SOURCE)
+    if lib is not None:
+        try:
+            run = _cc_runner(lib)
+            if _self_check(run):
+                _provider, _run = "cc", run
+        except Exception:
+            pass
+
+
+def available() -> bool:
+    """Is a compiled packing kernel usable in this process?"""
+    _resolve()
+    return _run is not None
+
+
+def provider() -> str | None:
+    """``"numba"``, ``"cc"`` or ``None``."""
+    _resolve()
+    return _provider
+
+
+def pack_layout(header_halves: np.ndarray, data_slots: np.ndarray,
+                usable: int, backend: str | None = None
+                ) -> tuple[int, np.ndarray]:
+    """``(used_half_slots, header_flit_index_per_message)``.
+
+    ``backend`` pins the implementation (``"scalar"`` = interpreter
+    loop, ``"compiled"`` = kernel); the default dispatches — kernel
+    when available, allowed by :func:`repro.compiled.compiled_allowed`,
+    and the batch clears :data:`MIN_KERNEL_MESSAGES`.  Returns
+    identical integers on every path.
+    """
+    h = np.ascontiguousarray(header_halves, dtype=np.int64)
+    d = np.ascontiguousarray(data_slots, dtype=np.int64)
+    use_kernel = (backend == "compiled"
+                  or (backend is None and len(h) >= MIN_KERNEL_MESSAGES
+                      and compiled.compiled_allowed() and available()))
+    header_flit = np.zeros(len(h), dtype=np.int64)
+    out = np.zeros(1, dtype=np.int64)
+    if use_kernel and available():
+        _run(h, d, int(usable), header_flit, out)
+        compiled.report_tier("flit", "compiled")
+    else:
+        _pack_kernel(h, d, int(usable), header_flit, out)
+        compiled.report_tier("flit", "scalar")
+    return int(out[0]), header_flit
+
+
+def pack_used(header_halves: np.ndarray, data_slots: np.ndarray,
+              usable: int) -> int:
+    """Total used half-slots of the greedy packing (dispatching)."""
+    used, _ = pack_layout(header_halves, data_slots, usable)
+    return used

@@ -20,8 +20,10 @@ Four ingredients reproduce STREAM's measured behaviour on real machines:
 
 from repro.memsim.bwmodel import Flow, FlowAllocation, solve_max_min
 from repro.memsim.des import (
+    DES_BACKENDS,
     DES_VECTORIZE_THRESHOLD,
     DesResult,
+    des_threshold,
     simulate_stream_des,
 )
 from repro.memsim.concurrency import thread_bandwidth_cap
@@ -37,8 +39,10 @@ from repro.memsim.traffic import KERNEL_TRAFFIC, KernelTraffic, reported_fractio
 
 __all__ = [
     "AccessMode",
+    "DES_BACKENDS",
     "DES_VECTORIZE_THRESHOLD",
     "DesResult",
+    "des_threshold",
     "Flow",
     "FlowAllocation",
     "KERNEL_TRAFFIC",

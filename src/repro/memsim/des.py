@@ -45,12 +45,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import compiled, obs
 from repro.calibration import DEFAULT_CALIBRATION, CalibrationProfile
 from repro.errors import SimulationError
 from repro.machine.numa import NumaPolicy
@@ -72,10 +73,35 @@ TICKS_PER_NS = 1 << 20
 #: ``des_backend="auto"`` switches to the vectorized engine once the
 #: primed closed-loop window (sum of per-thread MLP) reaches this many
 #: requests — the point where NumPy's fixed per-batch overhead wins.
+#: This is the *default*; :func:`des_threshold` consults the
+#: ``REPRO_DES_THRESHOLD`` env var at dispatch time.
 DES_VECTORIZE_THRESHOLD = 64
 
+#: env var overriding :data:`DES_VECTORIZE_THRESHOLD` at dispatch time
+DES_THRESHOLD_ENV = "REPRO_DES_THRESHOLD"
+
 #: valid ``des_backend=`` values
-DES_BACKENDS = ("auto", "scalar", "vector")
+DES_BACKENDS = ("auto", "scalar", "vector", "compiled")
+
+
+def des_threshold() -> int:
+    """The auto-dispatch window threshold, honoring
+    ``REPRO_DES_THRESHOLD`` (read per call so tests and operators can
+    retune dispatch without reimporting)."""
+    raw = os.environ.get(DES_THRESHOLD_ENV)
+    if raw is None:
+        return DES_VECTORIZE_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"${DES_THRESHOLD_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise SimulationError(
+            f"${DES_THRESHOLD_ENV} must be >= 1, got {value}"
+        )
+    return value
 
 
 def _ticks(ns: float) -> int:
@@ -407,9 +433,15 @@ def simulate_stream_des(machine: Machine, kernel_name: str,
     just the core mechanics.
 
     ``des_backend`` selects the engine: ``"scalar"`` (reference event
-    loop), ``"vector"`` (batched NumPy epochs), or ``"auto"`` (vector
-    once the closed-loop window holds ≥ :data:`DES_VECTORIZE_THRESHOLD`
-    requests).  All backends return identical results.
+    loop), ``"vector"`` (batched NumPy epochs), ``"compiled"`` (the
+    JIT/C event loop of :mod:`repro.memsim.des_jit`, silently degrading
+    to ``"scalar"`` when no compiled provider exists), or ``"auto"`` —
+    vector once the closed-loop window holds ≥ :func:`des_threshold`
+    requests, the compiled event loop below that when available, the
+    interpreted scalar loop otherwise.  ``REPRO_BACKEND`` (see
+    :mod:`repro.compiled`) overrides the ``"auto"`` resolution; an
+    explicit ``des_backend`` argument always wins.  All backends return
+    identical results.
 
     Raises:
         SimulationError: empty placement, no usable targets, warmup not
@@ -424,14 +456,29 @@ def simulate_stream_des(machine: Machine, kernel_name: str,
                          app_direct, sim_ns, warmup_ns)
     backend = des_backend
     if backend == "auto":
-        backend = ("vector" if sum(setup.mlp) >= DES_VECTORIZE_THRESHOLD
-                   else "scalar")
+        backend = compiled.backend_override() or "auto"
+    if backend == "auto":
+        from repro.memsim import des_jit
+        if sum(setup.mlp) >= des_threshold():
+            backend = "vector"
+        elif des_jit.available():
+            backend = "compiled"
+        else:
+            backend = "scalar"
+    if backend == "compiled":
+        from repro.memsim import des_jit
+        if not des_jit.available():
+            backend = "scalar"
+    compiled.report_tier("des", backend)
     with obs.span("des.run", meta={"backend": backend,
                                    "kernel": kernel_name,
                                    "threads": len(placement)}):
         if backend == "vector":
             from repro.memsim.des_fast import run_vector
             counts = run_vector(setup)
+        elif backend == "compiled":
+            from repro.memsim.des_jit import run_compiled
+            counts = run_compiled(setup)
         else:
             counts = _run_scalar(setup)
     result = _finalize(setup, counts)

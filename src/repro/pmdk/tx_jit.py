@@ -1,0 +1,339 @@
+"""Compiled kernels for the undo-log CRC and snapshot comparison.
+
+Three tiers, all producing the **same CRC-32** (the zlib/IEEE
+polynomial ``0xEDB88320`` — every tier is bit-compatible with
+:func:`zlib.crc32`, which is what keeps on-media log entries identical
+across backends):
+
+* ``scalar`` — :func:`crc32_py`, the table-driven bytewise loop in
+  pure Python.  This is the honest Python-loop reference the
+  benchmark's ``compiled`` column is measured against; production code
+  never runs it.
+* ``vector`` — :func:`zlib.crc32`, the batched C library call the
+  undo log has always used (the CRC analogue of the NumPy tier).
+* ``compiled`` — the slice-by-8 C kernel (or the numba build of the
+  bytewise kernel) below, plus batch helpers the library tiers lack:
+  :func:`chunk_crcs` CRCs every :data:`repro.pmdk.tx.LOG_CHUNK`-sized
+  snapshot of a large range in one call, and :func:`buffers_equal`
+  compares a snapshot against live contents without materializing
+  intermediate ``bytes``.
+
+:func:`crc32` is the dispatching entry point the transaction layer
+calls (`repro.pmdk.tx._entry_crc` / ``_ctrl_crc``): the compiled
+kernel when available, allowed and the buffer is large enough to beat
+the call overhead; ``zlib`` otherwise.  Because every tier emits the
+same bits, dispatch is invisible to crash recovery and to on-media
+layout — forcing ``REPRO_BACKEND=scalar`` changes *speed*, never
+bytes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import zlib
+
+import numpy as np
+
+from repro import compiled
+
+#: buffers below this size go straight to :func:`zlib.crc32` — the
+#: ctypes/njit call overhead exceeds the work (module attribute so
+#: tests can pin the crossover)
+MIN_KERNEL_BYTES = 4096
+
+# ---------------------------------------------------------------------------
+# pure-Python reference (the scalar tier)
+# ---------------------------------------------------------------------------
+
+_POLY = 0xEDB88320
+
+
+def _make_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint32)
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (_POLY ^ (c >> 1)) if (c & 1) else (c >> 1)
+        table[i] = c
+    return table
+
+
+_TABLE = _make_table()
+
+
+def crc32_py(data, value: int = 0) -> int:
+    """Bytewise table-driven CRC-32, bit-identical to ``zlib.crc32``.
+
+    The pure-Python scalar reference: correctness oracle for the
+    property suite and the baseline the benchmark's ``compiled`` column
+    is gated against.
+    """
+    table = _TABLE
+    crc = (value ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for b in bytes(data):
+        crc = (crc >> 8) ^ int(table[(crc ^ b) & 0xFF])
+    return crc ^ 0xFFFFFFFF
+
+
+def _crc_kernel(buf, table, value):
+    """numba-compatible bytewise kernel over a uint8 array."""
+    crc = (value ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for i in range(buf.shape[0]):
+        crc = (crc >> 8) ^ table[(crc ^ buf[i]) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def _eq_kernel(a, b):
+    """numba-compatible buffer comparison."""
+    for i in range(a.shape[0]):
+        if a[i] != b[i]:
+            return 0
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# the C provider: slice-by-8 CRC + memcmp wrapper
+# ---------------------------------------------------------------------------
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+static uint32_t T[8][256];
+static int ready = 0;
+
+void crc_init(void)
+{
+    for (int i = 0; i < 256; i++) {
+        uint32_t c = (uint32_t)i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        T[0][i] = c;
+    }
+    for (int i = 0; i < 256; i++)
+        for (int s = 1; s < 8; s++)
+            T[s][i] = (T[s - 1][i] >> 8) ^ T[0][T[s - 1][i] & 0xFF];
+    ready = 1;
+}
+
+uint32_t crc32_update(const uint8_t *p, int64_t len, uint32_t crc)
+{
+    if (!ready)
+        crc_init();
+    crc = ~crc;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    while (len >= 8) {
+        uint64_t w;
+        memcpy(&w, p, 8);
+        crc ^= (uint32_t)w;
+        uint32_t hi = (uint32_t)(w >> 32);
+        crc = T[7][crc & 0xFF] ^ T[6][(crc >> 8) & 0xFF]
+            ^ T[5][(crc >> 16) & 0xFF] ^ T[4][crc >> 24]
+            ^ T[3][hi & 0xFF] ^ T[2][(hi >> 8) & 0xFF]
+            ^ T[1][(hi >> 16) & 0xFF] ^ T[0][hi >> 24];
+        p += 8;
+        len -= 8;
+    }
+#endif
+    while (len-- > 0)
+        crc = (crc >> 8) ^ T[0][(crc ^ *p++) & 0xFF];
+    return ~crc;
+}
+
+void crc32_chunks(const uint8_t *p, int64_t len, int64_t chunk,
+                  uint32_t *out)
+{
+    int64_t i = 0, k = 0;
+    while (i < len) {
+        int64_t n = (len - i < chunk) ? len - i : chunk;
+        out[k++] = crc32_update(p + i, n, 0u);
+        i += n;
+    }
+}
+
+int64_t buf_equal(const uint8_t *a, const uint8_t *b, int64_t n)
+{
+    return memcmp(a, b, (size_t)n) == 0;
+}
+"""
+
+
+class _CcImpl:
+    """ctypes bindings of the C provider."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        u8p = ctypes.POINTER(ctypes.c_uint8)
+        u32p = ctypes.POINTER(ctypes.c_uint32)
+        lib.crc_init.restype = None
+        lib.crc_init()
+        self._crc = lib.crc32_update
+        self._crc.restype = ctypes.c_uint32
+        self._crc.argtypes = [u8p, ctypes.c_int64, ctypes.c_uint32]
+        self._chunks = lib.crc32_chunks
+        self._chunks.restype = None
+        self._chunks.argtypes = [u8p, ctypes.c_int64, ctypes.c_int64, u32p]
+        self._eq = lib.buf_equal
+        self._eq.restype = ctypes.c_int64
+        self._eq.argtypes = [u8p, u8p, ctypes.c_int64]
+        self._u8p = u8p
+        self._u32p = u32p
+
+    def crc32(self, buf: np.ndarray, value: int) -> int:
+        return int(self._crc(buf.ctypes.data_as(self._u8p), len(buf),
+                             value & 0xFFFFFFFF))
+
+    def chunk_crcs(self, buf: np.ndarray, chunk: int,
+                   out: np.ndarray) -> None:
+        self._chunks(buf.ctypes.data_as(self._u8p), len(buf), chunk,
+                     out.ctypes.data_as(self._u32p))
+
+    def buffers_equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return bool(self._eq(a.ctypes.data_as(self._u8p),
+                             b.ctypes.data_as(self._u8p), len(a)))
+
+
+class _NumbaImpl:
+    """njit builds of the bytewise kernels."""
+
+    def __init__(self, njit) -> None:
+        self._crc = njit(_crc_kernel)
+        self._eq = njit(_eq_kernel)
+
+    def crc32(self, buf: np.ndarray, value: int) -> int:
+        return int(self._crc(buf, _TABLE, value & 0xFFFFFFFF))
+
+    def chunk_crcs(self, buf: np.ndarray, chunk: int,
+                   out: np.ndarray) -> None:
+        k = 0
+        for pos in range(0, len(buf), chunk):
+            out[k] = self._crc(buf[pos:pos + chunk], _TABLE, 0)
+            k += 1
+
+    def buffers_equal(self, a: np.ndarray, b: np.ndarray) -> bool:
+        return bool(self._eq(a, b))
+
+
+def _self_check(impl) -> bool:
+    data = bytes(range(256)) * 5 + b"repro"
+    buf = np.frombuffer(data, dtype=np.uint8)
+    if impl.crc32(buf, 0) != zlib.crc32(data):
+        return False
+    if impl.crc32(buf, 0x1234) != zlib.crc32(data, 0x1234):
+        return False
+    out = np.zeros(3, dtype=np.uint32)
+    impl.chunk_crcs(buf, 512, out)
+    want = [zlib.crc32(data[i:i + 512]) for i in range(0, len(data), 512)]
+    if list(out) != want:
+        return False
+    other = np.array(buf)
+    if not impl.buffers_equal(buf, other):
+        return False
+    other[700] ^= 1
+    return not impl.buffers_equal(buf, other)
+
+
+_resolved = False
+_provider: str | None = None
+_impl = None
+
+
+def _resolve() -> None:
+    global _resolved, _provider, _impl
+    if _resolved:
+        return
+    _resolved = True
+    njit = compiled.numba_njit()
+    if njit is not None:
+        try:
+            impl = _NumbaImpl(njit)
+            if _self_check(impl):
+                _provider, _impl = "numba", impl
+                return
+        except Exception:
+            pass
+    lib = compiled.cc_build("txcrc", _C_SOURCE)
+    if lib is not None:
+        try:
+            impl = _CcImpl(lib)
+            if _self_check(impl):
+                _provider, _impl = "cc", impl
+        except Exception:
+            pass
+
+
+def available() -> bool:
+    """Is a compiled CRC kernel usable in this process?"""
+    _resolve()
+    return _impl is not None
+
+
+def provider() -> str | None:
+    """``"numba"``, ``"cc"`` or ``None``."""
+    _resolve()
+    return _provider
+
+
+def _as_u8(data) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+_last_tier: str | None = None
+
+
+def _note(tier: str) -> None:
+    global _last_tier
+    if tier != _last_tier:
+        _last_tier = tier
+        compiled.report_tier("tx", tier)
+
+
+def crc32(data, value: int = 0, backend: str | None = None) -> int:
+    """CRC-32 of ``data`` seeded with ``value`` — ``zlib.crc32`` bits
+    on every tier.
+
+    ``backend=None`` dispatches: ``zlib`` — itself a compiled library
+    and the fastest CRC on most machines — unless ``REPRO_BACKEND=
+    compiled`` forces the kernel for buffers of at least
+    :data:`MIN_KERNEL_BYTES`.  ``"scalar"`` pins the pure-Python loop,
+    ``"vector"`` pins zlib, ``"compiled"`` pins the kernel (falling
+    back to zlib when no provider exists).
+    """
+    if backend == "scalar":
+        return crc32_py(data, value)
+    use_kernel = (backend == "compiled"
+                  or (backend is None and len(data) >= MIN_KERNEL_BYTES
+                      and compiled.backend_override() == "compiled"))
+    if use_kernel and available():
+        _note("compiled")
+        return _impl.crc32(_as_u8(data), value)
+    _note("vector")
+    return zlib.crc32(data, value)
+
+
+def chunk_crcs(data, chunk: int) -> np.ndarray:
+    """Per-chunk CRC-32s of ``data`` split every ``chunk`` bytes, as one
+    batched call (each chunk seeded 0) — the undo log's snapshot-chunk
+    checksums without a Python-level loop."""
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    buf = _as_u8(data)
+    n = (len(buf) + chunk - 1) // chunk
+    out = np.zeros(n, dtype=np.uint32)
+    if available() and compiled.compiled_allowed():
+        _impl.chunk_crcs(buf, chunk, out)
+    else:
+        for k in range(n):
+            out[k] = zlib.crc32(buf[k * chunk:(k + 1) * chunk].tobytes())
+    return out
+
+
+def buffers_equal(a, b) -> bool:
+    """Are two byte buffers identical?  (snapshot-vs-live compare)"""
+    ba, bb = _as_u8(a), _as_u8(b)
+    if len(ba) != len(bb):
+        return False
+    if available() and compiled.compiled_allowed():
+        return _impl.buffers_equal(ba, bb)
+    return ba.tobytes() == bb.tobytes()
