@@ -166,6 +166,54 @@ class BenchmarkError(ReproError):
     failed result validation."""
 
 
+class ServiceError(ReproError):
+    """Base class for the resident sweep-service front-end (:mod:`repro.serve`)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control shed this request (bounded queue full).
+
+    ``queue_depth``/``limit`` describe the queue at rejection time so
+    clients can implement informed backoff.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0,
+                 limit: int = 0) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+class ServiceQuotaError(ServiceOverloadError):
+    """A per-tenant in-flight quota rejected this request.
+
+    Subclasses :class:`ServiceOverloadError` so generic shed handling
+    (retry with backoff) covers both; ``tenant`` names the offender.
+    """
+
+    def __init__(self, message: str, tenant: str = "",
+                 queue_depth: int = 0, limit: int = 0) -> None:
+        super().__init__(message, queue_depth=queue_depth, limit=limit)
+        self.tenant = tenant
+
+
+class ServiceDeadlineError(ServiceError):
+    """A request's deadline expired before its sweep completed.
+
+    The underlying execution may still finish and warm the caches; only
+    this caller's wait was abandoned.  ``deadline_s`` is the budget that
+    was exceeded.
+    """
+
+    def __init__(self, message: str, deadline_s: float | None = None) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
+class ServiceClosedError(ServiceError):
+    """The service is stopping/stopped and cannot accept this request."""
+
+
 class ValidationError(BenchmarkError):
     """STREAM result arrays failed the epsilon check (like the original
     ``checkSTREAMresults``)."""

@@ -41,6 +41,7 @@ from repro.errors import (
     FaultPlanError,
     PowerLossInjected,
 )
+from repro.errors import ServiceOverloadError
 from repro.faults.plan import (
     DeviceTimeoutSpec,
     FaultPlan,
@@ -48,6 +49,7 @@ from repro.faults.plan import (
     LinkFlapSpec,
     PoisonSpec,
     PowerLossSpec,
+    ServeShedSpec,
     SweepFailSpec,
     TxCrashSpec,
 )
@@ -55,10 +57,10 @@ from repro.faults.plan import (
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
-    "SweepFaultInjected",
+    "ServeShedSpec", "SweepFaultInjected",
     "install", "clear", "active", "enabled", "use_plan", "load_plan",
     "export_active", "bind_domain", "domains", "unbind_domains",
-    "on_cxl_op", "on_persist", "on_sweep_task",
+    "on_cxl_op", "on_persist", "on_sweep_task", "on_serve_request",
     "bypassed",
 ]
 
@@ -273,6 +275,25 @@ def on_sweep_task(series: str, kernel: str, attempt: int) -> None:
             )
 
 
+def on_serve_request(tenant: str) -> None:
+    """Consult the plan at the sweep service's admission boundary.
+
+    Raises:
+        ServiceOverloadError: a :class:`ServeShedSpec` covers ``tenant``
+            — the service must reject this request exactly as if its
+            queue were full (chaos-testing client backoff paths).
+    """
+    plan = _plan
+    if plan is None:
+        return
+    for spec in plan.specs("serve_shed"):
+        if spec.matches(tenant):
+            spec._fire()
+            obs.inc("faults.injected.serve_shed")
+            raise ServiceOverloadError(
+                f"injected load shed for tenant {tenant!r}")
+
+
 # ---------------------------------------------------------------------------
 # benchmark support: hook-bypassed baseline
 # ---------------------------------------------------------------------------
@@ -290,7 +311,8 @@ class bypassed:
     thread-safe — benchmarks only.
     """
 
-    _HOOKS = ("on_cxl_op", "on_persist", "on_sweep_task", "enabled")
+    _HOOKS = ("on_cxl_op", "on_persist", "on_sweep_task",
+              "on_serve_request", "enabled")
 
     def __enter__(self) -> "bypassed":
         g = globals()

@@ -29,6 +29,7 @@ from repro.errors import FaultPlanError
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
+    "ServeShedSpec",
 ]
 
 
@@ -175,10 +176,29 @@ class SweepFailSpec(FaultSpec):
                 and (self.kernel is None or kernel == self.kernel))
 
 
+@dataclass
+class ServeShedSpec(FaultSpec):
+    """Force the sweep service's admission control to shed requests.
+
+    Matches every request from ``tenant`` (``None`` = any tenant); the
+    service rejects the matched admission with a
+    :class:`~repro.errors.ServiceOverloadError` exactly as if the queue
+    were full, so chaos plans can exercise client backoff paths without
+    actually saturating the service.  Cap injections with ``max_fires``.
+    """
+
+    kind = "serve_shed"
+
+    tenant: str | None = None
+
+    def matches(self, tenant: str) -> bool:
+        return self.tenant is None or tenant == self.tenant
+
+
 _SPEC_KINDS: dict[str, type[FaultSpec]] = {
     cls.kind: cls
     for cls in (PoisonSpec, LinkFlapSpec, DeviceTimeoutSpec,
-                PowerLossSpec, TxCrashSpec, SweepFailSpec)
+                PowerLossSpec, TxCrashSpec, SweepFailSpec, ServeShedSpec)
 }
 
 

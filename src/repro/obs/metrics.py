@@ -137,6 +137,37 @@ class Histogram:
         if v > self._max:
             self._max = v
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Linear interpolation across the bucket the target rank lands in,
+        clamped to the observed ``min``/``max`` so single-bucket
+        distributions do not report a bucket bound nobody hit.  Returns
+        ``0.0`` for an empty histogram.  The estimate's resolution is the
+        bucket layout — use finer buckets where tail accuracy matters
+        (the serve latency histogram does exactly that).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ObsError(
+                f"histogram {self.name!r}: percentile must be in "
+                f"[0, 100], got {q}")
+        if not self._count:
+            return 0.0
+        rank = (q / 100.0) * self._count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if not c:
+                continue
+            lo = self.bounds[i - 1] if i else self._min
+            hi = self.bounds[i] if i < len(self.bounds) else self._max
+            lo = max(lo, self._min)
+            hi = min(hi, self._max)
+            if seen + c >= rank:
+                frac = (rank - seen) / c
+                return lo + (hi - lo) * max(0.0, min(1.0, frac))
+            seen += c
+        return self._max
+
     def snapshot(self) -> dict:
         doc = {
             "kind": self.kind,

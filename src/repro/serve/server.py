@@ -1,0 +1,171 @@
+"""JSON-over-TCP front door for the sweep service.
+
+Newline-delimited JSON, one object per line, one reply per request —
+trivially scriptable (``nc``, ``socat``) and dependency-free::
+
+    {"op": "sweep", "kernels": ["triad"], "array_size": 100000}
+    → {"ok": true, "source": "executed", "wall_s": 0.04,
+       "results": {"records": [...]}, "key": "..."}
+
+Operations:
+
+* ``sweep`` (default) — serve one sweep; fields are
+  :meth:`~repro.serve.service.SweepRequest.from_doc`'s.
+* ``stats`` — the service's live counter/latency snapshot.
+* ``ping`` — liveness probe.
+
+Every error is a structured reply (``{"ok": false, "error":
+"<TypeName>", "message": ...}``), never a dropped connection — admission
+sheds (:class:`~repro.errors.ServiceOverloadError`) must reach clients
+as data so they can back off.  Start from the CLI::
+
+    python -m repro.streamer serve --port 8787 --jobs 4 --max-queue 64
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro import obs
+from repro.errors import ReproError
+from repro.serve.service import SweepRequest, SweepService
+
+__all__ = ["SweepServer", "request"]
+
+_log = obs.get_logger("serve.server")
+
+#: refuse request lines above this size (a malformed/hostile client)
+MAX_LINE_BYTES = 1 << 20
+
+
+class SweepServer:
+    """An asyncio TCP server bound to one :class:`SweepService`.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    :attr:`port` after :meth:`start` (tests do exactly this).
+    """
+
+    def __init__(self, service: SweepService, host: str = "127.0.0.1",
+                 port: int = 8787) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> "SweepServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("sweep server listening",
+                  extra=obs.kv(host=self.host, port=self.port))
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "SweepServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        obs.inc("serve.connections")
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break               # oversized line / reset peer
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = await self._reply(line)
+                writer.write(json.dumps(reply, sort_keys=True).encode()
+                             + b"\n")
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        except asyncio.CancelledError:
+            pass                        # server stop cancels open handlers
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _reply(self, line: bytes) -> dict:
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("request must be a JSON object")
+            op = doc.pop("op", "sweep")
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "stats":
+                return {"ok": True, "op": "stats",
+                        "stats": self.service.stats()}
+            if op != "sweep":
+                raise ValueError(f"unknown op {op!r}")
+            req = SweepRequest.from_doc(doc)
+            result = await self.service.submit(req)
+            return {
+                "ok": True,
+                "op": "sweep",
+                "key": result.key,
+                "source": result.source,
+                "wall_s": round(result.wall_s, 6),
+                "results": json.loads(result.json),
+            }
+        except ReproError as exc:
+            obs.inc("serve.error_replies")
+            return {"ok": False, "error": type(exc).__name__,
+                    "message": str(exc)}
+        except (ValueError, TypeError, KeyError) as exc:
+            obs.inc("serve.error_replies")
+            return {"ok": False, "error": "BadRequest", "message": str(exc)}
+
+
+async def request(host: str, port: int, doc: dict,
+                  timeout: float | None = 30.0) -> dict:
+    """One-shot client: send ``doc``, return the parsed reply."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(doc).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass

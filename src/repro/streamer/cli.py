@@ -5,12 +5,15 @@ Usage::
     streamer run      [--figure N | --group ID] [--out results.csv] [-n SIZE]
     streamer report   [--figure N] [--results results.csv]
     streamer compare  [--results results.csv] [--kernel triad]
+    streamer serve    [--port 8787] [-j N] [--max-queue 64]
     streamer dataflow
     streamer describe
 
 ``run`` without a stored-results file feeds straight into ``report`` /
 ``compare``; with ``--out`` the CSV can be re-reported later without
-re-running.
+re-running.  ``serve`` starts the resident sweep service
+(:mod:`repro.serve`): a warm worker pool behind a coalescing,
+admission-controlled JSON-over-TCP front end.
 
 Observability flags sit on the top-level parser (before the
 subcommand)::
@@ -116,6 +119,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "ablation",
         help="sweep the paper's proposed prototype upgrades")
     abl.add_argument("--threads", type=int, default=10)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the resident sweep service (warm pool, coalescing, "
+             "admission control)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8787,
+                     help="TCP port (0 = ephemeral, printed on start)")
+    srv.add_argument("-j", "--jobs", type=int, default=0, metavar="N",
+                     help="warm-pool worker processes (0 = one per CPU)")
+    srv.add_argument("--max-queue", type=int, default=64, metavar="N",
+                     help="bounded request queue depth (admission limit)")
+    srv.add_argument("--lru-entries", type=int, default=128, metavar="N",
+                     help="in-memory result cache capacity")
+    srv.add_argument("--tenant-quota", type=int, default=None, metavar="N",
+                     help="max in-flight executions per tenant")
+    srv.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="default per-request deadline")
+    srv.add_argument("--cache-dir", default=".streamer-cache", metavar="DIR",
+                     help="on-disk sweep cache location "
+                          "(default: .streamer-cache)")
+    srv.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk sweep cache layer")
     return p
 
 
@@ -301,7 +328,49 @@ def _dispatch(args) -> int:
             print(f"{name:<28}{r.reported_gbps:>12.2f}")
         return 0
 
+    if args.command == "serve":
+        return _serve(args)
+
     return 2    # pragma: no cover - argparse enforces choices
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import SweepServer
+    from repro.serve.service import SweepService
+
+    if args.jobs < 0:
+        _build_parser().error(
+            f"--jobs must be >= 0 (0 = one per CPU), got {args.jobs}")
+    service = SweepService(
+        jobs=args.jobs or None,
+        max_queue=args.max_queue,
+        lru_entries=args.lru_entries,
+        tenant_quota=args.tenant_quota,
+        default_deadline_s=args.deadline,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    server = SweepServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"sweep service listening on {server.host}:{server.port} "
+              f"(workers={service.pool.workers}, "
+              f"max_queue={service.max_queue})",
+              flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("sweep service stopped", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":     # pragma: no cover

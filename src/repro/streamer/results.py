@@ -5,7 +5,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass, fields
 from typing import Iterable, Iterator
 
 from repro.errors import BenchmarkError
@@ -47,6 +47,49 @@ class FailureRecord:
     quarantined: bool
 
 
+#: field-name tuples for the flat-record fast path in ResultSet.to_json
+_RECORD_FIELDS = tuple(f.name for f in fields(ResultRecord))
+_FAILURE_FIELDS = tuple(f.name for f in fields(FailureRecord))
+#: sort_keys order, precomputed (the wire format sorts keys)
+_RECORD_FIELDS_SORTED = tuple(sorted(_RECORD_FIELDS))
+_FAILURE_FIELDS_SORTED = tuple(sorted(_FAILURE_FIELDS))
+
+_escape_str = json.encoder.encode_basestring_ascii
+
+
+def _scalar_json(v) -> str:
+    """One scalar exactly as ``json.dumps`` renders it."""
+    if isinstance(v, str):
+        return _escape_str(v)
+    if v is True:
+        return "true"
+    if v is False:
+        return "false"
+    if isinstance(v, float):
+        if v != v:
+            return "NaN"
+        if v == float("inf"):
+            return "Infinity"
+        if v == float("-inf"):
+            return "-Infinity"
+        return float.__repr__(v)
+    return repr(v)          # int
+
+
+def _rows_json(rows, names) -> str:
+    """A list of flat records exactly as ``json.dumps(..., indent=0,
+    sort_keys=True)`` renders it (one line per token, zero-width
+    indent)."""
+    if not rows:
+        return "[]"
+    blocks = []
+    for r in rows:
+        kv = ",\n".join(f'"{n}": {_scalar_json(getattr(r, n))}'
+                        for n in names)
+        blocks.append("{\n" + kv + "\n}")
+    return "[\n" + ",\n".join(blocks) + "\n]"
+
+
 class ResultSet:
     """An ordered, queryable collection of result records.
 
@@ -74,6 +117,22 @@ class ResultSet:
 
     def extend(self, records: Iterable[ResultRecord]) -> None:
         self._records.extend(records)
+
+    @classmethod
+    def merge_shards(cls, shards: Iterable["ResultSet"]) -> "ResultSet":
+        """Reassemble shard results into one ordered :class:`ResultSet`.
+
+        The sweep service splits one request's task list into contiguous
+        chunks and fans them across the warm worker pool; merging the
+        shard outputs **in submission order** restores the exact serial
+        record order, so a sharded run is byte-identical to
+        ``run_all()``.  Failure records concatenate the same way.
+        """
+        out = cls()
+        for shard in shards:
+            out.extend(shard)
+            out.failures.extend(shard.failures)
+        return out
 
     def __len__(self) -> int:
         return len(self._records)
@@ -182,10 +241,21 @@ class ResultSet:
         The ``failures`` key appears only when failures exist, keeping
         fault-free documents byte-identical to pre-failure-aware ones.
         """
-        doc: dict = {"records": [asdict(r) for r in self._records]}
-        if self.failures:
-            doc["failures"] = [asdict(f) for f in self.failures]
-        return json.dumps(doc, indent=0, sort_keys=True)
+        # hand-rolled emitter: json.dumps with an indent falls back to
+        # the pure-Python encoder (the C accelerator requires
+        # indent=None), which dominates the serving hot path at
+        # hundreds of records.  The schema is fixed and flat, so we can
+        # emit the byte-identical document directly;
+        # tests/streamer/test_results.py diffs it against the reference
+        # json.dumps rendering.
+        sections = []
+        if self.failures:       # sort_keys: "failures" < "records"
+            sections.append('"failures": '
+                            + _rows_json(self.failures,
+                                         _FAILURE_FIELDS_SORTED))
+        sections.append('"records": '
+                        + _rows_json(self._records, _RECORD_FIELDS_SORTED))
+        return "{\n" + ",\n".join(sections) + "\n}"
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":

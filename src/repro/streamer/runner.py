@@ -18,19 +18,16 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
-import multiprocessing as mp
 import os
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import asdict
 from typing import Iterable, Sequence
 
 from repro import faults, obs
 from repro.errors import BenchmarkError
-from repro.faults.plan import FaultPlan
 from repro.machine.presets import Testbed, setup1, setup2
-from repro.machine.topology import Machine
 from repro.stream.config import StreamConfig
 from repro.stream.simulated import simulate_sweep
 from repro.streamer.configs import (
@@ -83,35 +80,6 @@ def _series_records(group: TestGroup, series: TestSeries, kernel: str,
     ]
 
 
-# ---------------------------------------------------------------------------
-# process-pool plumbing (module level so tasks pickle cleanly)
-# ---------------------------------------------------------------------------
-
-_POOL_STATE: dict[str, object] = {}
-
-
-def _pool_init(machines: dict[str, Machine], config: StreamConfig,
-               fault_plan_json: str | None = None) -> None:
-    _POOL_STATE["machines"] = machines
-    _POOL_STATE["config"] = config
-    if fault_plan_json is not None:
-        # forward the parent's plan into the worker (fresh counters —
-        # each worker consults with attempt=0; parent-side retries use
-        # the parent's own plan state)
-        faults.install(FaultPlan.from_json(fault_plan_json))
-
-
-def _sweep_series_task(task: tuple[TestGroup, TestSeries, str]
-                       ) -> list[ResultRecord]:
-    group, series, kernel = task
-    faults.on_sweep_task(series.key, kernel, 0)
-    machines: dict[str, Machine] = _POOL_STATE["machines"]  # type: ignore[assignment]
-    config: StreamConfig = _POOL_STATE["config"]            # type: ignore[assignment]
-    results = simulate_sweep(machines[series.testbed], kernel, series.spec,
-                             group.thread_counts, config)
-    return _series_records(group, series, kernel, results)
-
-
 class StreamerRunner:
     """Runs the paper's evaluation matrix on the modelled testbeds.
 
@@ -141,6 +109,72 @@ class StreamerRunner:
         self.config = config or StreamConfig.paper()
         self.groups = test_groups()
         self.cache_dir = cache_dir
+        self._pool = None               # attached WarmWorkerPool
+        self._pool_owned = False
+        self._state_blob: tuple[str, bytes] | None = None
+
+    # ------------------------------------------------------------------
+    # warm worker pool attachment
+    # ------------------------------------------------------------------
+
+    def start_pool(self, jobs: int | bool | None = True):
+        """Start (or return) a persistent warm worker pool on this runner.
+
+        Once live, every parallel ``run_all()`` — and, by default, every
+        ``run_all()`` with ``parallel`` unspecified — reuses the same
+        pre-warmed workers instead of respawning a process pool per
+        call.  The pool forwards the currently active fault plan to its
+        workers, matching the one-shot pool's contract.  Close with
+        :meth:`close_pool` (or use the runner as a context manager).
+        """
+        from repro.serve.pool import WarmWorkerPool
+        if self._pool is not None and self._pool.alive:
+            return self._pool
+        self._pool = WarmWorkerPool(
+            self._n_jobs(True if jobs is None else jobs),
+            fault_plan_json=faults.export_active()).start()
+        self._pool_owned = True
+        return self._pool
+
+    def attach_pool(self, pool) -> None:
+        """Adopt an externally owned warm pool (the sweep service's).
+
+        The runner uses it exactly like one from :meth:`start_pool` but
+        never shuts it down — :meth:`close_pool` only detaches.
+        """
+        self._pool = pool
+        self._pool_owned = False
+
+    @property
+    def pool(self):
+        """The attached warm pool, or ``None``."""
+        return self._pool
+
+    def close_pool(self) -> None:
+        """Shut down an owned pool / detach an adopted one (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None and self._pool_owned:
+            pool.shutdown()
+        self._pool_owned = False
+
+    def __enter__(self) -> "StreamerRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close_pool()
+
+    def _pool_state(self) -> tuple[str, bytes]:
+        """The (content key, pickle blob) of this runner's sweep state.
+
+        Pickled once and reused for every pool submission; workers cache
+        the unpickled (machines, config) pair under the content key.
+        """
+        if self._state_blob is None:
+            from repro.serve.pool import pack_state
+            machines = {name: tb.machine
+                        for name, tb in self.testbeds.items()}
+            self._state_blob = pack_state(machines, self.config)
+        return self._state_blob
 
     def _testbed(self, name: str) -> Testbed:
         try:
@@ -321,14 +355,22 @@ class StreamerRunner:
             obs.inc("sweep.cache.misses")
             _log.debug("sweep cache miss", extra=obs.kv(key=cache_key[:12]))
 
-        jobs = self._n_jobs(parallel)
+        # a live warm pool makes pooled execution the default — the whole
+        # point of keeping it around is not respawning workers; only an
+        # explicit parallel=False forces the serial path past it
+        warm = (self._pool is not None and self._pool.alive
+                and parallel is not False)
+        if parallel is None and warm:
+            jobs = self._pool.workers
+        else:
+            jobs = self._n_jobs(parallel)
         tasks = self._tasks(kernels)
         out = ResultSet()
         quarantine: dict[str, str] = {}
         with obs.span("sweep.run_all",
                       meta={"kernels": list(kernels), "jobs": jobs,
                             "tasks": len(tasks)}):
-            if jobs <= 1 or len(tasks) <= 1:
+            if (jobs <= 1 and not warm) or len(tasks) <= 1:
                 for group, series, kernel in tasks:
                     self._run_task_healed(group, series, kernel,
                                           max_retries, out, quarantine)
@@ -343,21 +385,28 @@ class StreamerRunner:
     def _run_pool(self, tasks, max_retries: int,
                   worker_timeout: float | None, jobs: int,
                   out: ResultSet, quarantine: dict[str, str]) -> None:
-        machines = {name: tb.machine for name, tb in self.testbeds.items()}
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-        workers = min(jobs, len(tasks))
+        from repro.serve.pool import WarmWorkerPool, run_series_task
+        attached = self._pool is not None and self._pool.alive
+        if attached:
+            pool = self._pool
+            workers = pool.workers
+        else:
+            # no resident pool: spawn one for this call (the historical
+            # one-shot behaviour), shut it down in the finally below
+            workers = min(jobs, len(tasks))
+            pool = WarmWorkerPool(
+                workers, fault_plan_json=faults.export_active()).start()
         obs.gauge("sweep.pool.workers", workers)
         _log.info("starting sweep pool",
-                  extra=obs.kv(workers=workers, tasks=len(tasks)))
-        pool = ProcessPoolExecutor(
-            max_workers=workers, mp_context=ctx, initializer=_pool_init,
-            initargs=(machines, self.config, faults.export_active()))
+                  extra=obs.kv(workers=workers, tasks=len(tasks),
+                               warm=attached))
+        state_key, state_blob = self._pool_state()
         timed_out = False
         try:
             # one future per task, results consumed in submission order
             # → deterministic records identical to the serial path
-            futures = [pool.submit(_sweep_series_task, t) for t in tasks]
+            futures = [pool.submit(run_series_task, state_key, state_blob, t)
+                       for t in tasks]
             with obs.span("sweep.pool",
                           meta={"workers": workers, "tasks": len(tasks)}):
                 for (group, series, kernel), fut in zip(tasks, futures):
@@ -391,8 +440,14 @@ class StreamerRunner:
                     obs.inc("sweep.series_runs")
                     out.extend(records)
         finally:
-            # a wedged worker must not hang shutdown; abandon it instead
-            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+            if attached:
+                if timed_out:
+                    # wedged worker in a resident pool: respawn warm
+                    # workers instead of abandoning the pool for good
+                    pool.recycle()
+            else:
+                # a wedged worker must not hang shutdown; abandon it
+                pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
         _log.info("sweep pool drained", extra=obs.kv(tasks=len(tasks)))
 
     def run_figure(self, figure: int, parallel: int | bool | None = None,
@@ -452,9 +507,27 @@ class StreamerRunner:
             return None
 
     def _cache_store(self, key: str, results: ResultSet) -> None:
+        """Write one cache entry atomically.
+
+        The tmp file comes from ``tempfile.mkstemp`` — unique per call,
+        not just per process — so concurrent writers of the same key
+        (the resident service races exactly like this) each write their
+        own tmp and the final ``os.replace`` is the only visible step.
+        A reader can therefore never observe a torn entry; last replace
+        wins, and every writer's content is identical by construction
+        (same key ⇒ same sweep output).
+        """
         os.makedirs(self.cache_dir, exist_ok=True)
         path = self._cache_path(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as fh:
-            fh.write(results.to_json())
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f"sweep-{key[:8]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(results.to_json())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

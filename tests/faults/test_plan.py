@@ -10,6 +10,7 @@ from repro.faults.plan import (
     LinkFlapSpec,
     PoisonSpec,
     PowerLossSpec,
+    ServeShedSpec,
     SweepFailSpec,
     TxCrashSpec,
 )
@@ -56,6 +57,7 @@ class TestJsonRoundTrip:
             PowerLossSpec(domain="dom0", at_persist=4),
             TxCrashSpec(at_persist=7, survivor_prob=0.5),
             SweepFailSpec(series="1b.cxl", kernel="triad", attempts=None),
+            ServeShedSpec(tenant="t1", max_fires=3),
         ])
 
     def test_round_trip_preserves_content(self):
@@ -65,7 +67,7 @@ class TestJsonRoundTrip:
         assert clone.seed == 9
         assert [s.kind for s in clone.faults] == [
             "poison", "link_flap", "device_timeout", "power_loss",
-            "tx_crash", "sweep_fail"]
+            "tx_crash", "sweep_fail", "serve_shed"]
 
     def test_fires_is_run_state_not_content(self):
         plan = self._plan()

@@ -1,0 +1,74 @@
+"""Warm worker pool: reuse, recycling and the shared singleton."""
+
+import os
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.serve.pool import (WarmWorkerPool, pack_state, shared_pool,
+                              shutdown_shared_pool, worker_ident)
+from repro.stream.config import StreamConfig
+
+
+class TestWarmWorkerPool:
+    def test_workers_are_reused_across_submissions(self):
+        with WarmWorkerPool(1) as pool:
+            pids = {pool.submit(worker_ident).result() for _ in range(4)}
+        assert len(pids) == 1, "one worker must serve every submission"
+        assert pids != {os.getpid()}, "work must run out of process"
+
+    def test_recycle_respawns_and_counts(self):
+        with WarmWorkerPool(1) as pool:
+            pool.submit(worker_ident).result()
+            pool.recycle()
+            assert pool.restarts == 1
+            assert pool.alive
+            # the recycled pool still serves work
+            assert isinstance(pool.submit(worker_ident).result(), int)
+
+    def test_submit_autostarts(self):
+        pool = WarmWorkerPool(1)
+        assert not pool.alive
+        try:
+            assert isinstance(pool.submit(worker_ident).result(), int)
+            assert pool.alive
+            assert pool.submitted == 1
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_idempotent(self):
+        pool = WarmWorkerPool(1).start()
+        pool.shutdown()
+        pool.shutdown()
+        assert not pool.alive
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_bad_worker_count(self, bad):
+        with pytest.raises(BenchmarkError, match="worker"):
+            WarmWorkerPool(bad)
+
+
+class TestPackState:
+    def test_key_is_content_addressed(self):
+        cfg = StreamConfig(array_size=10_000)
+        k1, b1 = pack_state({}, cfg)
+        k2, b2 = pack_state({}, cfg)
+        assert k1 == k2 and b1 == b2
+        k3, _ = pack_state({}, StreamConfig(array_size=20_000))
+        assert k3 != k1
+
+
+class TestSharedPool:
+    def test_singleton_reuse(self):
+        p1 = shared_pool(1)
+        p2 = shared_pool()
+        assert p1 is p2
+        shutdown_shared_pool()
+
+    def test_resize_replaces_pool(self):
+        p1 = shared_pool(1)
+        p2 = shared_pool(2)
+        assert p2 is not p1
+        assert p2.workers == 2
+        assert not p1.alive
+        shutdown_shared_pool()

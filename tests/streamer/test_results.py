@@ -102,3 +102,41 @@ class TestCsvRoundTripExactness:
         from_text = ResultSet.from_csv(text)
         from_file = ResultSet.from_csv(str(path))
         assert list(from_text) == list(from_file) == list(rs)
+
+
+class TestJsonFastEncoder:
+    """``to_json`` hand-rolls the ``json.dumps(indent=0, sort_keys=True)``
+    wire format for speed; these diff it against the reference encoder."""
+
+    @staticmethod
+    def _reference(rs: ResultSet) -> str:
+        import json
+        from dataclasses import asdict
+        doc = {"records": [asdict(r) for r in rs]}
+        if rs.failures:
+            doc["failures"] = [asdict(f) for f in rs.failures]
+        return json.dumps(doc, indent=0, sort_keys=True)
+
+    def test_matches_reference_encoder(self, rs):
+        assert rs.to_json() == self._reference(rs)
+
+    def test_matches_reference_with_failures_and_escapes(self):
+        from repro.streamer.results import FailureRecord
+        rs = ResultSet([_rec(series='s "quoted" ▲ \n tab\t')])
+        rs.add_failure(FailureRecord(
+            group="1a", series="s ▲", kernel="triad", testbed="setup1",
+            error_type="CxlPoisonError", message='m "q" \\ \n', attempts=2,
+            quarantined=True))
+        assert rs.to_json() == self._reference(rs)
+
+    def test_matches_reference_empty(self):
+        assert ResultSet().to_json() == self._reference(ResultSet())
+
+    def test_matches_reference_ugly_floats(self):
+        ugly = [0.1 + 0.2, 1 / 3, 2.0 ** -40, float("inf"), float("nan")]
+        rs = ResultSet([_rec(n=i + 1, gbps=v) for i, v in enumerate(ugly)])
+        assert rs.to_json() == self._reference(rs)
+
+    def test_round_trip(self, rs):
+        back = ResultSet.from_json(rs.to_json())
+        assert back.to_json() == rs.to_json()

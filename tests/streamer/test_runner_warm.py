@@ -1,0 +1,123 @@
+"""Warm-pool ``run_all``: worker reuse, ownership, and atomic caching."""
+
+import json
+import os
+import threading
+
+from repro.serve.pool import WarmWorkerPool, worker_ident
+from repro.stream.config import StreamConfig
+from repro.streamer.runner import StreamerRunner
+
+_CFG = StreamConfig(array_size=50_000)
+
+
+def _worker_pid(pool) -> int:
+    return pool.submit(worker_ident).result()
+
+
+class TestWarmRunAll:
+    def test_rerun_reuses_workers_and_matches_serial(self):
+        serial = StreamerRunner(config=_CFG).run_all(
+            kernels=("triad",)).to_json()
+        with StreamerRunner(config=_CFG) as runner:
+            pool = runner.start_pool(1)
+            pid_before = _worker_pid(pool)
+            first = runner.run_all(kernels=("triad",))
+            second = runner.run_all(kernels=("triad",))
+            pid_after = _worker_pid(pool)
+        assert pid_before == pid_after, \
+            "run_all must not respawn a live warm pool"
+        assert first.to_json() == serial
+        assert second.to_json() == serial
+
+    def test_start_pool_is_idempotent(self):
+        with StreamerRunner(config=_CFG) as runner:
+            p1 = runner.start_pool(1)
+            p2 = runner.start_pool(1)
+            assert p1 is p2
+
+    def test_parallel_false_forces_serial_despite_pool(self):
+        with StreamerRunner(config=_CFG) as runner:
+            pool = runner.start_pool(1)
+            before = pool.submitted
+            out = runner.run_all(kernels=("triad",), parallel=False)
+            assert pool.submitted == before, \
+                "parallel=False must bypass the warm pool"
+        assert out.to_json() == StreamerRunner(config=_CFG).run_all(
+            kernels=("triad",)).to_json()
+
+    def test_attached_pool_is_not_shut_down(self):
+        with WarmWorkerPool(1) as pool:
+            runner = StreamerRunner(config=_CFG)
+            runner.attach_pool(pool)
+            runner.run_all(kernels=("triad",))
+            runner.close_pool()
+            assert pool.alive, "close_pool must not kill a borrowed pool"
+
+    def test_exit_shuts_down_owned_pool(self):
+        runner = StreamerRunner(config=_CFG)
+        with runner:
+            pool = runner.start_pool(1)
+            assert pool.alive
+        assert not pool.alive
+
+
+class TestAtomicCacheStore:
+    def test_racing_writers_never_corrupt_the_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runner = StreamerRunner(config=_CFG, cache_dir=cache_dir)
+        results = runner.run_all(kernels=("triad",))
+        key = runner.sweep_cache_key(("triad",))
+        expected = results.to_json()
+
+        errors: list[Exception] = []
+
+        def hammer():
+            try:
+                for _ in range(10):
+                    runner._cache_store(key, results)
+            except Exception as exc:        # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        path = runner._cache_path(key)
+        with open(path) as fh:
+            assert fh.read() == expected    # whole document, never torn
+        leftovers = [f for f in os.listdir(cache_dir)
+                     if f.endswith(".tmp")]
+        assert leftovers == [], "tmp files must not leak"
+
+    def test_store_is_readable_json_after_each_write(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runner = StreamerRunner(config=_CFG, cache_dir=cache_dir)
+        results = runner.run_all(kernels=("triad",))
+        key = runner.sweep_cache_key(("triad",))
+        path = runner._cache_path(key)
+
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    with open(path) as fh:
+                        json.loads(fh.read())
+                except FileNotFoundError:
+                    pass
+                except ValueError as exc:
+                    bad.append(str(exc))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            for _ in range(30):
+                runner._cache_store(key, results)
+        finally:
+            stop.set()
+            t.join()
+        assert bad == [], "a reader must never observe a torn document"
