@@ -214,6 +214,27 @@ class ServiceClosedError(ServiceError):
     """The service is stopping/stopped and cannot accept this request."""
 
 
+class TieringError(ReproError):
+    """Misuse of the runtime tiering engine (invalid migration decisions,
+    capacity violations, malformed tiering specs)."""
+
+
+class MigrationAbortError(TieringError):
+    """A page migration was killed mid-copy (fault injection or a media
+    error on the copy path).  The migration engine guarantees the page
+    still lives *fully* in exactly one tier afterwards.
+
+    ``page`` is the page id whose move was aborted; ``direction`` is
+    ``"promote"`` or ``"demote"``.
+    """
+
+    def __init__(self, message: str, page: int = -1,
+                 direction: str = "") -> None:
+        super().__init__(message)
+        self.page = page
+        self.direction = direction
+
+
 class ValidationError(BenchmarkError):
     """STREAM result arrays failed the epsilon check (like the original
     ``checkSTREAMresults``)."""

@@ -42,11 +42,13 @@ from repro.errors import (
     PowerLossInjected,
 )
 from repro.errors import ServiceOverloadError
+from repro.errors import MigrationAbortError
 from repro.faults.plan import (
     DeviceTimeoutSpec,
     FaultPlan,
     FaultSpec,
     LinkFlapSpec,
+    MigrationAbortSpec,
     PoisonSpec,
     PowerLossSpec,
     ServeShedSpec,
@@ -57,11 +59,11 @@ from repro.faults.plan import (
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
-    "ServeShedSpec", "SweepFaultInjected",
+    "ServeShedSpec", "MigrationAbortSpec", "SweepFaultInjected",
     "install", "clear", "active", "enabled", "use_plan", "load_plan",
     "export_active", "bind_domain", "domains", "unbind_domains",
     "on_cxl_op", "on_persist", "on_sweep_task", "on_serve_request",
-    "bypassed",
+    "on_migration", "bypassed",
 ]
 
 
@@ -275,6 +277,35 @@ def on_sweep_task(series: str, kernel: str, attempt: int) -> None:
             )
 
 
+def on_migration(page: int, direction: str) -> None:
+    """Consult the plan mid-copy of one tiering page migration.
+
+    The migration engine calls this between the two half-page copy
+    spans of every move, so an injected abort genuinely interrupts a
+    copy in flight.
+
+    Raises:
+        MigrationAbortError: a :class:`MigrationAbortSpec` matched this
+            move — the engine leaves the page fully in its source tier.
+    """
+    plan = _plan
+    if plan is None:
+        return
+    n = plan.next_migration_op()
+    for spec in plan.specs("migration_abort"):
+        if n == spec.at_move and spec.matches(direction):
+            spec._fire()
+            obs.inc("faults.injected.migration_abort")
+            obs.instant("fault.migration_abort",
+                        meta={"page": page, "direction": direction,
+                              "move": n})
+            raise MigrationAbortError(
+                f"injected migration abort: {direction} of page {page} "
+                f"killed mid-copy (move #{n})",
+                page=page, direction=direction,
+            )
+
+
 def on_serve_request(tenant: str) -> None:
     """Consult the plan at the sweep service's admission boundary.
 
@@ -312,7 +343,7 @@ class bypassed:
     """
 
     _HOOKS = ("on_cxl_op", "on_persist", "on_sweep_task",
-              "on_serve_request", "enabled")
+              "on_serve_request", "on_migration", "enabled")
 
     def __enter__(self) -> "bypassed":
         g = globals()

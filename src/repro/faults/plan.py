@@ -29,7 +29,7 @@ from repro.errors import FaultPlanError
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
-    "ServeShedSpec",
+    "ServeShedSpec", "MigrationAbortSpec",
 ]
 
 
@@ -195,10 +195,41 @@ class ServeShedSpec(FaultSpec):
         return self.tenant is None or tenant == self.tenant
 
 
+@dataclass
+class MigrationAbortSpec(FaultSpec):
+    """Kill a tiering page migration mid-copy.
+
+    Fires at the ``at_move``-th page move the migration engine performs
+    (1-based, process-wide), optionally only when the move ``direction``
+    matches (``"promote"``/``"demote"``; ``None`` = either).  The copy
+    stops between the two half-page spans and raises
+    :class:`~repro.errors.MigrationAbortError`; the engine guarantees
+    the page still lives fully in its source tier — chaos plans assert
+    that conservation invariant afterwards.
+    """
+
+    kind = "migration_abort"
+
+    at_move: int = 1
+    direction: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_move < 1:
+            raise FaultPlanError("migration_abort at_move is 1-based")
+        if self.direction not in (None, "promote", "demote"):
+            raise FaultPlanError(
+                "migration_abort direction must be 'promote', 'demote' "
+                "or null")
+
+    def matches(self, direction: str) -> bool:
+        return self.direction is None or direction == self.direction
+
+
 _SPEC_KINDS: dict[str, type[FaultSpec]] = {
     cls.kind: cls
     for cls in (PoisonSpec, LinkFlapSpec, DeviceTimeoutSpec,
-                PowerLossSpec, TxCrashSpec, SweepFailSpec, ServeShedSpec)
+                PowerLossSpec, TxCrashSpec, SweepFailSpec, ServeShedSpec,
+                MigrationAbortSpec)
 }
 
 
@@ -224,6 +255,7 @@ class FaultPlan:
         self.rng = random.Random(self.seed)
         self.cxl_ops: dict[str, int] = {}       # scope key -> op count
         self.persist_ops = 0
+        self.migration_ops = 0
         for spec in self.faults:
             spec.reset()
 
@@ -239,6 +271,10 @@ class FaultPlan:
     def next_persist_op(self) -> int:
         self.persist_ops += 1
         return self.persist_ops
+
+    def next_migration_op(self) -> int:
+        self.migration_ops += 1
+        return self.migration_ops
 
     # -- JSON round trip ------------------------------------------------
 

@@ -296,6 +296,24 @@ def setup1_variant(media_grade: DramSpeedGrade | None = None,
     )
 
 
+def ablation_variants() -> dict[str, dict]:
+    """The Section-2.2 prototype-upgrade ablation matrix.
+
+    Maps a display name to the :func:`setup1_variant` keyword arguments
+    that build it — shared by the ``streamer ablation`` command and any
+    bench that sweeps the proposed upgrades, so the set of variants is
+    defined exactly once.
+    """
+    from repro.machine.dram import DDR4_3200, DDR5_5600
+
+    return {
+        "baseline (DDR4-1333 x2ch)": {},
+        "media DDR4-3200": {"media_grade": DDR4_3200},
+        "media DDR5-5600": {"media_grade": DDR5_5600},
+        "channels 4": {"channels": 4},
+    }
+
+
 def optane_reference() -> OptaneReference:
     """Published Optane DCPMM bandwidth the paper benchmarks against."""
     return OptaneReference()

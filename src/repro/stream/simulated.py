@@ -17,17 +17,28 @@ from repro.machine.numa import NumaPolicy
 from repro.machine.topology import Machine
 from repro.memsim.engine import AccessMode, StreamSimResult, simulate_stream
 from repro.stream.config import StreamConfig
+from repro.tiering.evaluate import TieringSpec, effective_sweep_policy
 
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """One bandwidth-vs-threads series."""
+    """One bandwidth-vs-threads series.
+
+    When ``tiering`` is set, the static ``policy`` is replaced at
+    simulation time by the steady-state NUMA split the tiering run
+    converges to (see :func:`repro.tiering.evaluate.effective_sweep_policy`)
+    — which makes the tiering policy a sweepable axis: the spec still
+    pickles into warm-pool workers and hashes into the sweep cache key,
+    because :class:`~repro.tiering.evaluate.TieringSpec` is plain
+    scalars all the way down.
+    """
 
     label: str
     policy: NumaPolicy
     mode: AccessMode
     affinity: AffinityMode = AffinityMode.CLOSE
     sockets: tuple[int, ...] | None = None
+    tiering: TieringSpec | None = None
 
 
 def simulate_sweep(machine: Machine, kernel: str, spec: SweepSpec,
@@ -37,6 +48,11 @@ def simulate_sweep(machine: Machine, kernel: str, spec: SweepSpec,
     """Simulate one series across ``thread_counts``."""
     cfg = config or StreamConfig.paper()
     sockets = list(spec.sockets) if spec.sockets is not None else None
+    policy = spec.policy
+    if spec.tiering is not None:
+        src = spec.sockets[0] if spec.sockets else 0
+        policy, _ = effective_sweep_policy(machine, spec.tiering,
+                                           src_socket=src)
     out: list[StreamSimResult] = []
     with obs.span("stream.sweep", meta={"label": spec.label, "kernel": kernel,
                                         "points": len(thread_counts)}):
@@ -44,7 +60,7 @@ def simulate_sweep(machine: Machine, kernel: str, spec: SweepSpec,
             cores = place_threads_cached(machine, n, spec.affinity,
                                          sockets=sockets)
             out.append(simulate_stream(
-                machine, kernel, cores, spec.policy, spec.mode,
+                machine, kernel, cores, policy, spec.mode,
                 array_elements=cfg.array_size,
             ))
     return out

@@ -35,6 +35,8 @@ from repro import compiled, faults, obs
 from repro.stream.config import StreamConfig
 from repro.streamer.compare import comparison_report
 from repro.streamer.configs import FIGURE_KERNELS
+from repro.tiering.evaluate import TRACE_KINDS
+from repro.tiering.policy import POLICIES as TIERING_POLICIES
 from repro.streamer.report import dataflow_report, figure_report, full_report
 from repro.streamer.results import ResultSet
 from repro.streamer.runner import StreamerRunner
@@ -87,6 +89,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="per-task budget for parallel workers; timed-out "
                           "tasks are retried in the parent process")
+    run.add_argument("--tiering-policy", metavar="POLICY",
+                     choices=sorted(TIERING_POLICIES) + ["all"],
+                     help="sweep the runtime-tiering group instead of the "
+                          "paper groups: one series per policy "
+                          f"({', '.join(sorted(TIERING_POLICIES))}; "
+                          "'all' sweeps every policy)")
+    run.add_argument("--tiering-trace", default="zipf",
+                     choices=list(TRACE_KINDS),
+                     help="access trace driving the tiering evaluation "
+                          "(default: zipf)")
 
     rep = sub.add_parser("report", help="render figure tables from a CSV")
     rep.add_argument("--results", required=True, help="results CSV path")
@@ -119,6 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "ablation",
         help="sweep the paper's proposed prototype upgrades")
     abl.add_argument("--threads", type=int, default=10)
+    abl.add_argument("--policy", metavar="POLICY",
+                     choices=sorted(TIERING_POLICIES),
+                     help="run each variant under this runtime tiering "
+                          "policy's steady-state traffic split instead of "
+                          "CXL-bound NUMA")
 
     srv = sub.add_parser(
         "serve",
@@ -144,6 +161,23 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--no-cache", action="store_true",
                      help="disable the on-disk sweep cache layer")
     return p
+
+
+def _tiering_report(results: ResultSet) -> str:
+    """Bandwidth-vs-threads table per kernel for the tiering group."""
+    lines = ["=== Runtime tiering policies — STREAM bandwidth (GB/s) ==="]
+    for kernel in sorted({r.kernel for r in results}):
+        recs = results.filter(kernel=kernel)
+        series = sorted({r.series for r in recs})
+        lines.append(f"\n--- {kernel} ---")
+        lines.append(f"{'threads':>8}" + "".join(
+            f"{s.split('.', 1)[1]:>12}" for s in series))
+        threads = sorted({r.n_threads for r in recs})
+        by = {(r.series, r.n_threads): r.gbps for r in recs}
+        for n in threads:
+            lines.append(f"{n:>8}" + "".join(
+                f"{by.get((s, n), float('nan')):>12.2f}" for s in series))
+    return "\n".join(lines)
 
 
 def _runner(args) -> StreamerRunner:
@@ -202,7 +236,14 @@ def _dispatch(args) -> int:
         if args.max_retries < 0:
             _build_parser().error(
                 f"--max-retries must be >= 0, got {args.max_retries}")
-        if args.group:
+        if args.tiering_policy:
+            from repro.streamer.configs import tiering_group
+            policies = (None if args.tiering_policy == "all"
+                        else [args.tiering_policy])
+            group = tiering_group(policies, trace=args.tiering_trace)
+            runner.groups[group.group_id] = group
+            results = runner.run_group(group)
+        elif args.group:
             results = runner.run_group(args.group)
         elif args.figure:
             results = runner.run_figure(args.figure, parallel=parallel,
@@ -220,13 +261,16 @@ def _dispatch(args) -> int:
             for path in write_all_figures(results, args.gnuplot):
                 print(f"wrote {path}")
         if not args.quiet:
-            figures = ([args.figure] if args.figure
-                       else sorted(FIGURE_KERNELS))
-            for f in figures:
-                kernel = FIGURE_KERNELS[f]
-                if results.filter(kernel=kernel):
-                    print(figure_report(results, f))
-                    print()
+            if args.tiering_policy:
+                print(_tiering_report(results))
+            else:
+                figures = ([args.figure] if args.figure
+                           else sorted(FIGURE_KERNELS))
+                for f in figures:
+                    kernel = FIGURE_KERNELS[f]
+                    if results.filter(kernel=kernel):
+                        print(figure_report(results, f))
+                        print()
         if results.failures:
             print(f"{len(results.failures)} sweep task(s) failed:",
                   file=sys.stderr)
@@ -309,23 +353,28 @@ def _dispatch(args) -> int:
 
     if args.command == "ablation":
         from repro.machine.affinity import place_threads
-        from repro.machine.dram import DDR4_3200, DDR5_5600
         from repro.machine.numa import NumaPolicy
-        from repro.machine.presets import setup1_variant
+        from repro.machine.presets import ablation_variants, setup1_variant
         from repro.memsim.engine import AccessMode, simulate_stream
-        variants = {
-            "baseline (DDR4-1333 x2ch)": {},
-            "media DDR4-3200": {"media_grade": DDR4_3200},
-            "media DDR5-5600": {"media_grade": DDR5_5600},
-            "channels 4": {"channels": 4},
-        }
-        print(f"{'variant':<28}{'triad GB/s':>12}")
-        for name, kw in variants.items():
+        header = "triad GB/s"
+        if args.policy:
+            from repro.tiering.evaluate import (
+                TieringSpec,
+                effective_sweep_policy,
+            )
+            header = f"triad GB/s [{args.policy}]"
+        print(f"{'variant':<28}{header:>20}")
+        for name, kw in ablation_variants().items():
             tb = setup1_variant(**kw)
+            if args.policy:
+                policy, _ = effective_sweep_policy(
+                    tb.machine, TieringSpec(policy=args.policy))
+            else:
+                policy = NumaPolicy.bind(2)
             cores = place_threads(tb.machine, args.threads, sockets=[0])
             r = simulate_stream(tb.machine, "triad", cores,
-                                NumaPolicy.bind(2), AccessMode.NUMA)
-            print(f"{name:<28}{r.reported_gbps:>12.2f}")
+                                policy, AccessMode.NUMA)
+            print(f"{name:<28}{r.reported_gbps:>20.2f}")
         return 0
 
     if args.command == "serve":

@@ -19,12 +19,14 @@ names the active sockets; the annotation is ``pmem#{0,1,2}`` or
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.machine.affinity import AffinityMode
 from repro.machine.numa import NumaPolicy
 from repro.memsim.engine import AccessMode
 from repro.stream.simulated import SweepSpec
+from repro.tiering.evaluate import TieringSpec
+from repro.tiering.policy import POLICIES
 
 #: figure number → STREAM kernel, as in the paper
 FIGURE_KERNELS: dict[int, str] = {5: "scale", 6: "add", 7: "copy", 8: "triad"}
@@ -171,3 +173,45 @@ def test_groups() -> dict[str, TestGroup]:
     )
 
     return {g.group_id: g for g in (g1a, g1b, g1c, g2a, g2b)}
+
+
+#: group id the runtime-tiering sweep registers under
+TIERING_GROUP_ID = "3t"
+
+
+def tiering_group(policies=None, trace: str = "zipf",
+                  spec: TieringSpec | None = None) -> TestGroup:
+    """The runtime-tiering sweep: one series per policy on setup #1.
+
+    Not part of the paper's five groups (so :func:`test_groups` and the
+    default ``run_all`` matrix are unchanged); the CLI registers it on
+    demand via ``streamer run --tiering-policy ...``.  Each series runs
+    socket-0 cores against the steady-state DDR5/CXL traffic split its
+    policy converges to, making the policy itself the swept axis — the
+    warm pool, result cache and report plumbing all apply unchanged.
+    """
+    base = spec if spec is not None else TieringSpec(trace=trace)
+    names = sorted(POLICIES) if policies is None else list(policies)
+    series = tuple(
+        TestSeries(
+            f"3t.{name}", f"s0->tier[{name}] × {base.trace}", "setup1",
+            SYMBOL_CXL,
+            SweepSpec(
+                label="",
+                # placeholder: replaced by the tiering-derived split
+                policy=NumaPolicy.bind(2),
+                mode=AccessMode.NUMA,
+                sockets=(0,),
+                tiering=replace(base, policy=name),
+            ),
+        )
+        for name in names
+    )
+    return TestGroup(
+        group_id=TIERING_GROUP_ID,
+        title="Runtime hot/cold tiering policies",
+        description=("Socket-0 cores under each runtime tiering policy's "
+                     "steady-state DDR5/CXL traffic split "
+                     f"({base.trace} trace)"),
+        series=series,
+    )

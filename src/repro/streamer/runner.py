@@ -40,7 +40,7 @@ from repro.streamer.results import FailureRecord, ResultRecord, ResultSet
 
 #: Bump when the cached-result layout or the model semantics change in a
 #: way the content hash cannot see.
-SWEEP_CACHE_SCHEMA = 2
+SWEEP_CACHE_SCHEMA = 3    # 3: SweepSpec grew the tiering axis
 
 _KERNELS_DEFAULT = ("copy", "scale", "add", "triad")
 

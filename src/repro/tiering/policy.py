@@ -1,0 +1,303 @@
+"""Pluggable promotion/demotion policies for the tiering engine.
+
+A :class:`TieringPolicy` looks at the epoch's heat/access evidence and
+emits one batched :class:`~repro.tiering.migrate.MigrationDecision`.
+Four policies ship, spanning the design space the related work measures
+("Demystifying CXL Memory", TPP):
+
+* :class:`StaticInterleave` — the no-migration baseline: pages stay
+  where the initial weighted-interleave placement put them (today's
+  ``core/tiering`` behaviour, and the right answer for pure streaming);
+* :class:`LruCache` — adapts :class:`repro.core.tiering.PageCache`:
+  near memory mirrors an exact LRU of the access stream (promote
+  resident-but-far, demote near-but-evicted);
+* :class:`TppPromote` — TPP-style threshold promotion with hysteresis:
+  a page must look hot (``heat >= hot_threshold``) for ``hysteresis``
+  consecutive epochs before it earns a promotion, and cold
+  (``heat < cold_threshold``) as long before it is demoted — the
+  hysteresis is what keeps a borderline page from ping-ponging;
+* :class:`BandwidthSpill` — bandwidth-aware: keeps the near tier
+  holding the hottest pages until their cumulative heat reaches the
+  near tier's fair *bandwidth* share, spilling only the remainder to
+  CXL (pages beyond that point gain little from DDR residency).
+
+Every policy is **deterministic**: candidate ordering is heat-sorted
+with ascending-page-id tie-breaks (``np.lexsort``), no RNG anywhere —
+the property suite replays decision streams and requires equality.
+
+All policies share one budget/capacity fitter so no decision can
+overflow the near tier or exceed ``max_moves_per_epoch``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.tiering import PageCache
+from repro.errors import TieringError
+from repro.tiering.migrate import (
+    FAR,
+    NEAR,
+    MigrationDecision,
+    TierState,
+    interleave_placement,
+)
+
+__all__ = [
+    "TieringPolicy",
+    "StaticInterleave",
+    "LruCache",
+    "TppPromote",
+    "BandwidthSpill",
+    "POLICIES",
+    "make_policy",
+]
+
+
+def _heat_order(pages: Iterable[int], heat: np.ndarray,
+                hottest_first: bool) -> np.ndarray:
+    """Deterministic heat ordering: heat (desc or asc), then page id."""
+    arr = np.asarray(sorted(pages), dtype=np.int64)
+    if arr.size == 0:
+        return arr
+    key = -heat[arr] if hottest_first else heat[arr]
+    return arr[np.lexsort((arr, key))]
+
+
+def _fit(state: TierState, promos: np.ndarray, demos: np.ndarray,
+         budget: int, proactive_demote: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Clip ordered candidate lists to budget + near-tier capacity.
+
+    Promotions get priority; demotions are taken as needed to make room
+    (plus, when ``proactive_demote``, any leftover budget keeps draining
+    the cold list to preserve free headroom — TPP behaviour).
+    """
+    free = state.near_free
+    d_max = min(len(demos), budget)
+    # each promotion beyond the free slots consumes a matching demotion
+    # out of the same budget: cost(p) = p + max(0, p - free) <= budget
+    p_budget = (budget + free) // 2 if budget >= free else budget
+    p = min(len(promos), free + d_max, p_budget)
+    d_needed = max(0, p - free)
+    d = d_needed
+    if proactive_demote:
+        d += max(0, min(d_max - d_needed, budget - p - d_needed))
+    return promos[:p], demos[:d]
+
+
+class TieringPolicy:
+    """Base class: one ``decide()`` per epoch.
+
+    Args:
+        n_pages: footprint size in pages.
+        near_capacity_pages: near-tier capacity.
+        max_moves_per_epoch: migration budget per decision (both
+            directions combined).
+    """
+
+    name = "abstract"
+
+    def __init__(self, n_pages: int, near_capacity_pages: int,
+                 max_moves_per_epoch: int = 512) -> None:
+        if n_pages < 1:
+            raise TieringError("policy needs at least one page")
+        if max_moves_per_epoch < 0:
+            raise TieringError("migration budget must be >= 0")
+        self.n_pages = n_pages
+        self.near_capacity_pages = near_capacity_pages
+        self.max_moves_per_epoch = max_moves_per_epoch
+
+    def initial_placement(self) -> np.ndarray:
+        """The fair starting placement every policy begins from: a
+        capacity-proportional weighted interleave (every ``k``-th page
+        near, ``k ≈ footprint / near capacity``), which is the static
+        baseline's steady state and fills — never overflows — the near
+        tier."""
+        k = max(1, round(self.n_pages / max(1, self.near_capacity_pages)))
+        return interleave_placement(self.n_pages, self.near_capacity_pages,
+                                    near_weight=1, far_weight=k - 1)
+
+    def decide(self, heat: np.ndarray, accesses: np.ndarray,
+               state: TierState, epoch: int) -> MigrationDecision:
+        """Emit this epoch's migration order.
+
+        Args:
+            heat: the tracker's decayed per-page heat *after* the
+                epoch's fold.
+            accesses: the epoch's raw page-id access batch (some
+                policies — LRU — need the sequence, not just counts).
+            state: current placement (read-only for policies).
+            epoch: the epoch index just folded.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.n_pages} pages, "
+                f"{self.near_capacity_pages} near, "
+                f"budget {self.max_moves_per_epoch}/epoch")
+
+
+class StaticInterleave(TieringPolicy):
+    """No runtime migration — the weighted-interleave baseline."""
+
+    name = "static"
+
+    def decide(self, heat, accesses, state, epoch) -> MigrationDecision:
+        return MigrationDecision(epoch=epoch)
+
+
+class LruCache(TieringPolicy):
+    """Near memory tracks an exact LRU of the access stream.
+
+    Reuses :class:`repro.core.tiering.PageCache` (including its batched
+    ``access_many`` fast path): after the epoch's batch is fed through
+    the cache, resident-but-far pages are promoted (hottest first) and
+    near-but-evicted pages demoted (coldest first).
+    """
+
+    name = "lru"
+
+    def __init__(self, n_pages: int, near_capacity_pages: int,
+                 max_moves_per_epoch: int = 512) -> None:
+        super().__init__(n_pages, near_capacity_pages, max_moves_per_epoch)
+        self.cache = PageCache(max(1, near_capacity_pages))
+
+    def decide(self, heat, accesses, state, epoch) -> MigrationDecision:
+        self.cache.access_many(accesses)
+        resident = set(self.cache.pages())
+        promos = _heat_order(resident & state.far_pages, heat,
+                             hottest_first=True)
+        demos = _heat_order(state.near_pages - resident, heat,
+                            hottest_first=False)
+        promos, demos = _fit(state, promos, demos,
+                             self.max_moves_per_epoch,
+                             proactive_demote=False)
+        return MigrationDecision(epoch=epoch,
+                                 promotions=tuple(promos.tolist()),
+                                 demotions=tuple(demos.tolist()))
+
+
+class TppPromote(TieringPolicy):
+    """TPP-style hot-promotion / cold-demotion with hysteresis.
+
+    A far page with ``heat >= hot_threshold`` for ``hysteresis``
+    consecutive epochs becomes a promotion candidate; a near page with
+    ``heat < cold_threshold`` as long becomes a demotion candidate.
+    Candidates move hottest-first (promotions) / coldest-first
+    (demotions) under the per-epoch budget, and cold pages keep
+    draining proactively when budget remains so the near tier retains
+    free headroom for the next burst.
+    """
+
+    name = "tpp"
+
+    def __init__(self, n_pages: int, near_capacity_pages: int,
+                 max_moves_per_epoch: int = 512,
+                 hot_threshold: float = 1.0,
+                 cold_threshold: float = 0.25,
+                 hysteresis: int = 2) -> None:
+        super().__init__(n_pages, near_capacity_pages, max_moves_per_epoch)
+        if hot_threshold < cold_threshold:
+            raise TieringError(
+                f"hot threshold ({hot_threshold}) must be >= cold "
+                f"threshold ({cold_threshold})")
+        if hysteresis < 1:
+            raise TieringError("hysteresis must be >= 1 epoch")
+        self.hot_threshold = float(hot_threshold)
+        self.cold_threshold = float(cold_threshold)
+        self.hysteresis = hysteresis
+        self._hot_streak = np.zeros(n_pages, dtype=np.int64)
+        self._cold_streak = np.zeros(n_pages, dtype=np.int64)
+
+    def decide(self, heat, accesses, state, epoch) -> MigrationDecision:
+        hot = heat >= self.hot_threshold
+        cold = heat < self.cold_threshold
+        self._hot_streak = np.where(hot, self._hot_streak + 1, 0)
+        self._cold_streak = np.where(cold, self._cold_streak + 1, 0)
+        promo_mask = ((self._hot_streak >= self.hysteresis)
+                      & (state.placement == FAR))
+        demo_mask = ((self._cold_streak >= self.hysteresis)
+                     & (state.placement == NEAR))
+        promos = _heat_order(np.flatnonzero(promo_mask).tolist(), heat,
+                             hottest_first=True)
+        demos = _heat_order(np.flatnonzero(demo_mask).tolist(), heat,
+                            hottest_first=False)
+        promos, demos = _fit(state, promos, demos,
+                             self.max_moves_per_epoch,
+                             proactive_demote=True)
+        return MigrationDecision(epoch=epoch,
+                                 promotions=tuple(promos.tolist()),
+                                 demotions=tuple(demos.tolist()))
+
+
+class BandwidthSpill(TieringPolicy):
+    """Keep the near tier saturated before spilling heat to CXL.
+
+    The near tier deserves the share of traffic its bandwidth can
+    carry: ``near_gbps / (near_gbps + far_gbps)``.  Each epoch the
+    policy takes pages in heat order until their cumulative heat
+    reaches that share of the total (never past capacity, never pages
+    with zero heat) — that prefix *is* the desired near set.  Missing
+    members are promoted; near pages outside it are demoted only as
+    capacity demands (no churn for its own sake).
+    """
+
+    name = "spill"
+
+    def __init__(self, n_pages: int, near_capacity_pages: int,
+                 max_moves_per_epoch: int = 512,
+                 near_gbps: float = 33.0, far_gbps: float = 11.5) -> None:
+        super().__init__(n_pages, near_capacity_pages, max_moves_per_epoch)
+        if near_gbps <= 0 or far_gbps <= 0:
+            raise TieringError("tier bandwidths must be positive")
+        self.near_gbps = float(near_gbps)
+        self.far_gbps = float(far_gbps)
+
+    @property
+    def near_share(self) -> float:
+        return self.near_gbps / (self.near_gbps + self.far_gbps)
+
+    def decide(self, heat, accesses, state, epoch) -> MigrationDecision:
+        total = float(heat.sum())
+        if total <= 0.0:
+            return MigrationDecision(epoch=epoch)
+        order = np.lexsort((np.arange(self.n_pages), -heat))
+        cum = np.cumsum(heat[order])
+        # smallest prefix whose heat reaches the near bandwidth share
+        want = int(np.searchsorted(cum, self.near_share * total) + 1)
+        want = min(want, self.near_capacity_pages)
+        prefix = order[:want]
+        desired = set(prefix[heat[prefix] > 0.0].tolist())
+        promos = _heat_order(desired & state.far_pages, heat,
+                             hottest_first=True)
+        demos = _heat_order(state.near_pages - desired, heat,
+                            hottest_first=False)
+        promos, demos = _fit(state, promos, demos,
+                             self.max_moves_per_epoch,
+                             proactive_demote=False)
+        return MigrationDecision(epoch=epoch,
+                                 promotions=tuple(promos.tolist()),
+                                 demotions=tuple(demos.tolist()))
+
+
+#: CLI / spec name -> policy class
+POLICIES: dict[str, type[TieringPolicy]] = {
+    StaticInterleave.name: StaticInterleave,
+    LruCache.name: LruCache,
+    TppPromote.name: TppPromote,
+    BandwidthSpill.name: BandwidthSpill,
+}
+
+
+def make_policy(name: str, n_pages: int, near_capacity_pages: int,
+                **kwargs) -> TieringPolicy:
+    """Instantiate a policy by registry name (CLI/spec entry point)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise TieringError(
+            f"unknown tiering policy {name!r}; "
+            f"expected one of {sorted(POLICIES)}") from None
+    return cls(n_pages, near_capacity_pages, **kwargs)

@@ -1,0 +1,150 @@
+"""Chaos tests for the migration_abort fault kind: kill a tiering page
+move mid-copy and prove the conservation invariant holds."""
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.errors import MigrationAbortError, FaultPlanError
+from repro.faults.plan import FaultPlan, MigrationAbortSpec
+from repro.tiering.evaluate import TieringSpec, evaluate_policy
+from repro.tiering.migrate import (
+    FAR,
+    NEAR,
+    MigrationDecision,
+    MigrationEngine,
+    TierState,
+)
+
+
+def _engine(n=16, cap=8, near=()):
+    placement = np.full(n, FAR, dtype=np.int8)
+    for p in near:
+        placement[p] = NEAR
+    state = TierState(n, cap, placement=placement)
+    return MigrationEngine(state), state
+
+
+class TestSpec:
+    def test_at_move_is_one_based(self):
+        with pytest.raises(FaultPlanError, match="1-based"):
+            MigrationAbortSpec(at_move=0)
+
+    def test_direction_is_validated(self):
+        with pytest.raises(FaultPlanError, match="direction"):
+            MigrationAbortSpec(direction="sideways")
+
+    def test_direction_filter(self):
+        spec = MigrationAbortSpec(direction="promote")
+        assert spec.matches("promote")
+        assert not spec.matches("demote")
+        assert MigrationAbortSpec().matches("demote")
+
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan(seed=7, faults=[
+            MigrationAbortSpec(at_move=3, direction="demote", max_fires=1),
+        ])
+        back = FaultPlan.from_json(plan.to_json())
+        assert back.to_doc() == plan.to_doc()
+        spec = back.faults[0]
+        assert isinstance(spec, MigrationAbortSpec)
+        assert (spec.at_move, spec.direction) == (3, "demote")
+
+
+class TestInjection:
+    def test_abort_mid_copy_conserves_pages(self):
+        engine, state = _engine()
+        faults.install(FaultPlan(faults=[MigrationAbortSpec(at_move=2)]))
+        report = engine.apply(MigrationDecision(
+            epoch=0, promotions=(1, 2, 3)))
+        # move #1 (page 1) lands; move #2 (page 2) dies mid-copy; the
+        # window closes so page 3 is never attempted
+        assert report.promoted == 1
+        assert report.aborted_window
+        assert state.tier_of(1) == NEAR
+        assert state.tier_of(2) == FAR       # fully in its source tier
+        assert state.tier_of(3) == FAR
+        state.check_conservation()
+        assert engine.stats.aborted == 1
+
+    def test_direction_filter_spares_other_moves(self):
+        engine, state = _engine(near=(0,))
+        faults.install(FaultPlan(faults=[
+            MigrationAbortSpec(at_move=1, direction="promote"),
+        ]))
+        # demotions run first: move #1 is a demote, the spec ignores it,
+        # and the promotion at move #2 no longer matches at_move=1 —
+        # nothing fires at all
+        report = engine.apply(MigrationDecision(
+            epoch=0, promotions=(5,), demotions=(0,)))
+        assert report.demoted == 1
+        assert report.promoted == 1
+        assert not report.aborted_window
+        state.check_conservation()
+
+    def test_counter_spans_epochs(self):
+        engine, state = _engine()
+        faults.install(FaultPlan(faults=[MigrationAbortSpec(at_move=3)]))
+        engine.apply(MigrationDecision(epoch=0, promotions=(1, 2)))
+        report = engine.apply(MigrationDecision(epoch=1, promotions=(3,)))
+        assert report.aborted_window         # process-wide move #3
+        assert state.near_pages == {1, 2}
+        state.check_conservation()
+
+    def test_hook_raises_typed_error(self):
+        faults.install(FaultPlan(faults=[MigrationAbortSpec(at_move=1)]))
+        with pytest.raises(MigrationAbortError) as err:
+            faults.on_migration(9, "promote")
+        assert err.value.page == 9
+        assert err.value.direction == "promote"
+
+    def test_injection_is_observable(self):
+        obs.enable(metrics=True, trace=False)
+        faults.install(FaultPlan(faults=[MigrationAbortSpec(at_move=1)]))
+        engine, _ = _engine()
+        engine.apply(MigrationDecision(epoch=0, promotions=(1,)))
+        snap = obs.metrics_snapshot()
+        assert snap["faults.injected.migration_abort"]["value"] == 1
+        assert snap["tiering.migration_aborts"]["value"] == 1
+
+    def test_bypassed_covers_on_migration(self):
+        faults.install(FaultPlan(faults=[MigrationAbortSpec(at_move=1)]))
+        with faults.bypassed():
+            faults.on_migration(0, "promote")    # no-op, no raise
+        with pytest.raises(MigrationAbortError):
+            faults.on_migration(0, "promote")    # restored afterwards
+
+
+class TestChaosEvaluation:
+    def test_seeded_chaos_plan_through_evaluate_policy(self):
+        """A full policy evaluation survives a mid-run abort: the epoch
+        whose window dies still audits conservation, later epochs keep
+        migrating, and the abort shows up in the result."""
+        spec = TieringSpec(policy="tpp", n_pages=256, epochs=8,
+                           epoch_accesses=512, hot_fraction=0.95)
+        plan = FaultPlan(seed=11, faults=[
+            MigrationAbortSpec(at_move=5, max_fires=1),
+        ])
+        with faults.use_plan(plan):
+            chaotic = evaluate_policy(spec)
+        clean = evaluate_policy(spec)
+        assert chaotic.aborted == 1
+        assert clean.aborted == 0
+        # the killed window dropped work (later epochs may re-issue the
+        # moves, so the lifetime count can only stay equal or shrink)
+        assert chaotic.promotions <= clean.promotions
+        assert chaotic.total_accesses == clean.total_accesses
+        assert chaotic.final_near_pages <= spec.near_capacity_pages
+
+    def test_determinism_under_chaos(self):
+        spec = TieringSpec(policy="lru", n_pages=128, epochs=4,
+                           epoch_accesses=256)
+        plan_doc = FaultPlan(seed=3, faults=[
+            MigrationAbortSpec(at_move=2),
+        ]).to_json()
+        with faults.use_plan(FaultPlan.from_json(plan_doc)):
+            a = evaluate_policy(spec)
+        with faults.use_plan(FaultPlan.from_json(plan_doc)):
+            b = evaluate_policy(spec)
+        assert a.to_doc() == b.to_doc()
+        assert a.aborted >= 1
