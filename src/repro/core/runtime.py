@@ -39,6 +39,7 @@ class CxlPmemRuntime:
         self._bridges = list(bridges)
         self._endpoints: list[CxlEndpointInfo] = enumerate_endpoints(
             self._bridges)
+        self._watched: list[tuple[object, object]] = []
 
     # ------------------------------------------------------------------
     # discovery
@@ -55,6 +56,30 @@ class CxlPmemRuntime:
     def persistent_endpoints(self) -> list[CxlEndpointInfo]:
         """Endpoints that qualify as PMem (Table 1's volatility row)."""
         return [e for e in self._endpoints if e.persistent_capable]
+
+    def watch_switch(self, switch) -> None:
+        """Rescan automatically on switch ownership changes.
+
+        Subscribes to the switch's bind/unbind events and re-enumerates
+        whenever a binding for one of this runtime's sockets changes —
+        so hot-added pool capacity shows up in :attr:`endpoints` without
+        the caller having to remember :meth:`rescan`.  Undo with
+        :meth:`unwatch`.
+        """
+        sockets = {b.socket_id for b in self._bridges}
+
+        def _on_event(event) -> None:
+            if event.host in sockets:
+                self.rescan()
+
+        switch.add_listener(_on_event)
+        self._watched.append((switch, _on_event))
+
+    def unwatch(self) -> None:
+        """Unsubscribe from every switch watched via :meth:`watch_switch`."""
+        for switch, cb in self._watched:
+            switch.remove_listener(cb)
+        self._watched.clear()
 
     def device(self, name: str) -> Type3Device:
         """Find a discovered device by name."""

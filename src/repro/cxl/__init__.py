@@ -44,10 +44,20 @@ from repro.cxl.device import MediaController, Type3Device
 from repro.cxl.mailbox import Mailbox, MailboxOpcode
 from repro.cxl.host import CxlMemPort, PortStats
 from repro.cxl.port import HostBridge, RootPort
-from repro.cxl.enumeration import CxlEndpointInfo, enumerate_endpoints
-from repro.cxl.switch import CxlSwitch, LogicalDevice, MultiLogicalDevice
+from repro.cxl.enumeration import (
+    CxlEndpointInfo,
+    enumerate_endpoints,
+    enumerate_host,
+)
+from repro.cxl.switch import (
+    BindEvent,
+    CxlSwitch,
+    LogicalDevice,
+    MultiLogicalDevice,
+)
 
 __all__ = [
+    "BindEvent",
     "CACHELINE_BYTES",
     "CreditPool",
     "CxlEndpointInfo",
@@ -79,6 +89,7 @@ __all__ = [
     "Type3Device",
     "class_half_slots",
     "enumerate_endpoints",
+    "enumerate_host",
     "half_slot_arrays",
     "message_half_slots",
     "pack_messages",

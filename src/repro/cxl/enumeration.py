@@ -124,3 +124,14 @@ def enumerate_endpoints(bridges: Iterable[HostBridge]) -> list[CxlEndpointInfo]:
         for port in sorted(bridge.ports, key=lambda p: p.port_id):
             endpoints.extend(_walk_port(bridge, port))
     return endpoints
+
+
+def enumerate_host(bridge: HostBridge) -> list[CxlEndpointInfo]:
+    """One host's view of the CXL.mem fabric.
+
+    The pooling fabric re-runs this after every switch bind/unbind to
+    derive the host's HDM decoder programming from what the host can
+    actually see — the endpoint list below its bridge is the ground
+    truth the decoders must agree with.
+    """
+    return enumerate_endpoints([bridge])

@@ -133,6 +133,49 @@ class HdmDecoderSet:
         self._decoders.append(decoder)
         self._decoders.sort(key=lambda d: d.base_hpa)
 
+    def remove(self, base_hpa: int) -> HdmDecoder:
+        """Tear down (and return) the decoder whose window starts at
+        ``base_hpa``.
+
+        Raises:
+            CxlDecodeError: no decoder starts there — the caller's
+                program/unprogram bookkeeping is out of sync.
+        """
+        for i, d in enumerate(self._decoders):
+            if d.base_hpa == base_hpa:
+                return self._decoders.pop(i)
+        raise CxlDecodeError(
+            f"no HDM decoder with base HPA {base_hpa:#x} to remove"
+        )
+
+    def by_target(self, target: str) -> list[HdmDecoder]:
+        """Every decoder interleaving across ``target`` (HPA order)."""
+        return [d for d in self._decoders if target in d.targets]
+
+    def encode(self, target: str, dpa: int) -> int:
+        """Map ``(target, dpa)`` back to an HPA through the (single)
+        decoder covering that target.
+
+        Raises:
+            CxlDecodeError: no decoder references ``target``, more than
+                one does (the reverse mapping would be ambiguous), or
+                ``dpa`` is outside the decoder's per-target capacity.
+        """
+        decoders = self.by_target(target)
+        if not decoders:
+            raise CxlDecodeError(f"no HDM decoder targets {target!r}")
+        if len(decoders) > 1:
+            raise CxlDecodeError(
+                f"{len(decoders)} decoders target {target!r}; "
+                "encode() needs exactly one"
+            )
+        return decoders[0].encode(target, dpa)
+
+    @property
+    def targets(self) -> frozenset[str]:
+        """Every target name referenced by any decoder."""
+        return frozenset(t for d in self._decoders for t in d.targets)
+
     def __len__(self) -> int:
         return len(self._decoders)
 

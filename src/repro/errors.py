@@ -235,6 +235,21 @@ class MigrationAbortError(TieringError):
         self.direction = direction
 
 
+class FabricError(ReproError):
+    """Misuse of the multi-host pooling fabric (stale slice handles,
+    capacity exhaustion, decoder/binding desync, unknown hosts)."""
+
+
+class HostDetachedError(FabricError):
+    """The slice's owning host was detached from the fabric; the slice
+    (and every other slice that host held) has been released back to
+    the pool.  ``host`` is the detached socket id."""
+
+    def __init__(self, message: str, host: int = -1) -> None:
+        super().__init__(message)
+        self.host = host
+
+
 class ValidationError(BenchmarkError):
     """STREAM result arrays failed the epsilon check (like the original
     ``checkSTREAMresults``)."""

@@ -1,0 +1,55 @@
+"""The multi-host pooled-memory fabric.
+
+CXL 2.0's pooling promise (paper Section 1.3: "memory pools using CXL
+switches on a device level") needs more than a switch model — it needs
+the control plane that keeps many hosts' views of one pool correct
+while capacity moves between them.  This package is that control plane,
+built on the ownership-safe switch/MLD/HDM layer:
+
+* :mod:`repro.fabric.manager` — :class:`FabricManager`: carves LD
+  slices from registered multi-logical devices, binds them through
+  switch vPPBs, and derives every host's HDM decoder programming
+  automatically from the switch's bind/unbind events (verified against
+  CXL.io re-enumeration after every change);
+* :mod:`repro.fabric.schedule` — :class:`FabricScheduler`: places
+  concurrent tenant workloads onto pool slices and models their
+  contended bandwidth through the shared-link max-min solver, under
+  fair-share or QoS (guaranteed-floor) policies;
+* :mod:`repro.fabric.evaluate` — the pooling-ratio-vs-stranding
+  evaluator, the noisy-neighbor QoS comparison and the host-detach
+  chaos drill that back ``benchmarks/bench_fabric.py``.
+"""
+
+from repro.fabric.manager import FabricHost, FabricManager, PoolSlice
+from repro.fabric.schedule import (
+    QOS_CLASSES,
+    BandwidthReport,
+    FabricScheduler,
+    Placement,
+    TenantSpec,
+)
+from repro.fabric.evaluate import (
+    FabricSpec,
+    evaluate_pooling,
+    host_detach_drill,
+    noisy_neighbor,
+    pooling_sweep,
+    tenant_demands,
+)
+
+__all__ = [
+    "BandwidthReport",
+    "FabricHost",
+    "FabricManager",
+    "FabricScheduler",
+    "FabricSpec",
+    "Placement",
+    "PoolSlice",
+    "QOS_CLASSES",
+    "TenantSpec",
+    "evaluate_pooling",
+    "host_detach_drill",
+    "noisy_neighbor",
+    "pooling_sweep",
+    "tenant_demands",
+]

@@ -1,0 +1,318 @@
+"""Fabric evaluation: stranding, noisy neighbors, chaos drills.
+
+Three questions, one module:
+
+* **How much pooling is enough?** — :func:`pooling_sweep` replays the
+  same skewed tenant demand set against the fabric at a range of
+  pooling ratios.  Ratio ``r`` gives every host a private budget of
+  ``(1-r)/n_hosts`` of the pool and puts the rest in a shared tranche
+  any host may claim; ratio 0 is the static per-host partitioning
+  that strands capacity exactly the way the paper's per-node PMem
+  does, ratio 1 is a fully fluid pool.  Every byte served goes through
+  the real control plane (:meth:`FabricManager.allocate` — carve, bind,
+  decode, verify), so the evaluator exercises precisely the machinery
+  it scores.
+* **What does QoS buy the victim?** — :func:`noisy_neighbor` pins one
+  guaranteed-QoS tenant against aggressor hosts saturating the shared
+  media and compares its contended bandwidth under plain max-min
+  fairness vs the guaranteed-floor policy.
+* **Does a host crash corrupt its neighbours?** — :func:`host_detach_drill`
+  runs a deterministic multi-tenant write workload twice — fault-free,
+  and with a :class:`~repro.faults.plan.HostDetachSpec` surprise-
+  detaching one host mid-run — and demands the survivors' memory be
+  byte-identical across the two runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from dataclasses import dataclass
+
+from repro import faults, obs
+from repro.errors import FabricError, HostDetachedError
+from repro.fabric.manager import SLICE_ALIGN, FabricManager
+from repro.fabric.schedule import FabricScheduler, TenantSpec
+
+__all__ = [
+    "DEFAULT_RATIOS",
+    "FabricSpec",
+    "tenant_demands",
+    "evaluate_pooling",
+    "pooling_sweep",
+    "noisy_neighbor",
+    "host_detach_drill",
+]
+
+#: pooling ratios the sweep visits by default
+DEFAULT_RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+_log = obs.get_logger("fabric.evaluate")
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Scenario parameters (plain scalars — hashable, JSON-able).
+
+    ``demand_skew`` is the Zipf exponent shaping tenant demands: tenant
+    rank ``i`` wants capacity proportional to ``(i + 1) ** -skew``, so
+    a few tenants want a lot and most want little — the demand shape
+    under which static partitioning strands the most memory.
+    ``mean_demand_frac`` scales total demand relative to pool capacity
+    (1.0 = demand exactly fills the pool if nothing is stranded).
+    """
+
+    n_hosts: int = 4
+    tenants_per_host: int = 2
+    demand_skew: float = 1.5
+    mean_demand_frac: float = 1.0
+    seed: int = 2023
+    victim_threads: int = 4
+    aggressor_threads: int = 10
+    qos_floor: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise FabricError("need at least one host")
+        if self.tenants_per_host < 1:
+            raise FabricError("need at least one tenant per host")
+        if self.demand_skew < 0:
+            raise FabricError("demand_skew must be >= 0")
+        if not 0.0 < self.mean_demand_frac <= 2.0:
+            raise FabricError("mean_demand_frac must be in (0, 2]")
+        if not 0.0 < self.qos_floor <= 1.0:
+            raise FabricError("qos_floor must be in (0, 1]")
+
+    @property
+    def n_tenants(self) -> int:
+        return self.n_hosts * self.tenants_per_host
+
+
+def tenant_demands(spec: FabricSpec,
+                   capacity_bytes: int) -> list[tuple[str, int, int]]:
+    """The deterministic demand set: ``(tenant, host, demand_bytes)``.
+
+    Zipf weights by tenant rank, deterministically shuffled by the spec
+    seed so heavy hitters land on varying hosts, then round-robin host
+    assignment.  Demands are slice-aligned and sum to (approximately)
+    ``mean_demand_frac * capacity_bytes``.
+    """
+    import random
+
+    n = spec.n_tenants
+    weights = [(i + 1) ** -spec.demand_skew for i in range(n)]
+    rng = random.Random(spec.seed)
+    rng.shuffle(weights)
+    total = spec.mean_demand_frac * capacity_bytes
+    scale = total / sum(weights)
+    out = []
+    for i, w in enumerate(weights):
+        demand = max(int(w * scale) // SLICE_ALIGN * SLICE_ALIGN, SLICE_ALIGN)
+        out.append((f"t{i}", i % spec.n_hosts, demand))
+    return out
+
+
+def _align_down(size: int) -> int:
+    return size // SLICE_ALIGN * SLICE_ALIGN
+
+
+def evaluate_pooling(spec: FabricSpec, ratio: float) -> dict:
+    """Serve the spec's demand set at one pooling ratio; score stranding.
+
+    Builds a fresh fabric, gives each host a private budget of
+    ``(1 - ratio) * capacity / n_hosts`` plus a shared tranche of
+    ``ratio * capacity``, and admits every tenant demand through
+    :meth:`FabricManager.allocate` — private budget first, then the
+    shared tranche (largest unmet remainder first, deterministic).
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise FabricError(f"pooling ratio must be in [0, 1], got {ratio}")
+    manager = FabricManager.build(spec.n_hosts)
+    cap = manager.capacity_bytes
+    private = _align_down(int(cap * (1.0 - ratio) / spec.n_hosts))
+    private_left = {h: private for h in range(spec.n_hosts)}
+    shared_left = cap - private * spec.n_hosts
+
+    demands = tenant_demands(spec, cap)
+    served = {name: 0 for name, _, _ in demands}
+
+    # pass 1: each tenant draws on its host's private budget
+    for name, host, demand in demands:
+        take = _align_down(min(demand, private_left[host]))
+        if take:
+            manager.allocate(host, take, tenant=name)
+            private_left[host] -= take
+            served[name] += take
+    # pass 2: unmet remainders draw on the shared tranche, largest first
+    backlog = sorted(
+        ((demand - served[name], name, host)
+         for name, host, demand in demands if demand > served[name]),
+        key=lambda t: (-t[0], t[1]))
+    for remainder, name, host in backlog:
+        take = _align_down(min(remainder, shared_left))
+        if take:
+            manager.allocate(host, take, tenant=name)
+            shared_left -= take
+            served[name] += take
+
+    total_served = sum(served.values())
+    total_demand = sum(d for _, _, d in demands)
+    result = {
+        "ratio": ratio,
+        "capacity_bytes": cap,
+        "demand_bytes": total_demand,
+        "served_bytes": total_served,
+        "stranded_bytes": cap - total_served,
+        "utilization": total_served / cap,
+        "satisfaction": total_served / total_demand,
+        "tenants": [
+            {"tenant": name, "host": host, "demand_bytes": demand,
+             "served_bytes": served[name]}
+            for name, host, demand in demands
+        ],
+    }
+    obs.gauge("fabric.eval.utilization", round(result["utilization"], 6))
+    return result
+
+
+def pooling_sweep(spec: FabricSpec,
+                  ratios: tuple[float, ...] = DEFAULT_RATIOS) -> list[dict]:
+    """:func:`evaluate_pooling` across ``ratios`` (fresh fabric each)."""
+    out = []
+    for ratio in ratios:
+        point = evaluate_pooling(spec, ratio)
+        _log.info("pooling point",
+                  extra=obs.kv(ratio=ratio,
+                               utilization=round(point["utilization"], 4)))
+        out.append(point)
+    return out
+
+
+def noisy_neighbor(spec: FabricSpec) -> dict:
+    """One guaranteed victim vs saturating best-effort aggressors.
+
+    The victim runs ``victim_threads`` on host 0; every other host runs
+    an aggressor with ``aggressor_threads``.  All contend for the
+    shared device media.  Reports the victim's bandwidth alone on the
+    fabric, under plain max-min fairness, and under the QoS policy
+    (which must keep the victim at >= ``qos_floor`` of its solo rate).
+    """
+    if spec.n_hosts < 2:
+        raise FabricError("noisy_neighbor needs at least two hosts")
+    manager = FabricManager.build(spec.n_hosts)
+    sched = FabricScheduler(manager, qos_floor=spec.qos_floor)
+    gib = 1 << 30
+    victim = TenantSpec("victim", 0, gib, threads=spec.victim_threads,
+                        qos="guaranteed")
+    aggressors = [
+        TenantSpec(f"aggr{h}", h, gib, threads=spec.aggressor_threads)
+        for h in range(1, spec.n_hosts)
+    ]
+    placements = sched.place([victim] + aggressors)
+    solo = sched.solo_gbps(victim)
+    fair = sched.bandwidth(placements, policy="fair")
+    qos = sched.bandwidth(placements, policy="qos")
+    return {
+        "victim_threads": spec.victim_threads,
+        "aggressor_threads": spec.aggressor_threads,
+        "n_aggressors": len(aggressors),
+        "qos_floor": spec.qos_floor,
+        "victim_solo_gbps": round(solo, 4),
+        "victim_fair_gbps": round(fair.tenant_gbps["victim"], 4),
+        "victim_qos_gbps": round(qos.tenant_gbps["victim"], 4),
+        "fair_retention": round(fair.tenant_gbps["victim"] / solo, 4),
+        "qos_retention": round(qos.tenant_gbps["victim"] / solo, 4),
+        "aggregate_fair_gbps": round(fair.aggregate_gbps, 4),
+        "aggregate_qos_gbps": round(qos.aggregate_gbps, 4),
+        "aggressor_fair_gbps": {
+            t.name: round(fair.tenant_gbps[t.name], 4) for t in aggressors},
+        "aggressor_qos_gbps": {
+            t.name: round(qos.tenant_gbps[t.name], 4) for t in aggressors},
+    }
+
+
+# ---------------------------------------------------------------------------
+# host-detach chaos drill
+# ---------------------------------------------------------------------------
+
+def _pattern(tenant: str, step: int, size: int) -> bytes:
+    """Deterministic per-(tenant, step) fill block."""
+    seed = hashlib.sha256(f"{tenant}:{step}".encode()).digest()
+    reps = -(-size // len(seed))
+    return (seed * reps)[:size]
+
+
+def _drill_run(spec: FabricSpec, n_steps: int, block: int,
+               plan) -> tuple[dict[str, str], dict[str, int]]:
+    """One drill execution: returns (survivor digests, killed tenants)."""
+    manager = FabricManager.build(spec.n_hosts)
+    size = max(n_steps * block, SLICE_ALIGN)
+    slices = {}
+    for i in range(spec.n_tenants):
+        name = f"t{i}"
+        slices[name] = manager.allocate(i % spec.n_hosts, size, tenant=name)
+    killed: dict[str, int] = {}
+    ctx = (faults.use_plan(plan) if plan is not None
+           else contextlib.nullcontext())
+    with ctx:
+        for step in range(1, n_steps + 1):
+            faults.on_fabric_step(manager.detach_host)
+            for name, sl in slices.items():
+                if name in killed:
+                    continue
+                try:
+                    manager.write(sl, (step - 1) * block,
+                                  _pattern(name, step, block))
+                except HostDetachedError:
+                    killed[name] = step
+    digests = {
+        name: hashlib.sha256(
+            manager.read(sl, 0, n_steps * block)).hexdigest()
+        for name, sl in slices.items() if name not in killed
+    }
+    return digests, killed
+
+
+def host_detach_drill(spec: FabricSpec, detach_host: int = 1,
+                      at_step: int = 3, n_steps: int = 6,
+                      block_bytes: int = 1 << 16) -> dict:
+    """Surprise-detach one host mid-workload; check the survivors.
+
+    Every tenant streams deterministic blocks into its slice, one per
+    step.  The faulted run installs a
+    :class:`~repro.faults.plan.HostDetachSpec` firing between steps
+    ``at_step - 1`` and ``at_step``; tenants on the detached host must
+    die with :class:`~repro.errors.HostDetachedError` and every other
+    tenant's final memory must hash byte-identical to a fault-free run.
+    """
+    from repro.faults.plan import FaultPlan, HostDetachSpec
+
+    if not 0 <= detach_host < spec.n_hosts:
+        raise FabricError(
+            f"detach_host {detach_host} outside hosts 0..{spec.n_hosts - 1}")
+    if not 1 <= at_step <= n_steps:
+        raise FabricError(f"at_step must be in [1, {n_steps}]")
+    clean_digests, clean_killed = _drill_run(spec, n_steps, block_bytes, None)
+    if clean_killed:
+        raise FabricError(
+            f"fault-free drill run killed tenants: {sorted(clean_killed)}")
+    plan = FaultPlan(seed=spec.seed, faults=[
+        HostDetachSpec(host=detach_host, at_step=at_step)])
+    fault_digests, killed = _drill_run(spec, n_steps, block_bytes, plan)
+    expected_dead = {f"t{i}" for i in range(spec.n_tenants)
+                     if i % spec.n_hosts == detach_host}
+    survivors = sorted(fault_digests)
+    byte_identical = all(
+        fault_digests[name] == clean_digests[name] for name in survivors)
+    return {
+        "detach_host": detach_host,
+        "at_step": at_step,
+        "n_steps": n_steps,
+        "block_bytes": block_bytes,
+        "tenants": spec.n_tenants,
+        "killed": sorted(killed),
+        "killed_as_expected": set(killed) == expected_dead,
+        "survivors": survivors,
+        "byte_identical": byte_identical,
+        "ok": byte_identical and set(killed) == expected_dead,
+    }

@@ -47,6 +47,7 @@ from repro.faults.plan import (
     DeviceTimeoutSpec,
     FaultPlan,
     FaultSpec,
+    HostDetachSpec,
     LinkFlapSpec,
     MigrationAbortSpec,
     PoisonSpec,
@@ -59,11 +60,12 @@ from repro.faults.plan import (
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
-    "ServeShedSpec", "MigrationAbortSpec", "SweepFaultInjected",
+    "ServeShedSpec", "MigrationAbortSpec", "HostDetachSpec",
+    "SweepFaultInjected",
     "install", "clear", "active", "enabled", "use_plan", "load_plan",
     "export_active", "bind_domain", "domains", "unbind_domains",
     "on_cxl_op", "on_persist", "on_sweep_task", "on_serve_request",
-    "on_migration", "bypassed",
+    "on_migration", "on_fabric_step", "bypassed",
 ]
 
 
@@ -306,6 +308,31 @@ def on_migration(page: int, direction: str) -> None:
             )
 
 
+def on_fabric_step(detach=None) -> None:
+    """Consult the plan at one fabric workload step boundary.
+
+    The pooling-fabric chaos drill calls this between tenant IO rounds;
+    a matching :class:`HostDetachSpec` surprise-detaches its host.
+
+    Args:
+        detach: callable ``(host) -> None`` detaching one host from the
+            fabric (so this module needs no fabric import).  The spec
+            still fires (and counts) without it.
+    """
+    plan = _plan
+    if plan is None:
+        return
+    n = plan.next_fabric_step()
+    for spec in plan.specs("host_detach"):
+        if n == spec.at_step:
+            spec._fire()
+            obs.inc("faults.injected.host_detach")
+            obs.instant("fault.host_detach",
+                        meta={"host": spec.host, "step": n})
+            if detach is not None:
+                detach(spec.host)
+
+
 def on_serve_request(tenant: str) -> None:
     """Consult the plan at the sweep service's admission boundary.
 
@@ -343,7 +370,8 @@ class bypassed:
     """
 
     _HOOKS = ("on_cxl_op", "on_persist", "on_sweep_task",
-              "on_serve_request", "on_migration", "enabled")
+              "on_serve_request", "on_migration", "on_fabric_step",
+              "enabled")
 
     def __enter__(self) -> "bypassed":
         g = globals()

@@ -29,7 +29,7 @@ from repro.errors import FaultPlanError
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
-    "ServeShedSpec", "MigrationAbortSpec",
+    "ServeShedSpec", "MigrationAbortSpec", "HostDetachSpec",
 ]
 
 
@@ -225,11 +225,38 @@ class MigrationAbortSpec(FaultSpec):
         return self.direction is None or direction == self.direction
 
 
+@dataclass
+class HostDetachSpec(FaultSpec):
+    """Surprise-detach host ``host`` from the pooling fabric.
+
+    Fires at the ``at_step``-th fabric workload step (1-based,
+    process-wide — the fabric drill calls :func:`repro.faults.
+    on_fabric_step` between tenant IO rounds).  The fabric manager
+    unbinds every vPPB the host held, releases its slices back to the
+    pool, and tears down its HDM decoders; subsequent IO against the
+    host's slices raises :class:`~repro.errors.HostDetachedError` while
+    *surviving* tenants must stay byte-identical to a fault-free run.
+    """
+
+    kind = "host_detach"
+
+    host: int = 0
+    at_step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.host < 0:
+            raise FaultPlanError("host_detach host must be >= 0")
+        if self.at_step < 1:
+            raise FaultPlanError("host_detach at_step is 1-based")
+        if self.max_fires is None:
+            self.max_fires = 1          # a detach is one-shot by nature
+
+
 _SPEC_KINDS: dict[str, type[FaultSpec]] = {
     cls.kind: cls
     for cls in (PoisonSpec, LinkFlapSpec, DeviceTimeoutSpec,
                 PowerLossSpec, TxCrashSpec, SweepFailSpec, ServeShedSpec,
-                MigrationAbortSpec)
+                MigrationAbortSpec, HostDetachSpec)
 }
 
 
@@ -256,6 +283,7 @@ class FaultPlan:
         self.cxl_ops: dict[str, int] = {}       # scope key -> op count
         self.persist_ops = 0
         self.migration_ops = 0
+        self.fabric_steps = 0
         for spec in self.faults:
             spec.reset()
 
@@ -275,6 +303,10 @@ class FaultPlan:
     def next_migration_op(self) -> int:
         self.migration_ops += 1
         return self.migration_ops
+
+    def next_fabric_step(self) -> int:
+        self.fabric_steps += 1
+        return self.fabric_steps
 
     # -- JSON round trip ------------------------------------------------
 

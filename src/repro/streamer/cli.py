@@ -160,6 +160,30 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: .streamer-cache)")
     srv.add_argument("--no-cache", action="store_true",
                      help="disable the on-disk sweep cache layer")
+
+    fab = sub.add_parser(
+        "fabric",
+        help="evaluate the multi-host pooled-memory fabric (pooling-ratio "
+             "stranding sweep, noisy-neighbor QoS, host-detach drill)")
+    fab.add_argument("--hosts", type=int, default=4, metavar="N",
+                     help="hosts sharing the pool (default: 4)")
+    fab.add_argument("--tenants-per-host", type=int, default=2, metavar="N",
+                     help="tenant workloads per host (default: 2)")
+    fab.add_argument("--skew", type=float, default=1.5,
+                     help="Zipf exponent of the tenant demand sizes "
+                          "(default: 1.5)")
+    fab.add_argument("--seed", type=int, default=2023,
+                     help="demand-shuffle seed (default: 2023)")
+    fab.add_argument("--ratios", metavar="R,R,...",
+                     help="pooling ratios to sweep "
+                          "(default: 0,0.25,0.5,0.75,1)")
+    fab.add_argument("--qos-floor", type=float, default=0.8,
+                     help="guaranteed-tenant bandwidth floor as a fraction "
+                          "of its solo rate (default: 0.8)")
+    fab.add_argument("--drill", action="store_true",
+                     help="also run the host-detach chaos drill")
+    fab.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of tables")
     return p
 
 
@@ -380,7 +404,75 @@ def _dispatch(args) -> int:
     if args.command == "serve":
         return _serve(args)
 
+    if args.command == "fabric":
+        return _fabric(args)
+
     return 2    # pragma: no cover - argparse enforces choices
+
+
+def _fabric(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.fabric import (
+        FabricSpec,
+        host_detach_drill,
+        noisy_neighbor,
+        pooling_sweep,
+    )
+    from repro.fabric.evaluate import DEFAULT_RATIOS
+
+    spec = FabricSpec(n_hosts=args.hosts,
+                      tenants_per_host=args.tenants_per_host,
+                      demand_skew=args.skew, seed=args.seed,
+                      qos_floor=args.qos_floor)
+    ratios = (tuple(float(r) for r in args.ratios.split(","))
+              if args.ratios else DEFAULT_RATIOS)
+    sweep = pooling_sweep(spec, ratios)
+    nn = noisy_neighbor(spec)
+    drill = host_detach_drill(spec) if args.drill else None
+    ok = drill is None or drill["ok"]
+
+    if args.json:
+        doc = {"spec": dataclasses.asdict(spec), "pooling": sweep,
+               "noisy_neighbor": nn}
+        if drill is not None:
+            doc["drill"] = drill
+        print(json.dumps(doc, indent=2))
+        return 0 if ok else 1
+
+    mib = 1 << 20
+    print(f"=== Pooling ratio vs stranding "
+          f"({spec.n_hosts} hosts x {spec.tenants_per_host} tenants, "
+          f"skew {spec.demand_skew}) ===")
+    print(f"{'ratio':>7}{'utilization':>14}{'satisfaction':>14}"
+          f"{'stranded MiB':>14}")
+    for point in sweep:
+        print(f"{point['ratio']:>7.2f}{point['utilization']:>14.4f}"
+              f"{point['satisfaction']:>14.4f}"
+              f"{point['stranded_bytes'] // mib:>14}")
+    print()
+    print(f"=== Noisy neighbor ({nn['n_aggressors']} aggressors x "
+          f"{nn['aggressor_threads']} threads vs guaranteed victim x "
+          f"{nn['victim_threads']}) ===")
+    print(f"{'policy':>10}{'victim GB/s':>14}{'retention':>12}"
+          f"{'aggregate GB/s':>16}")
+    print(f"{'solo':>10}{nn['victim_solo_gbps']:>14.2f}{1.0:>12.2f}"
+          f"{nn['victim_solo_gbps']:>16.2f}")
+    print(f"{'fair':>10}{nn['victim_fair_gbps']:>14.2f}"
+          f"{nn['fair_retention']:>12.2f}{nn['aggregate_fair_gbps']:>16.2f}")
+    print(f"{'qos':>10}{nn['victim_qos_gbps']:>14.2f}"
+          f"{nn['qos_retention']:>12.2f}{nn['aggregate_qos_gbps']:>16.2f}")
+    if drill is not None:
+        print()
+        print(f"=== Host-detach drill (host {drill['detach_host']} at "
+              f"step {drill['at_step']}/{drill['n_steps']}) ===")
+        print(f"killed: {', '.join(drill['killed']) or '(none)'} "
+              f"(as expected: {drill['killed_as_expected']})")
+        print(f"survivors byte-identical to fault-free run: "
+              f"{drill['byte_identical']}")
+        print(f"drill {'PASS' if drill['ok'] else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def _serve(args) -> int:

@@ -5,7 +5,7 @@ import pytest
 from repro import units
 from repro.cxl.device import MediaController, Type3Device
 from repro.cxl.spec import CxlVersion
-from repro.cxl.switch import CxlSwitch, MultiLogicalDevice
+from repro.cxl.switch import BindEvent, CxlSwitch, MultiLogicalDevice
 from repro.errors import CxlError
 from repro.machine.dram import DDR4_1333
 
@@ -125,3 +125,189 @@ class TestSwitch:
         sw.bind(1, 0, _device("b"))
         assert len(sw.bindings_for_host(0)) == 2
         assert sw.bindings_for_host(1) == []
+
+
+class TestMldFreeList:
+    """release() + free-list carving (the bump-pointer/_next_dpa fix)."""
+
+    def test_release_returns_capacity(self):
+        mld = MultiLogicalDevice(_device())
+        ld = mld.carve(units.gib(4))
+        mld.release(ld)
+        assert mld.unallocated_bytes == units.gib(16)
+        assert mld.logical_devices == {}
+
+    def test_released_extent_is_recarved(self):
+        mld = MultiLogicalDevice(_device())
+        a = mld.carve(units.gib(4))
+        mld.carve(units.gib(4))
+        mld.release(a)
+        again = mld.carve(units.gib(4))
+        assert again.base_dpa == a.base_dpa   # first-fit reuses the hole
+
+    def test_adjacent_extents_coalesce(self):
+        mld = MultiLogicalDevice(_device())
+        a = mld.carve(units.gib(4))
+        b = mld.carve(units.gib(4))
+        c = mld.carve(units.gib(8))
+        mld.release(a)
+        mld.release(b)
+        assert mld.largest_free_extent == units.gib(8)
+        big = mld.carve(units.gib(8))       # spans the coalesced hole
+        assert big.base_dpa == 0
+        mld.release(c)
+        mld.release(big)
+        assert mld.free_extents == [(0, units.gib(16))]
+
+    def test_ld_id_reuse_from_free_list(self):
+        mld = MultiLogicalDevice(_device())
+        lds = [mld.carve(units.gib(1)) for _ in range(3)]
+        assert [ld.ld_id for ld in lds] == [0, 1, 2]
+        mld.release(lds[1])
+        assert mld.carve(units.gib(1)).ld_id == 1   # lowest free id
+
+    def test_double_release_raises(self):
+        mld = MultiLogicalDevice(_device())
+        ld = mld.carve(units.gib(1))
+        mld.release(ld)
+        with pytest.raises(CxlError):
+            mld.release(ld)
+
+    def test_foreign_ld_release_raises(self):
+        mld = MultiLogicalDevice(_device())
+        other = MultiLogicalDevice(_device("other"))
+        foreign = other.carve(units.gib(1))
+        with pytest.raises(CxlError):
+            mld.release(foreign)
+
+    def test_nonpositive_carve_rejected(self):
+        mld = MultiLogicalDevice(_device())
+        with pytest.raises(CxlError):
+            mld.carve(0)
+
+    def test_recarve_rebind_cycles(self):
+        """The LD-ID collision bug: after release, re-carve + re-bind
+        must work indefinitely without id collisions or capacity drift."""
+        sw = CxlSwitch("sw", n_vppbs=4)
+        sw.connect_host(0)
+        mld = MultiLogicalDevice(_device())
+        for _ in range(3 * mld.MAX_LDS):
+            ld = mld.carve(units.gib(2))
+            vppb = sw.free_vppb()
+            sw.bind(vppb.vppb_id, 0, ld)
+            sw.unbind(vppb.vppb_id)
+            mld.release(ld)
+        assert mld.unallocated_bytes == units.gib(16)
+        assert mld.free_extents == [(0, units.gib(16))]
+
+
+class TestOwnershipHoles:
+    """bind() exclusivity in both directions (the double-mapping fix)."""
+
+    def test_whole_device_rejected_while_ld_bound(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        sw.connect_host(1)
+        dev = _device()
+        mld = MultiLogicalDevice(dev)
+        sw.bind(0, 0, mld.carve(units.gib(4)))
+        with pytest.raises(CxlError, match="double-mapped"):
+            sw.bind(1, 1, dev)
+
+    def test_ld_rejected_while_whole_device_bound(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        sw.connect_host(1)
+        dev = _device()
+        sw.bind(0, 0, dev)
+        mld = MultiLogicalDevice(dev)
+        ld = mld.carve(units.gib(4))
+        with pytest.raises(CxlError, match="whole-device"):
+            sw.bind(1, 1, ld)
+
+    def test_unbind_reopens_both_directions(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        dev = _device()
+        mld = MultiLogicalDevice(dev)
+        ld = mld.carve(units.gib(4))
+        sw.bind(0, 0, ld)
+        sw.unbind(0)
+        sw.bind(0, 0, dev)          # whole device binds once the LD is free
+        sw.unbind(0)
+        sw.bind(0, 0, ld)           # and vice versa
+
+    def test_unbind_unbound_vppb_raises(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        with pytest.raises(CxlError, match="not bound"):
+            sw.unbind(0)
+
+    def test_free_vppb_lowest_first_and_exhaustion(self):
+        sw = CxlSwitch("sw", n_vppbs=2)
+        sw.connect_host(0)
+        assert sw.free_vppb().vppb_id == 0
+        sw.bind(0, 0, _device("a"))
+        assert sw.free_vppb().vppb_id == 1
+        sw.bind(1, 0, _device("b"))
+        with pytest.raises(CxlError, match="no free vPPB"):
+            sw.free_vppb()
+        sw.unbind(0)
+        assert sw.free_vppb().vppb_id == 0
+
+    def test_is_bound(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        dev = _device()
+        assert not sw.is_bound(dev)
+        sw.bind(0, 0, dev)
+        assert sw.is_bound(dev)
+
+
+class TestBindEvents:
+    """Listener notifications the fabric manager builds on."""
+
+    def _wired(self):
+        sw = CxlSwitch("sw")
+        sw.connect_host(0)
+        events: list[BindEvent] = []
+        sw.add_listener(events.append)
+        return sw, events
+
+    def test_bind_and_unbind_notify_in_order(self):
+        sw, events = self._wired()
+        dev = _device()
+        sw.bind(0, 0, dev)
+        sw.unbind(0)
+        assert [(e.event, e.vppb_id, e.host, e.target) for e in events] == [
+            ("bind", 0, 0, dev), ("unbind", 0, 0, dev)]
+
+    def test_listener_sees_post_change_state(self):
+        sw, _ = self._wired()
+        dev = _device()
+        observed = []
+        sw.add_listener(lambda e: observed.append(sw.is_bound(dev)))
+        sw.bind(0, 0, dev)
+        sw.unbind(0)
+        assert observed == [True, False]    # fired *after* the change
+
+    def test_target_device_unwraps_ld(self):
+        sw, events = self._wired()
+        dev = _device()
+        mld = MultiLogicalDevice(dev)
+        sw.bind(0, 0, mld.carve(units.gib(1)))
+        assert events[0].target_device is dev
+
+    def test_removed_listener_is_silent(self):
+        sw, events = self._wired()
+        sw.remove_listener(events.append)
+        sw.bind(0, 0, _device())
+        assert not events
+
+    def test_failed_bind_does_not_notify(self):
+        sw, events = self._wired()
+        dev = _device()
+        sw.bind(0, 0, dev)
+        with pytest.raises(CxlError):
+            sw.bind(1, 0, dev)
+        assert len(events) == 1

@@ -1,0 +1,103 @@
+"""Pooling evaluator, noisy-neighbor comparison, detach drill."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.evaluate import (
+    DEFAULT_RATIOS,
+    FabricSpec,
+    evaluate_pooling,
+    host_detach_drill,
+    noisy_neighbor,
+    pooling_sweep,
+    tenant_demands,
+)
+from repro.fabric.manager import SLICE_ALIGN
+
+
+class TestSpec:
+    def test_defaults_validate(self):
+        spec = FabricSpec()
+        assert spec.n_tenants == 8
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(FabricError):
+            FabricSpec(n_hosts=0)
+        with pytest.raises(FabricError):
+            FabricSpec(mean_demand_frac=0.0)
+        with pytest.raises(FabricError):
+            FabricSpec(qos_floor=1.5)
+
+
+class TestDemands:
+    def test_deterministic_and_aligned(self):
+        cap = 1 << 34
+        a = tenant_demands(FabricSpec(), cap)
+        b = tenant_demands(FabricSpec(), cap)
+        assert a == b
+        assert all(d % SLICE_ALIGN == 0 and d > 0 for _, _, d in a)
+        assert {h for _, h, _ in a} == set(range(4))
+
+    def test_total_tracks_mean_demand_frac(self):
+        cap = 1 << 34
+        total = sum(d for _, _, d in tenant_demands(FabricSpec(), cap))
+        assert total == pytest.approx(cap, rel=0.01)
+
+    def test_seed_changes_assignment(self):
+        cap = 1 << 34
+        assert (tenant_demands(FabricSpec(seed=1), cap)
+                != tenant_demands(FabricSpec(seed=2), cap))
+
+
+class TestPooling:
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(FabricError):
+            evaluate_pooling(FabricSpec(), 1.5)
+
+    def test_pooling_recovers_stranded_capacity(self):
+        spec = FabricSpec()
+        static = evaluate_pooling(spec, 0.0)
+        pooled = evaluate_pooling(spec, 0.5)
+        fluid = evaluate_pooling(spec, 1.0)
+        assert static["utilization"] < pooled["utilization"]
+        assert pooled["utilization"] <= fluid["utilization"] + 1e-9
+        assert static["stranded_bytes"] > pooled["stranded_bytes"]
+
+    def test_served_never_exceeds_demand(self):
+        for point in pooling_sweep(FabricSpec(), (0.0, 0.5, 1.0)):
+            for t in point["tenants"]:
+                assert t["served_bytes"] <= t["demand_bytes"]
+            assert point["served_bytes"] <= point["capacity_bytes"]
+
+    def test_sweep_visits_requested_ratios(self):
+        points = pooling_sweep(FabricSpec(), (0.0, 1.0))
+        assert [p["ratio"] for p in points] == [0.0, 1.0]
+        assert len(DEFAULT_RATIOS) == 5
+
+
+class TestNoisyNeighbor:
+    def test_needs_two_hosts(self):
+        with pytest.raises(FabricError):
+            noisy_neighbor(FabricSpec(n_hosts=1))
+
+    def test_qos_bounds_victim_slowdown(self):
+        nn = noisy_neighbor(FabricSpec())
+        assert nn["fair_retention"] < nn["qos_retention"]
+        assert nn["qos_retention"] >= nn["qos_floor"] - 1e-6
+        assert nn["victim_solo_gbps"] >= nn["victim_qos_gbps"]
+
+
+class TestDrill:
+    def test_detach_leaves_survivors_byte_identical(self):
+        drill = host_detach_drill(FabricSpec(n_hosts=2, tenants_per_host=2),
+                                  detach_host=1, at_step=2, n_steps=3)
+        assert drill["ok"]
+        assert drill["killed"] == ["t1", "t3"]
+        assert drill["survivors"] == ["t0", "t2"]
+        assert drill["byte_identical"]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(FabricError):
+            host_detach_drill(FabricSpec(n_hosts=2), detach_host=5)
+        with pytest.raises(FabricError):
+            host_detach_drill(FabricSpec(n_hosts=2), at_step=99, n_steps=3)

@@ -1,0 +1,182 @@
+"""FabricManager: event-driven HDM programming, capacity, detach."""
+
+import pytest
+
+from repro import units
+from repro.cxl.hdm import HdmDecoder
+from repro.cxl.switch import MultiLogicalDevice
+from repro.errors import CxlError, FabricError, HostDetachedError
+from repro.fabric.manager import SLICE_ALIGN, FabricManager, PoolSlice
+
+
+@pytest.fixture()
+def fabric() -> FabricManager:
+    return FabricManager.build(2)
+
+
+class TestTopology:
+    def test_build_wires_hosts_and_devices(self, fabric):
+        assert sorted(fabric.hosts) == [0, 1]
+        assert sorted(fabric.mlds) == ["cxl0"]
+        assert fabric.capacity_bytes == units.gib(16)
+        assert fabric.free_bytes == fabric.capacity_bytes
+
+    def test_double_attach_rejected(self, fabric):
+        bridge = fabric.hosts[0].bridge
+        with pytest.raises(FabricError, match="already attached"):
+            fabric.attach_host(bridge)
+
+    def test_double_device_rejected(self, fabric):
+        dev = fabric.mlds["cxl0"].device
+        with pytest.raises(FabricError, match="already pooled"):
+            fabric.add_device(dev)
+
+
+class TestAllocate:
+    def test_allocate_binds_and_programs_decoder(self, fabric):
+        sl = fabric.allocate(0, units.mib(64), tenant="t")
+        host = fabric.hosts[0]
+        assert host.pooled_bytes == units.mib(64)
+        assert sl.name in host.decoders.targets
+        assert fabric.switch.is_bound(sl.ld)
+        # the decoder window is what the slice handle reports
+        dec = host.decoders.by_target(sl.name)[0]
+        assert dec.base_hpa == sl.hpa_base
+        assert dec.size == sl.size
+
+    def test_size_rounds_to_alignment(self, fabric):
+        sl = fabric.allocate(0, 1, tenant="t")
+        assert sl.size == SLICE_ALIGN
+
+    def test_unknown_host_rejected(self, fabric):
+        with pytest.raises(FabricError, match="not attached"):
+            fabric.allocate(7, units.mib(1))
+
+    def test_pool_exhaustion_is_typed(self, fabric):
+        fabric.allocate(0, units.gib(16))
+        with pytest.raises(FabricError, match="fit"):
+            fabric.allocate(1, units.gib(1))
+
+    def test_failed_bind_rolls_back_carve(self):
+        fabric = FabricManager.build(1, n_vppbs=1)
+        fabric.allocate(0, units.mib(1))
+        free_before = fabric.free_bytes
+        with pytest.raises(CxlError, match="no free vPPB"):
+            fabric.allocate(0, units.mib(1))
+        assert fabric.free_bytes == free_before   # carve rolled back
+
+    def test_release_returns_capacity_and_decoder(self, fabric):
+        sl = fabric.allocate(0, units.mib(64))
+        fabric.release(sl)
+        assert fabric.free_bytes == fabric.capacity_bytes
+        assert fabric.hosts[0].pooled_bytes == 0
+        assert not fabric.switch.is_bound(sl.ld)
+
+    def test_stale_release_raises(self, fabric):
+        sl = fabric.allocate(0, units.mib(1))
+        fabric.release(sl)
+        with pytest.raises(FabricError, match="stale"):
+            fabric.release(sl)
+
+    def test_slices_filterable(self, fabric):
+        a = fabric.allocate(0, units.mib(1), tenant="a")
+        b = fabric.allocate(1, units.mib(1), tenant="b")
+        assert fabric.slices() == [a, b]
+        assert fabric.slices(tenant="a") == [a]
+        assert fabric.slices(host=1) == [b]
+
+
+class TestIo:
+    def test_write_read_roundtrip(self, fabric):
+        sl = fabric.allocate(0, units.mib(1))
+        fabric.write(sl, 4096, b"fabric bytes")
+        assert fabric.read(sl, 4096, 12) == b"fabric bytes"
+
+    def test_slices_are_disjoint(self, fabric):
+        a = fabric.allocate(0, units.mib(1), tenant="a")
+        b = fabric.allocate(1, units.mib(1), tenant="b")
+        fabric.write(a, 0, b"AAAA")
+        fabric.write(b, 0, b"BBBB")
+        assert fabric.read(a, 0, 4) == b"AAAA"
+        assert fabric.read(b, 0, 4) == b"BBBB"
+
+    def test_out_of_bounds_rejected(self, fabric):
+        sl = fabric.allocate(0, units.mib(1))
+        with pytest.raises(FabricError, match="outside slice"):
+            fabric.read(sl, sl.size - 1, 2)
+
+
+class TestVerifyHost:
+    def test_verify_passes_after_every_event(self, fabric):
+        sl = fabric.allocate(0, units.mib(64))
+        fabric.verify_host(0)
+        fabric.verify_host(1)
+        fabric.release(sl)
+        fabric.verify_host(0)
+
+    def test_desync_detected(self, fabric):
+        """A decoder programmed behind the manager's back must be caught."""
+        fabric.allocate(0, units.mib(64))
+        host = fabric.hosts[0]
+        host.decoders.add(HdmDecoder(0, units.mib(1), ("phantom",), 256))
+        with pytest.raises(FabricError, match="desync"):
+            fabric.verify_host(0)
+
+    def test_manual_switch_bind_keeps_decoders_synced(self, fabric):
+        """Binding directly on the switch still programs decoders (the
+        manager listens to events, not to its own API)."""
+        mld = fabric.mlds["cxl0"]
+        ld = mld.carve(units.mib(2))
+        vppb = fabric.switch.free_vppb()
+        fabric.switch.bind(vppb.vppb_id, 1, ld)
+        assert fabric.hosts[1].pooled_bytes == units.mib(2)
+        fabric.verify_host(1)
+        fabric.switch.unbind(vppb.vppb_id)
+        assert fabric.hosts[1].pooled_bytes == 0
+
+
+class TestDetach:
+    def test_detach_kills_only_that_hosts_slices(self, fabric):
+        dead = fabric.allocate(0, units.mib(1), tenant="dead")
+        live = fabric.allocate(1, units.mib(1), tenant="live")
+        fabric.write(live, 0, b"survive")
+        killed = fabric.detach_host(0)
+        assert killed == [dead]
+        with pytest.raises(HostDetachedError) as exc:
+            fabric.read(dead, 0, 1)
+        assert exc.value.host == 0
+        assert fabric.read(live, 0, 7) == b"survive"
+        assert fabric.hosts[0].pooled_bytes == 0
+        assert fabric.hosts[1].pooled_bytes == live.size
+
+    def test_detach_returns_capacity(self, fabric):
+        fabric.allocate(0, units.gib(8))
+        fabric.detach_host(0)
+        assert fabric.free_bytes == fabric.capacity_bytes
+        # the freed capacity is immediately re-allocatable elsewhere
+        fabric.allocate(1, units.gib(16))
+
+    def test_release_of_dead_slice_is_typed(self, fabric):
+        sl = fabric.allocate(0, units.mib(1))
+        fabric.detach_host(0)
+        with pytest.raises(HostDetachedError):
+            fabric.release(sl)
+
+
+class TestHpaWindows:
+    def test_windows_are_stable_across_neighbor_churn(self, fabric):
+        """Another slice's release must not move a live slice's window."""
+        a = fabric.allocate(0, units.mib(1), tenant="a")
+        b = fabric.allocate(0, units.mib(2), tenant="b")
+        base_b = b.hpa_base
+        fabric.release(a)
+        c = fabric.allocate(0, units.mib(1), tenant="c")
+        assert b.hpa_base == base_b
+        assert fabric.hosts[0].decoders.by_target(b.name)[0].base_hpa == base_b
+        assert c.hpa_base == a.hpa_base     # freed window is first-fit reused
+
+    def test_pool_slice_is_frozen(self, fabric):
+        sl = fabric.allocate(0, units.mib(1))
+        with pytest.raises(AttributeError):
+            sl.size = 0
+        assert isinstance(sl, PoolSlice)

@@ -1,0 +1,50 @@
+"""Runtime <-> switch integration: hot-added pool capacity is discovered."""
+
+import pytest
+
+from repro import units
+from repro.core.runtime import CxlPmemRuntime
+from repro.fabric.manager import FabricManager
+
+
+@pytest.fixture()
+def fabric() -> FabricManager:
+    return FabricManager.build(2)
+
+
+def _runtime_for(fabric, socket_id: int) -> CxlPmemRuntime:
+    return CxlPmemRuntime([fabric.hosts[socket_id].bridge])
+
+
+class TestWatchSwitch:
+    def test_hot_add_appears_without_manual_rescan(self, fabric):
+        rt = _runtime_for(fabric, 0)
+        assert rt.endpoints == []
+        rt.watch_switch(fabric.switch)
+        sl = fabric.allocate(0, units.mib(64))
+        assert [ep.name for ep in rt.endpoints] == [sl.name]
+        fabric.release(sl)
+        assert rt.endpoints == []
+
+    def test_other_hosts_events_ignored(self, fabric):
+        rt = _runtime_for(fabric, 0)
+        rt.watch_switch(fabric.switch)
+        fabric.allocate(1, units.mib(64))       # host 1's slice
+        assert rt.endpoints == []
+
+    def test_unwatch_stops_rescans(self, fabric):
+        rt = _runtime_for(fabric, 0)
+        rt.watch_switch(fabric.switch)
+        rt.unwatch()
+        fabric.allocate(0, units.mib(64))
+        assert rt.endpoints == []               # stale until manual rescan
+        assert len(rt.rescan()) == 1
+
+    def test_runtime_sees_fabric_capacity_like_local_pmem(self, fabric):
+        """The paper's pitch end to end: pooled capacity shows up as a
+        persistent endpoint the runtime can manage."""
+        rt = _runtime_for(fabric, 0)
+        rt.watch_switch(fabric.switch)
+        fabric.allocate(0, units.gib(1))
+        [ep] = rt.persistent_endpoints()
+        assert ep.capacity_bytes == units.gib(1)

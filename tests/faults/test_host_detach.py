@@ -1,0 +1,77 @@
+"""HostDetachSpec: the fabric chaos drill's fault kind."""
+
+import pytest
+
+from repro import faults, obs
+from repro.errors import FaultPlanError
+from repro.faults.plan import FaultPlan, HostDetachSpec
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            HostDetachSpec(host=-1)
+        with pytest.raises(FaultPlanError):
+            HostDetachSpec(at_step=0)
+
+    def test_one_shot_by_default(self):
+        assert HostDetachSpec().max_fires == 1
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=3, faults=[HostDetachSpec(host=2, at_step=5)])
+        back = FaultPlan.from_json(plan.to_json())
+        [spec] = back.faults
+        assert isinstance(spec, HostDetachSpec)
+        assert (spec.host, spec.at_step, spec.max_fires) == (2, 5, 1)
+
+    def test_describe_names_the_kind(self):
+        plan = FaultPlan(faults=[HostDetachSpec(host=1)])
+        assert "host_detach" in plan.describe()
+
+
+class TestHook:
+    def test_fires_at_exact_step(self):
+        detached = []
+        with faults.use_plan(
+                FaultPlan(faults=[HostDetachSpec(host=1, at_step=3)])):
+            for _ in range(5):
+                faults.on_fabric_step(detached.append)
+        assert detached == [1]
+        assert faults.active() is None
+
+    def test_counts_injection(self):
+        obs.enable(metrics=True, trace=False)
+        with faults.use_plan(
+                FaultPlan(faults=[HostDetachSpec(host=0, at_step=1)])):
+            faults.on_fabric_step(lambda host: None)
+        snap = obs.metrics_snapshot()
+        assert snap["faults.injected.host_detach"]["value"] == 1
+
+    def test_fires_even_without_callback(self):
+        plan = FaultPlan(faults=[HostDetachSpec(host=0, at_step=1)])
+        with faults.use_plan(plan):
+            faults.on_fabric_step()
+        assert plan.faults[0].fires == 1
+
+    def test_noop_without_plan(self):
+        detached = []
+        faults.on_fabric_step(detached.append)
+        assert detached == []
+
+    def test_step_counter_rewinds_on_reset(self):
+        plan = FaultPlan(faults=[HostDetachSpec(host=0, at_step=2)])
+        for _ in range(2):          # the same plan drives identical runs
+            detached = []
+            with faults.use_plan(plan):
+                for _ in range(3):
+                    faults.on_fabric_step(detached.append)
+            assert detached == [0]
+
+    def test_bypassed_covers_fabric_hook(self):
+        detached = []
+        with faults.use_plan(
+                FaultPlan(faults=[HostDetachSpec(host=0, at_step=1)])):
+            with faults.bypassed():
+                faults.on_fabric_step(detached.append)
+            faults.on_fabric_step(detached.append)
+        assert detached == [0]      # only the un-bypassed call fired

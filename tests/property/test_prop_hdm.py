@@ -1,10 +1,17 @@
-"""Property tests: HDM decoders are bijections."""
+"""Property tests: HDM decoders are bijections, decoder sets partitions."""
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cxl.hdm import VALID_GRANULARITIES, VALID_WAYS, HdmDecoder
+from repro.cxl.hdm import (
+    VALID_GRANULARITIES,
+    VALID_WAYS,
+    HdmDecoder,
+    HdmDecoderSet,
+)
+from repro.errors import CxlDecodeError
 
 
 @st.composite
@@ -59,3 +66,101 @@ def test_consecutive_chunks_rotate_targets(decoder):
     first = decoder.decode(decoder.base_hpa)[0]
     second = decoder.decode(decoder.base_hpa + decoder.granularity)[0]
     assert first != second
+
+
+# ---------------------------------------------------------------------------
+# decoder sets: the per-host programming the fabric manager maintains
+# ---------------------------------------------------------------------------
+
+@st.composite
+def _window_sets(draw):
+    """Abutting/spaced single-way windows with unique targets — the shape
+    the fabric manager programs (one window per bound slice)."""
+    gran = draw(st.sampled_from(VALID_GRANULARITIES))
+    n = draw(st.integers(1, 8))
+    decoders = []
+    hpa = draw(st.integers(0, 1 << 32)) // gran * gran
+    for i in range(n):
+        hpa += draw(st.integers(0, 4)) * gran       # optional gap
+        chunks = draw(st.integers(1, 32))
+        size = chunks * gran
+        decoders.append(HdmDecoder(hpa, size, (f"ld{i}",), gran))
+        hpa += size
+    return HdmDecoderSet(decoders)
+
+
+@given(_window_sets())
+@settings(max_examples=80, deadline=None)
+def test_set_windows_never_overlap(dset):
+    spans = sorted((d.base_hpa, d.end_hpa) for d in dset)
+    for (_, end_a), (base_b, _) in zip(spans, spans[1:]):
+        assert end_a <= base_b
+
+
+@given(_window_sets())
+@settings(max_examples=80, deadline=None)
+def test_set_covers_exactly_its_windows(dset):
+    """Every in-window HPA decodes through its window; boundary HPAs
+    just outside every window miss."""
+    for d in dset:
+        target, dpa = dset.decode(d.base_hpa)
+        assert target in d.targets
+        assert dset.find(d.end_hpa - 1) is d
+    covered = [(d.base_hpa, d.end_hpa) for d in dset]
+    for base, end in covered:
+        for probe in (base - 1, end):
+            if any(b <= probe < e for b, e in covered):
+                continue
+            with pytest.raises(CxlDecodeError):
+                dset.find(probe)
+
+
+@given(_window_sets(), st.integers(0, 1 << 30))
+@settings(max_examples=80, deadline=None)
+def test_set_decode_encode_roundtrip(dset, offset):
+    """decode -> encode is bit-identical through the whole set."""
+    for d in dset:
+        hpa = d.base_hpa + offset % d.size
+        target, dpa = dset.decode(hpa)
+        assert dset.encode(target, dpa) == hpa
+
+
+@given(_window_sets())
+@settings(max_examples=60, deadline=None)
+def test_set_remove_is_exact(dset):
+    """remove() tears down exactly the named window and nothing else."""
+    decoders = list(dset)
+    victim = decoders[len(decoders) // 2]
+    removed = dset.remove(victim.base_hpa)
+    assert removed is victim
+    assert len(dset) == len(decoders) - 1
+    assert victim.targets[0] not in dset.targets
+    with pytest.raises(CxlDecodeError):
+        dset.remove(victim.base_hpa)        # already gone
+    # a re-add of the identical window is legal again (no phantom overlap)
+    dset.add(victim)
+    assert dset.find(victim.base_hpa) is victim
+
+
+@given(_window_sets())
+@settings(max_examples=60, deadline=None)
+def test_set_rejects_any_overlap(dset):
+    gran = next(iter(dset)).granularity
+    for d in dset:
+        clone = HdmDecoder(d.base_hpa, d.size, ("intruder",), gran)
+        with pytest.raises(CxlDecodeError):
+            dset.add(clone)
+        if d.size > gran:
+            partial = HdmDecoder(d.base_hpa + d.size - gran, 2 * gran,
+                                 ("intruder",), gran)
+            with pytest.raises(CxlDecodeError):
+                dset.add(partial)
+
+
+@given(_window_sets())
+@settings(max_examples=60, deadline=None)
+def test_set_targets_and_by_target_agree(dset):
+    assert dset.targets == {t for d in dset for t in d.targets}
+    for d in dset:
+        for t in d.targets:
+            assert d in dset.by_target(t)
