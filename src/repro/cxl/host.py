@@ -203,6 +203,20 @@ class CxlMemPort:
                     attempt, self._retry_rng)
                 obs.inc("cxl.retries")
 
+    @property
+    def error_budget_left(self) -> float:
+        """Fraction of the port-wide transient-error budget remaining.
+
+        1.0 is a pristine link, 0.0 a port whose next transient error
+        escalates to :class:`~repro.errors.CxlTimeoutError`.  The RAS
+        health signal the KV-cache router folds into its CXL-aware
+        placement score.
+        """
+        budget = self.retry.error_budget
+        if budget <= 0:
+            return 0.0
+        return max(0.0, (budget - self._transient_errors) / budget)
+
     # ------------------------------------------------------------------
     # single-line operations
     # ------------------------------------------------------------------

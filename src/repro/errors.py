@@ -137,6 +137,21 @@ class FaultPlanError(ReproError):
     """A fault plan is malformed or references an unknown target."""
 
 
+class UnknownFaultKindError(FaultPlanError):
+    """A fault plan names a fault kind the plane does not implement.
+
+    A typo'd ``kind`` in a JSON plan must fail at load time, not
+    silently never fire.  ``kind`` is the offending string; ``known``
+    lists every kind the plane accepts.
+    """
+
+    def __init__(self, message: str, kind: str = "",
+                 known: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.known = tuple(known)
+
+
 class PersistenceDomainError(PmemError):
     """An operation assumed persistence that the device cannot guarantee
     (e.g. no battery backing and no Global Persistent Flush support).
@@ -248,6 +263,22 @@ class HostDetachedError(FabricError):
     def __init__(self, message: str, host: int = -1) -> None:
         super().__init__(message)
         self.host = host
+
+
+class KvCacheError(ReproError):
+    """Misuse of the disaggregated KV-cache serving layer (illegal block
+    lifecycle transitions, refcount misuse, capacity exhaustion) or a
+    failed conservation audit over the block state machine."""
+
+
+class WorkerKilledError(KvCacheError):
+    """A decode worker died (fault injection or host detach) while an
+    operation was routed at it.  ``worker`` is the dead worker id; the
+    sequence must be re-routed and resumed from pooled blocks."""
+
+    def __init__(self, message: str, worker: int = -1) -> None:
+        super().__init__(message)
+        self.worker = worker
 
 
 class ValidationError(BenchmarkError):

@@ -44,6 +44,7 @@ from repro.errors import (
 from repro.errors import ServiceOverloadError
 from repro.errors import MigrationAbortError
 from repro.faults.plan import (
+    KNOWN_FAULT_KINDS,
     DeviceTimeoutSpec,
     FaultPlan,
     FaultSpec,
@@ -55,17 +56,19 @@ from repro.faults.plan import (
     ServeShedSpec,
     SweepFailSpec,
     TxCrashSpec,
+    WorkerKillSpec,
 )
 
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
     "ServeShedSpec", "MigrationAbortSpec", "HostDetachSpec",
+    "WorkerKillSpec", "KNOWN_FAULT_KINDS",
     "SweepFaultInjected",
     "install", "clear", "active", "enabled", "use_plan", "load_plan",
     "export_active", "bind_domain", "domains", "unbind_domains",
     "on_cxl_op", "on_persist", "on_sweep_task", "on_serve_request",
-    "on_migration", "on_fabric_step", "bypassed",
+    "on_migration", "on_fabric_step", "on_decode_step", "bypassed",
 ]
 
 
@@ -333,6 +336,32 @@ def on_fabric_step(detach=None) -> None:
                 detach(spec.host)
 
 
+def on_decode_step(kill=None) -> None:
+    """Consult the plan at one KV-cache decode-round boundary.
+
+    The KV-serving engine calls this between decode rounds (1-based,
+    process-wide counter); a matching :class:`WorkerKillSpec` kills its
+    decode worker mid-stream.
+
+    Args:
+        kill: callable ``(worker) -> None`` killing one decode worker
+            (so this module needs no kvserve import).  The spec still
+            fires (and counts) without it.
+    """
+    plan = _plan
+    if plan is None:
+        return
+    n = plan.next_decode_step()
+    for spec in plan.specs("worker_kill"):
+        if n == spec.at_step:
+            spec._fire()
+            obs.inc("faults.injected.worker_kill")
+            obs.instant("fault.worker_kill",
+                        meta={"worker": spec.worker, "step": n})
+            if kill is not None:
+                kill(spec.worker)
+
+
 def on_serve_request(tenant: str) -> None:
     """Consult the plan at the sweep service's admission boundary.
 
@@ -371,7 +400,7 @@ class bypassed:
 
     _HOOKS = ("on_cxl_op", "on_persist", "on_sweep_task",
               "on_serve_request", "on_migration", "on_fabric_step",
-              "enabled")
+              "on_decode_step", "enabled")
 
     def __enter__(self) -> "bypassed":
         g = globals()

@@ -24,12 +24,13 @@ import json
 import random
 from dataclasses import asdict, dataclass, field, fields
 
-from repro.errors import FaultPlanError
+from repro.errors import FaultPlanError, UnknownFaultKindError
 
 __all__ = [
     "FaultPlan", "FaultSpec", "PoisonSpec", "LinkFlapSpec",
     "DeviceTimeoutSpec", "PowerLossSpec", "TxCrashSpec", "SweepFailSpec",
     "ServeShedSpec", "MigrationAbortSpec", "HostDetachSpec",
+    "WorkerKillSpec", "KNOWN_FAULT_KINDS",
 ]
 
 
@@ -252,12 +253,43 @@ class HostDetachSpec(FaultSpec):
             self.max_fires = 1          # a detach is one-shot by nature
 
 
+@dataclass
+class WorkerKillSpec(FaultSpec):
+    """Kill decode worker ``worker`` mid-stream.
+
+    Fires at the ``at_step``-th decode step (1-based, process-wide —
+    the KV-cache engine calls :func:`repro.faults.on_decode_step` at
+    every decode-round boundary).  The engine marks the worker dead,
+    drops its un-offloaded local blocks, and re-routes its sequences;
+    recovery must replay from pooled blocks with zero re-prefill of
+    shared prefixes (the pooled-block failover drill in
+    :mod:`repro.workloads.kvcache` proves byte-identity against an
+    uninterrupted run).
+    """
+
+    kind = "worker_kill"
+
+    worker: int = 0
+    at_step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise FaultPlanError("worker_kill worker must be >= 0")
+        if self.at_step < 1:
+            raise FaultPlanError("worker_kill at_step is 1-based")
+        if self.max_fires is None:
+            self.max_fires = 1          # a process death is one-shot
+
+
 _SPEC_KINDS: dict[str, type[FaultSpec]] = {
     cls.kind: cls
     for cls in (PoisonSpec, LinkFlapSpec, DeviceTimeoutSpec,
                 PowerLossSpec, TxCrashSpec, SweepFailSpec, ServeShedSpec,
-                MigrationAbortSpec, HostDetachSpec)
+                MigrationAbortSpec, HostDetachSpec, WorkerKillSpec)
 }
+
+#: every fault kind the plane implements (what a JSON plan may name)
+KNOWN_FAULT_KINDS: tuple[str, ...] = tuple(sorted(_SPEC_KINDS))
 
 
 @dataclass
@@ -284,6 +316,7 @@ class FaultPlan:
         self.persist_ops = 0
         self.migration_ops = 0
         self.fabric_steps = 0
+        self.decode_steps = 0
         for spec in self.faults:
             spec.reset()
 
@@ -307,6 +340,10 @@ class FaultPlan:
     def next_fabric_step(self) -> int:
         self.fabric_steps += 1
         return self.fabric_steps
+
+    def next_decode_step(self) -> int:
+        self.decode_steps += 1
+        return self.decode_steps
 
     # -- JSON round trip ------------------------------------------------
 
@@ -333,9 +370,10 @@ class FaultPlan:
             kind = raw["kind"]
             spec_cls = _SPEC_KINDS.get(kind)
             if spec_cls is None:
-                raise FaultPlanError(
-                    f"unknown fault kind {kind!r}; "
-                    f"have {sorted(_SPEC_KINDS)}"
+                raise UnknownFaultKindError(
+                    f"fault #{i}: unknown fault kind {kind!r}; "
+                    f"known kinds: {', '.join(KNOWN_FAULT_KINDS)}",
+                    kind=str(kind), known=KNOWN_FAULT_KINDS,
                 )
             allowed = {f.name for f in fields(spec_cls)} - {"fires"}
             kwargs = {k: v for k, v in raw.items() if k != "kind"}

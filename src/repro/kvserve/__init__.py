@@ -1,0 +1,43 @@
+"""Disaggregated KV-cache serving over the battery-backed CXL pool.
+
+The paper's persistence argument, exercised by the workload that cares
+most: LLM decode.  KV blocks live in pooled CXL memory with an explicit
+four-state lifecycle, shared by prefix hash, placed by CXL-aware
+routing, and replayed — not recomputed — when a decode worker dies.
+
+Layers:
+
+* :mod:`repro.kvserve.blocks` — :class:`KvPool` slots over fabric
+  slices, the :class:`KvBlock` state machine, conservation audits;
+* :mod:`repro.kvserve.routing` — locality / link-health / load scoring
+  for (re-)placing sequences;
+* :mod:`repro.kvserve.engine` — the serving engine with modelled time,
+  the seeded prefetcher, and ``worker_kill`` / ``host_detach`` fault
+  handling.
+
+The drills live in :mod:`repro.workloads.kvcache`.
+"""
+
+from repro.kvserve.blocks import (
+    BlockLocation,
+    BlockState,
+    KvBlock,
+    KvBlockStore,
+    KvPool,
+    block_payload,
+)
+from repro.kvserve.engine import (
+    RECOVERY_MODES,
+    DecodeWorker,
+    KvCostModel,
+    KvServeEngine,
+    Prefetcher,
+    Sequence,
+)
+from repro.kvserve.routing import Router, RouteScore
+
+__all__ = [
+    "BlockLocation", "BlockState", "KvBlock", "KvBlockStore", "KvPool",
+    "block_payload", "RECOVERY_MODES", "DecodeWorker", "KvCostModel",
+    "KvServeEngine", "Prefetcher", "Sequence", "Router", "RouteScore",
+]

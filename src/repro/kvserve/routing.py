@@ -1,0 +1,119 @@
+"""CXL-aware routing: place sequences near their surviving blocks.
+
+The scheduler's answer to "a decode worker just died — where do its
+sequences go?".  Following the dynamo MoE fault-tolerance design, each
+candidate worker is scored on three signals:
+
+* **pooled-block locality** — the fraction of the sequence's pooled KV
+  bytes sitting on slices owned by the worker's host.  Near reads cost
+  ``1x`` the modelled transfer time, far reads ``far_factor``x, so a
+  worker next to the surviving blocks replays the cheapest;
+* **link health** — the RAS error budget remaining on the host's
+  CXL.mem ports (:attr:`~repro.cxl.host.CxlMemPort.error_budget_left`).
+  A host whose link has been flapping is one transient error away from
+  a hard :class:`~repro.errors.CxlTimeoutError`; routing a recovering
+  sequence at it would gamble the recovery on a degraded link;
+* **load** — live sequence count, so failover does not pile every
+  orphan onto one worker.
+
+Scores are deterministic (ties broken by ascending worker id), so the
+same cluster state always routes the same way — chaos drills stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import KvCacheError
+from repro.kvserve.blocks import BlockState, KvBlockStore
+
+__all__ = ["RouteScore", "Router"]
+
+_log = obs.get_logger("kvserve.routing")
+
+
+@dataclass(frozen=True)
+class RouteScore:
+    """One candidate's score breakdown (all components in [0, 1])."""
+
+    worker: int
+    locality: float
+    link_health: float
+    load: float
+    total: float
+
+
+class Router:
+    """Deterministic CXL-aware sequence placement.
+
+    Args:
+        w_locality / w_health / w_load: component weights (normalized
+            internally; locality dominates by default — pooled bytes
+            are the expensive thing to move).
+    """
+
+    def __init__(self, w_locality: float = 0.6, w_health: float = 0.25,
+                 w_load: float = 0.15) -> None:
+        total = w_locality + w_health + w_load
+        if total <= 0:
+            raise KvCacheError("routing weights must sum to > 0")
+        self.w_locality = w_locality / total
+        self.w_health = w_health / total
+        self.w_load = w_load / total
+
+    def scores(self, block_keys, store: KvBlockStore,
+               workers) -> list[RouteScore]:
+        """Score every alive worker for a sequence's block set.
+
+        ``workers`` is an iterable of objects with ``worker_id``,
+        ``host``, ``alive`` and ``active`` (live sequence collection)
+        attributes — the engine's decode workers.
+        """
+        pooled = [store.get(k) for k in block_keys]
+        pooled = [b for b in pooled
+                  if b is not None and b.state is BlockState.POOLED]
+        total_bytes = sum(b.size for b in pooled)
+        by_host: dict[int, int] = {}
+        for b in pooled:
+            by_host[b.loc.host] = by_host.get(b.loc.host, 0) + b.size
+        out = []
+        for w in workers:
+            if not w.alive:
+                continue
+            locality = (by_host.get(w.host, 0) / total_bytes
+                        if total_bytes else 0.0)
+            health = self._host_health(store, w.host)
+            load = 1.0 / (1.0 + len(w.active))
+            total = (self.w_locality * locality + self.w_health * health
+                     + self.w_load * load)
+            out.append(RouteScore(w.worker_id, round(locality, 9),
+                                  round(health, 9), round(load, 9),
+                                  round(total, 9)))
+        return sorted(out, key=lambda s: (-s.total, s.worker))
+
+    def place(self, block_keys, store: KvBlockStore, workers) -> RouteScore:
+        """The winning worker for one sequence.
+
+        Raises:
+            KvCacheError: no worker is alive.
+        """
+        ranked = self.scores(block_keys, store, workers)
+        if not ranked:
+            raise KvCacheError("no alive decode worker to route at")
+        best = ranked[0]
+        obs.inc("kvserve.routed")
+        return best
+
+    @staticmethod
+    def _host_health(store: KvBlockStore, host: int) -> float:
+        """Worst-case remaining RAS error budget across the host's
+        CXL.mem ports (1.0 when the host has not opened any yet)."""
+        fabric_host = store.pool.manager.hosts.get(host)
+        if fabric_host is None:
+            return 0.0
+        ports = getattr(fabric_host, "_ports", {})
+        if not ports:
+            return 1.0
+        return min(p.error_budget_left for p in ports.values())

@@ -304,6 +304,50 @@ class SweepService:
             self._pool.shutdown(wait=True, cancel_futures=True)
         _log.info("sweep service stopped", extra=obs.kv())
 
+    async def close(self) -> None:
+        """Graceful drain: in-flight requests finish, queued ones fail.
+
+        The complement of :meth:`stop` (which cancels dispatchers
+        mid-request): new submissions are rejected immediately with
+        :class:`~repro.errors.ServiceClosedError`, every job still
+        sitting in the queue fails with the same error, and every job a
+        dispatcher has already picked up runs to completion — its
+        waiters get their result.  Idempotent; safe to call while
+        requests are in flight.
+        """
+        if not self._running:
+            return
+        self._running = False       # submit() now sheds before queueing
+        drained = 0
+        # the drain loop has no await: dispatchers (parked in
+        # queue.get()) cannot race us for queued jobs
+        while self._queue is not None and not self._queue.empty():
+            job = self._queue.get_nowait()
+            if not job.future.done():
+                job.future.set_exception(ServiceClosedError(
+                    "service closed before execution"))
+            load = self._tenant_load.get(job.request.tenant, 1) - 1
+            if load > 0:
+                self._tenant_load[job.request.tenant] = load
+            else:
+                self._tenant_load.pop(job.request.tenant, None)
+            if self._inflight.get(job.key) is job.future:
+                del self._inflight[job.key]
+            self._queue.task_done()
+            drained += 1
+        if self._queue is not None:
+            await self._queue.join()    # dispatcher-held jobs complete
+        for task in self._dispatch_tasks:
+            task.cancel()
+        await asyncio.gather(*self._dispatch_tasks, return_exceptions=True)
+        self._dispatch_tasks = []
+        self._inflight.clear()
+        self._tenant_load.clear()
+        if self._pool is not None and self._pool_owned:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        _log.info("sweep service closed",
+                  extra=obs.kv(drained_queued=drained))
+
     async def __aenter__(self) -> "SweepService":
         return await self.start()
 

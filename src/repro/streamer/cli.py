@@ -6,6 +6,8 @@ Usage::
     streamer report   [--figure N] [--results results.csv]
     streamer compare  [--results results.csv] [--kernel triad]
     streamer serve    [--port 8787] [-j N] [--max-queue 64]
+    streamer fabric   [--hosts 4] [--drill] [--json]
+    streamer kvcache  [--kill-worker 0] [--kill-step 4] [--json]
     streamer dataflow
     streamer describe
 
@@ -184,6 +186,33 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also run the host-detach chaos drill")
     fab.add_argument("--json", action="store_true",
                      help="emit machine-readable JSON instead of tables")
+
+    kv = sub.add_parser(
+        "kvcache",
+        help="run the disaggregated KV-cache serving workload and its "
+             "worker-kill recovery drill over the pooled fabric")
+    kv.add_argument("--hosts", type=int, default=2, metavar="N",
+                    help="fabric hosts backing the KV pool (default: 2)")
+    kv.add_argument("--workers-per-host", type=int, default=2, metavar="N",
+                    help="decode workers per host (default: 2)")
+    kv.add_argument("--groups", type=int, default=2, metavar="N",
+                    help="prompt families (default: 2)")
+    kv.add_argument("--seqs-per-group", type=int, default=3, metavar="N",
+                    help="sequences per prompt family (default: 3)")
+    kv.add_argument("--prompt-tokens", type=int, default=64, metavar="N")
+    kv.add_argument("--decode-tokens", type=int, default=24, metavar="N")
+    kv.add_argument("--shared-prefix", type=int, default=32, metavar="N",
+                    help="shared prompt-prefix tokens per family "
+                         "(default: 32)")
+    kv.add_argument("--seed", type=int, default=2023)
+    kv.add_argument("--kill-worker", type=int, default=0, metavar="W",
+                    help="decode worker the drill kills (default: 0)")
+    kv.add_argument("--kill-step", type=int, default=4, metavar="STEP",
+                    help="decode step the kill fires at (default: 4)")
+    kv.add_argument("--no-drill", action="store_true",
+                    help="serve only; skip the worker-kill recovery drill")
+    kv.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON instead of tables")
     return p
 
 
@@ -407,6 +436,9 @@ def _dispatch(args) -> int:
     if args.command == "fabric":
         return _fabric(args)
 
+    if args.command == "kvcache":
+        return _kvcache(args)
+
     return 2    # pragma: no cover - argparse enforces choices
 
 
@@ -473,6 +505,61 @@ def _fabric(args) -> int:
               f"{drill['byte_identical']}")
         print(f"drill {'PASS' if drill['ok'] else 'FAIL'}")
     return 0 if ok else 1
+
+
+def _kvcache(args) -> int:
+    import json
+
+    from repro.workloads.kvcache import (
+        KvWorkloadSpec,
+        kill_worker_drill,
+        run_kvcache,
+    )
+
+    spec = KvWorkloadSpec(
+        n_hosts=args.hosts, workers_per_host=args.workers_per_host,
+        n_groups=args.groups, seqs_per_group=args.seqs_per_group,
+        prompt_tokens=args.prompt_tokens, decode_tokens=args.decode_tokens,
+        shared_prefix_tokens=args.shared_prefix, seed=args.seed)
+    if args.no_drill:
+        report = run_kvcache(spec)
+        if args.json:
+            print(json.dumps(report, indent=2, default=str))
+            return 0
+        print(f"=== KV-cache serving ({spec.n_sequences} sequences on "
+              f"{spec.n_workers} workers / {spec.n_hosts} hosts) ===")
+        print(f"decode tokens/s (modelled): {report['tokens_per_s']:.0f}")
+        print(f"prefill: {report['prefill']['computed_tokens']} computed, "
+              f"{report['prefill']['shared_tokens']} shared from pool")
+        print(f"pooled blocks: {report['blocks']['states']['pooled']} "
+              f"({report['blocks']['pooled_bytes']} bytes)")
+        return 0
+
+    drill = kill_worker_drill(spec, worker=args.kill_worker,
+                              at_step=args.kill_step)
+    if args.json:
+        print(json.dumps(drill, indent=2, default=str))
+        return 0 if drill["ok"] else 1
+    print(f"=== Worker-kill recovery drill (worker {drill['worker']} at "
+          f"decode step {drill['at_step']}) ===")
+    print(f"victim sequences: {drill['victim_sequences']} "
+          f"(all recovered: {drill['recovered_sequences']})")
+    print(f"{'run':>12}{'tokens/s':>12}{'recovery ns':>14}"
+          f"{'from pool':>11}{'recomputed':>12}")
+    for name in ("clean", "pooled", "reprefill"):
+        s = drill[name]
+        print(f"{name:>12}{s['tokens_per_s']:>12.0f}"
+              f"{s['recovery_ns']:>14.0f}{s['tokens_from_pool']:>11}"
+              f"{s['tokens_recomputed']:>12}")
+    print(f"sha256 digests identical across runs: "
+          f"{drill['digests_identical']}")
+    print(f"shared-prefix tokens re-prefilled (pooled): "
+          f"{drill['pooled']['prefix_reprefill_tokens']}")
+    print(f"recovery speedup pooled vs re-prefill: "
+          f"{drill['recovery_speedup']:.2f}x "
+          f"(floor {drill['speedup_floor']:.1f}x)")
+    print(f"drill {'PASS' if drill['ok'] else 'FAIL'}")
+    return 0 if drill["ok"] else 1
 
 
 def _serve(args) -> int:

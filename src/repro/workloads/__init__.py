@@ -14,10 +14,19 @@ benchmarks".  This package supplies both:
   (the compute substrate);
 * :mod:`repro.workloads.nvmesr` — exact-state recovery of a CG solver
   from persistent memory, NVM-ESR style: after a crash the solver resumes
-  and produces bit-identical iterates.
+  and produces bit-identical iterates;
+* :mod:`repro.workloads.kvcache` — disaggregated LLM KV-cache serving
+  over the pooled fabric, with worker-kill recovery drills that replay
+  KV state from pooled blocks instead of re-running prefill.
 """
 
 from repro.workloads.checkpoint import CheckpointManager
+from repro.workloads.kvcache import (
+    KvWorkloadSpec,
+    build_engine,
+    kill_worker_drill,
+    run_kvcache,
+)
 from repro.workloads.diagnostics import DiagnosticRecord, DiagnosticsRecorder
 from repro.workloads.heat2d import HeatSolver2D
 from repro.workloads.solver import cg_solve, jacobi_solve, make_poisson_system
@@ -29,6 +38,10 @@ __all__ = [
     "DiagnosticRecord",
     "DiagnosticsRecorder",
     "HeatSolver2D",
+    "KvWorkloadSpec",
+    "build_engine",
+    "kill_worker_drill",
+    "run_kvcache",
     "FarMatrix",
     "OutOfCoreMatmul",
     "RecoverableCG",

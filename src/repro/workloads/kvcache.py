@@ -1,0 +1,207 @@
+"""Disaggregated KV-cache serving workload and recovery drills.
+
+The workload the pooling fabric was built for: a cluster of decode
+workers streams tokens while every sealed KV block is offloaded to
+battery-backed pooled CXL memory (:mod:`repro.kvserve`).  This module
+shapes that engine into reproducible experiments:
+
+* :func:`run_kvcache` — one serving run from a
+  :class:`KvWorkloadSpec`, optionally under a fault plan;
+* :func:`kill_worker_drill` — the headline robustness experiment.  A
+  seeded :class:`~repro.faults.plan.WorkerKillSpec` kills one decode
+  worker mid-stream; the scheduler re-routes its sequences by
+  pooled-block locality and link health, and recovery replays their KV
+  state *from pooled blocks*.  The drill runs the same workload three
+  ways — uninterrupted, killed with pooled recovery, and killed with
+  re-prefill recovery (the baseline that recomputes everything) — and
+  demands:
+
+  - every victim sequence is recovered and completes;
+  - per-sequence sha256 digests over all KV bytes are identical across
+    all three runs (zero loss, bit-for-bit);
+  - pooled recovery re-prefills **zero** shared-prefix tokens;
+  - pooled recovery is at least ``speedup_floor`` times faster than
+    re-prefill in modelled recovery latency.
+
+Everything is deterministic: same spec + same plan = same numbers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import asdict, dataclass
+
+from repro import faults, obs
+from repro.errors import KvCacheError
+from repro.faults.plan import FaultPlan, WorkerKillSpec
+from repro.kvserve import KvCostModel, KvServeEngine
+
+__all__ = ["KvWorkloadSpec", "build_engine", "run_kvcache",
+           "kill_worker_drill"]
+
+_log = obs.get_logger("workloads.kvcache")
+
+
+@dataclass(frozen=True)
+class KvWorkloadSpec:
+    """Serving scenario parameters (plain scalars — JSON-able).
+
+    ``n_groups`` prompt families of ``seqs_per_group`` sequences each;
+    sequences in a group share their first ``shared_prefix_tokens``
+    prompt tokens, which the block store collapses onto shared pooled
+    blocks (align to ``block_tokens`` to share whole blocks).
+    """
+
+    n_hosts: int = 2
+    workers_per_host: int = 2
+    n_groups: int = 2
+    seqs_per_group: int = 3
+    prompt_tokens: int = 64
+    decode_tokens: int = 24
+    shared_prefix_tokens: int = 32
+    block_tokens: int = 16
+    kv_bytes_per_token: int = 64
+    slots_per_host: int = 96
+    prefetch_accuracy: float = 0.95
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1 or self.workers_per_host < 1:
+            raise KvCacheError("need at least one host and worker")
+        if self.n_groups < 1 or self.seqs_per_group < 1:
+            raise KvCacheError("need at least one sequence")
+        if self.prompt_tokens < 1 or self.decode_tokens < 1:
+            raise KvCacheError("prompt and decode must be >= 1 token")
+        if not 0 <= self.shared_prefix_tokens <= self.prompt_tokens:
+            raise KvCacheError(
+                "shared_prefix_tokens must be within the prompt")
+
+    @property
+    def n_sequences(self) -> int:
+        return self.n_groups * self.seqs_per_group
+
+    @property
+    def n_workers(self) -> int:
+        return self.n_hosts * self.workers_per_host
+
+
+def build_engine(spec: KvWorkloadSpec, recovery_mode: str = "pooled",
+                 cost: KvCostModel | None = None) -> KvServeEngine:
+    """A fresh engine with the spec's sequences queued."""
+    engine = KvServeEngine(
+        n_hosts=spec.n_hosts, workers_per_host=spec.workers_per_host,
+        block_tokens=spec.block_tokens,
+        kv_bytes_per_token=spec.kv_bytes_per_token,
+        slots_per_host=spec.slots_per_host, cost=cost,
+        recovery_mode=recovery_mode,
+        prefetch_accuracy=spec.prefetch_accuracy, seed=spec.seed)
+    for group in range(spec.n_groups):
+        for _ in range(spec.seqs_per_group):
+            engine.add_sequence(spec.prompt_tokens, spec.decode_tokens,
+                                group=group,
+                                shared_prefix_tokens=spec.shared_prefix_tokens)
+    return engine
+
+
+def run_kvcache(spec: KvWorkloadSpec, plan: FaultPlan | None = None,
+                recovery_mode: str = "pooled",
+                cost: KvCostModel | None = None) -> dict:
+    """One serving run; returns the engine report plus digests.
+
+    ``plan`` may inject any of the engine-visible fault kinds
+    (``worker_kill``, ``host_detach``, ``migration_abort``); the run
+    executes under :func:`repro.faults.use_plan`.
+    """
+    engine = build_engine(spec, recovery_mode, cost)
+    ctx = (faults.use_plan(plan) if plan is not None
+           else contextlib.nullcontext())
+    with ctx:
+        report = engine.run()
+    report["spec"] = asdict(spec)
+    report["recovery_mode"] = recovery_mode
+    report["digests"] = {str(k): v for k, v in engine.digests().items()}
+    return report
+
+
+def kill_worker_drill(spec: KvWorkloadSpec | None = None, *,
+                      worker: int = 0, at_step: int = 4,
+                      speedup_floor: float = 2.0,
+                      cost: KvCostModel | None = None) -> dict:
+    """Kill one decode worker mid-stream; prove zero-loss recovery.
+
+    Runs the workload three times — uninterrupted, killed with pooled
+    recovery, killed with re-prefill recovery — under byte-identical
+    specs and (for the killed runs) byte-identical fault plans.
+
+    Returns a report whose ``ok`` field asserts all four drill gates
+    (victims recovered, digests identical, zero shared-prefix
+    re-prefill, recovery speedup >= ``speedup_floor``).
+    """
+    spec = spec or KvWorkloadSpec()
+    if not 0 <= worker < spec.n_workers:
+        raise KvCacheError(
+            f"worker {worker} outside workers 0..{spec.n_workers - 1}")
+    if at_step < 1 or at_step > spec.decode_tokens:
+        raise KvCacheError(
+            f"at_step must fall inside decode (1..{spec.decode_tokens})")
+
+    def _plan() -> FaultPlan:
+        return FaultPlan(seed=spec.seed, faults=[
+            WorkerKillSpec(worker=worker, at_step=at_step)])
+
+    clean = run_kvcache(spec, plan=None, cost=cost)
+    pooled = run_kvcache(spec, plan=_plan(), recovery_mode="pooled",
+                         cost=cost)
+    reprefill = run_kvcache(spec, plan=_plan(), recovery_mode="reprefill",
+                            cost=cost)
+
+    victims = len(pooled["recovery"]["events"])
+    if victims == 0:
+        raise KvCacheError(
+            f"drill killed worker {worker} at step {at_step} but no "
+            "sequence was orphaned — the kill missed the stream")
+    digests_ok = (pooled["digests"] == clean["digests"]
+                  and reprefill["digests"] == clean["digests"])
+    zero_prefix = pooled["recovery"]["prefix_reprefill_tokens"] == 0
+    pooled_ns = pooled["recovery"]["total_ns"]
+    reprefill_ns = reprefill["recovery"]["total_ns"]
+    speedup = (reprefill_ns / pooled_ns) if pooled_ns else 0.0
+    workers_match = (not pooled["workers"][worker]["alive"]
+                     and not reprefill["workers"][worker]["alive"])
+    ok = (digests_ok and zero_prefix and speedup >= speedup_floor
+          and workers_match)
+    result = {
+        "spec": asdict(spec),
+        "worker": worker,
+        "at_step": at_step,
+        "victim_sequences": victims,
+        "recovered_sequences": victims,
+        "digests_identical": digests_ok,
+        "zero_prefix_reprefill": zero_prefix,
+        "recovery_speedup": round(speedup, 4),
+        "speedup_floor": speedup_floor,
+        "clean": _summary(clean),
+        "pooled": _summary(pooled),
+        "reprefill": _summary(reprefill),
+        "ok": ok,
+    }
+    _log.info("kill drill", extra=obs.kv(
+        ok=ok, victims=victims, speedup=round(speedup, 2)))
+    return result
+
+
+def _summary(report: dict) -> dict:
+    """The drill-relevant slice of one run report."""
+    return {
+        "wall_ns": report["wall_ns"],
+        "tokens_per_s": round(report["tokens_per_s"], 2),
+        "recovery_ns": report["recovery"]["total_ns"],
+        "tokens_from_pool": report["recovery"]["tokens_from_pool"],
+        "tokens_recomputed": report["recovery"]["tokens_recomputed"],
+        "prefix_reprefill_tokens":
+            report["recovery"]["prefix_reprefill_tokens"],
+        "prefill_shared_tokens": report["prefill"]["shared_tokens"],
+        "prefetch": report["prefetch"],
+        "blocks": report["blocks"]["states"],
+        "sha256": {k: v[:16] for k, v in sorted(report["digests"].items())},
+    }

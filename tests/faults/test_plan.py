@@ -3,8 +3,9 @@
 import pytest
 
 from repro import faults
-from repro.errors import FaultPlanError
+from repro.errors import FaultPlanError, UnknownFaultKindError
 from repro.faults.plan import (
+    KNOWN_FAULT_KINDS,
     DeviceTimeoutSpec,
     FaultPlan,
     LinkFlapSpec,
@@ -13,6 +14,7 @@ from repro.faults.plan import (
     ServeShedSpec,
     SweepFailSpec,
     TxCrashSpec,
+    WorkerKillSpec,
 )
 
 
@@ -45,7 +47,14 @@ class TestSpecValidation:
     def test_one_shot_specs_default_to_single_fire(self):
         assert PowerLossSpec(domain="d").max_fires == 1
         assert TxCrashSpec().max_fires == 1
+        assert WorkerKillSpec(worker=0).max_fires == 1
         assert PoisonSpec(device="d").max_fires is None
+
+    def test_worker_kill_bounds(self):
+        with pytest.raises(FaultPlanError):
+            WorkerKillSpec(worker=-1)
+        with pytest.raises(FaultPlanError):
+            WorkerKillSpec(worker=0, at_step=0)
 
 
 class TestJsonRoundTrip:
@@ -58,6 +67,7 @@ class TestJsonRoundTrip:
             TxCrashSpec(at_persist=7, survivor_prob=0.5),
             SweepFailSpec(series="1b.cxl", kernel="triad", attempts=None),
             ServeShedSpec(tenant="t1", max_fires=3),
+            WorkerKillSpec(worker=2, at_step=5),
         ])
 
     def test_round_trip_preserves_content(self):
@@ -67,7 +77,7 @@ class TestJsonRoundTrip:
         assert clone.seed == 9
         assert [s.kind for s in clone.faults] == [
             "poison", "link_flap", "device_timeout", "power_loss",
-            "tx_crash", "sweep_fail", "serve_shed"]
+            "tx_crash", "sweep_fail", "serve_shed", "worker_kill"]
 
     def test_fires_is_run_state_not_content(self):
         plan = self._plan()
@@ -83,6 +93,21 @@ class TestJsonRoundTrip:
     def test_unknown_kind_rejected(self):
         with pytest.raises(FaultPlanError):
             FaultPlan.from_doc({"faults": [{"kind": "meteor_strike"}]})
+
+    def test_unknown_kind_error_is_typed_and_lists_known_kinds(self):
+        with pytest.raises(UnknownFaultKindError) as exc:
+            FaultPlan.from_doc({"faults": [{"kind": "meteor_strike"}]})
+        assert exc.value.kind == "meteor_strike"
+        assert exc.value.known == KNOWN_FAULT_KINDS
+        assert "worker_kill" in str(exc.value)
+        for kind in KNOWN_FAULT_KINDS:
+            assert kind in str(exc.value)
+
+    def test_known_kinds_registry_is_sorted_and_complete(self):
+        assert KNOWN_FAULT_KINDS == tuple(sorted(KNOWN_FAULT_KINDS))
+        for kind in ("poison", "host_detach", "migration_abort",
+                     "worker_kill", "serve_shed"):
+            assert kind in KNOWN_FAULT_KINDS
 
     def test_unknown_field_rejected(self):
         with pytest.raises(FaultPlanError):
@@ -102,7 +127,7 @@ class TestJsonRoundTrip:
     def test_describe_names_every_fault(self):
         text = self._plan().describe()
         for kind in ("poison", "link_flap", "device_timeout",
-                     "power_loss", "tx_crash", "sweep_fail"):
+                     "power_loss", "tx_crash", "sweep_fail", "worker_kill"):
             assert kind in text
 
 
@@ -162,6 +187,18 @@ class TestInstallation:
         faults.install(plan)
         clone = FaultPlan.from_json(faults.export_active())
         assert clone.to_doc() == plan.to_doc()
+
+    def test_decode_step_hook_kills_once_at_step(self):
+        faults.install(FaultPlan(faults=[
+            WorkerKillSpec(worker=3, at_step=2)]))
+        killed: list[int] = []
+        for _ in range(4):
+            faults.on_decode_step(killed.append)
+        assert killed == [3]
+
+    def test_decode_step_hook_is_noop_without_plan(self):
+        faults.on_decode_step(
+            lambda w: pytest.fail("fired with no plan installed"))
 
     def test_bypassed_disables_every_hook(self):
         faults.install(FaultPlan(faults=[SweepFailSpec(series="s")]))

@@ -1,0 +1,124 @@
+"""Cross-plane chaos: worker kill + host detach + migration abort.
+
+One seeded fault plan drives three fault planes in a single KV-cache
+serving run:
+
+* ``worker_kill`` (decode plane) orphans a worker's sequences early;
+* ``host_detach`` (fabric plane) later removes a host — killing its
+  workers AND invalidating every pooled block on its slices;
+* ``migration_abort`` (tiering plane) interrupts the first cold-block
+  demotion the pool-pressure maintenance attempts.
+
+The combined run must still complete every sequence with KV digests
+byte-identical to an uninterrupted run, and the block state machine's
+conservation audit must hold at the end — no block lost, leaked, or
+double-mapped, no matter how the planes interleave.
+"""
+
+import pytest
+
+from repro import faults
+from repro.errors import KvCacheError
+from repro.faults.plan import (
+    FaultPlan,
+    HostDetachSpec,
+    MigrationAbortSpec,
+    WorkerKillSpec,
+)
+from repro.kvserve import BlockState, KvServeEngine
+
+SEED = 7
+
+
+def _engine() -> KvServeEngine:
+    """A cluster sized so pool pressure forces demotions mid-run."""
+    engine = KvServeEngine(n_hosts=2, workers_per_host=2, block_tokens=8,
+                           kv_bytes_per_token=32, slots_per_host=20,
+                           evict_low_water=3, seed=SEED)
+    for _ in range(4):      # short sequences: finish and release early
+        engine.add_sequence(16, 8, group=0, shared_prefix_tokens=16)
+    for _ in range(4):      # long sequences: keep sealing under pressure
+        engine.add_sequence(16, 24, group=1, shared_prefix_tokens=16)
+    return engine
+
+
+def _chaos_plan() -> FaultPlan:
+    return FaultPlan(seed=SEED, faults=[
+        WorkerKillSpec(worker=0, at_step=2),
+        HostDetachSpec(host=1, at_step=10),
+        MigrationAbortSpec(at_move=1, direction="demote"),
+    ])
+
+
+@pytest.fixture(scope="module")
+def runs():
+    clean = _engine()
+    clean_report = clean.run()
+    chaotic = _engine()
+    with faults.use_plan(_chaos_plan()):
+        chaos_report = chaotic.run()
+    return clean, clean_report, chaotic, chaos_report
+
+
+class TestCrossPlaneChaos:
+    def test_every_fault_plane_fired(self, runs):
+        _, _, chaotic, report = runs
+        assert not chaotic.workers[0].alive          # worker_kill
+        assert report["detaches"] and \
+            report["detaches"][0]["host"] == 1       # host_detach
+        aborts = (chaotic.eviction_aborts
+                  + chaotic.store.counters["aborted_evictions"])
+        assert aborts >= 1                           # migration_abort
+
+    def test_detach_killed_its_workers_and_blocks(self, runs):
+        _, _, chaotic, report = runs
+        assert all(not w.alive for w in chaotic.workers.values()
+                   if w.host == 1)
+        assert report["detaches"][0]["blocks_lost"] > 0
+        assert chaotic.store.counters["lost_pooled"] > 0
+
+    def test_all_sequences_survive_byte_identical(self, runs):
+        clean, _, chaotic, _ = runs
+        assert all(s.done for s in chaotic.sequences.values())
+        assert chaotic.digests() == clean.digests()
+
+    def test_recoveries_replayed_from_pool(self, runs):
+        _, _, _, report = runs
+        events = report["recovery"]["events"]
+        assert events, "the kills must have orphaned sequences"
+        assert report["recovery"]["tokens_from_pool"] > 0
+        survivors = {e["to_worker"] for e in events}
+        assert 0 not in survivors
+        # after the detach, only host-0 workers can host recoveries
+        late = [e for e in events if e["step"] >= 10]
+        assert all(e["to_worker"] == 2 for e in late)
+
+    def test_conservation_audit_holds_after_the_storm(self, runs):
+        _, _, chaotic, report = runs
+        audit = chaotic.store.check_conservation()
+        assert audit == report["blocks"]
+        states = audit["states"]
+        assert states["local"] == 0 and states["in_transit"] == 0
+        # an aborted demotion leaves its victim fully pooled
+        assert chaotic.store.pool.used_slots() == states["pooled"]
+
+    def test_chaos_run_is_deterministic(self, runs):
+        _, _, chaotic, report = runs
+        again = _engine()
+        with faults.use_plan(_chaos_plan()):
+            report2 = again.run()
+        assert report2["wall_ns"] == report["wall_ns"]
+        assert again.digests() == chaotic.digests()
+        assert report2["recovery"]["events"] == \
+            report["recovery"]["events"]
+
+    def test_no_block_ever_left_on_the_dead_host(self, runs):
+        _, _, chaotic, _ = runs
+        for block in chaotic.store.blocks.values():
+            if block.state is BlockState.POOLED:
+                assert block.loc.host == 0
+
+    def test_clean_run_saw_no_faults(self, runs):
+        _, clean_report, _, _ = runs
+        assert clean_report["recovery"]["events"] == []
+        assert clean_report["detaches"] == []

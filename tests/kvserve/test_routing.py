@@ -1,0 +1,86 @@
+"""CXL-aware routing: locality, link health, load, determinism."""
+
+import hashlib
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.errors import KvCacheError
+from repro.fabric.manager import FabricManager
+from repro.kvserve.blocks import KvBlockStore, KvPool, block_payload
+from repro.kvserve.routing import Router
+
+BLOCK = 1024
+
+
+@dataclass
+class FakeWorker:
+    worker_id: int
+    host: int
+    alive: bool = True
+    active: dict = field(default_factory=dict)
+
+
+@pytest.fixture()
+def store() -> KvBlockStore:
+    return KvBlockStore(KvPool(FabricManager.build(2), BLOCK,
+                               slots_per_host=8))
+
+
+def _pooled(store, tag: str, host: int) -> str:
+    key = hashlib.sha256(tag.encode()).hexdigest()
+    store.add_local(key, block_payload(key, BLOCK), 16, 0, 0)
+    store.offload(key, host)
+    return key
+
+
+class TestScoring:
+    def test_locality_wins(self, store):
+        keys = [_pooled(store, f"b{i}", host=1) for i in range(3)]
+        workers = [FakeWorker(0, 0), FakeWorker(1, 1)]
+        best = Router().place(keys, store, workers)
+        assert best.worker == 1
+        assert best.locality == 1.0
+
+    def test_load_breaks_locality_ties(self, store):
+        workers = [FakeWorker(0, 0, active={1: object(), 2: object()}),
+                   FakeWorker(1, 1)]
+        assert Router().place([], store, workers).worker == 1
+
+    def test_deterministic_tie_break_by_worker_id(self, store):
+        workers = [FakeWorker(3, 1), FakeWorker(1, 0), FakeWorker(2, 0)]
+        assert Router().place([], store, workers).worker == 1
+
+    def test_dead_workers_never_score(self, store):
+        keys = [_pooled(store, "b", host=0)]
+        workers = [FakeWorker(0, 0, alive=False), FakeWorker(1, 1)]
+        assert Router().place(keys, store, workers).worker == 1
+
+    def test_no_alive_worker_is_typed(self, store):
+        with pytest.raises(KvCacheError, match="no alive"):
+            Router().place([], store, [FakeWorker(0, 0, alive=False)])
+
+    def test_degraded_link_health_repels(self, store):
+        # equal locality (no blocks), equal load: health decides
+        _pooled(store, "seed0", host=0)     # opens host 0's port
+        _pooled(store, "seed1", host=1)
+        host0 = store.pool.manager.hosts[0]
+        for port in host0._ports.values():
+            port._transient_errors = port.retry.error_budget - 1
+        workers = [FakeWorker(0, 0), FakeWorker(1, 1)]
+        ranked = Router().scores([], store, workers)
+        assert ranked[0].worker == 1
+        assert ranked[1].link_health < ranked[0].link_health
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(KvCacheError):
+            Router(w_locality=0, w_health=0, w_load=0)
+
+    def test_partial_locality_fraction(self, store):
+        near = _pooled(store, "near", host=0)
+        far = [_pooled(store, f"far{i}", host=1) for i in range(3)]
+        workers = [FakeWorker(0, 0), FakeWorker(1, 1)]
+        ranked = Router().scores([near] + far, store, workers)
+        by_worker = {s.worker: s for s in ranked}
+        assert by_worker[0].locality == pytest.approx(0.25)
+        assert by_worker[1].locality == pytest.approx(0.75)

@@ -234,6 +234,59 @@ class TestLifecycle:
 
         asyncio.run(body())
 
+    def test_close_drains_in_flight_and_fails_queued(self):
+        async def body():
+            service = _service(dispatchers=1)
+            await service.start()
+            # distinct keys so nothing coalesces: one request reaches
+            # the single dispatcher, the rest wait in the queue
+            futs = [asyncio.ensure_future(
+                        service.submit(_req(array_size=ELEMENTS + i)))
+                    for i in range(4)]
+            for _ in range(3):      # let the dispatcher pick up work
+                await asyncio.sleep(0)
+            await service.close()
+            outcomes = await asyncio.gather(*futs, return_exceptions=True)
+            return service, outcomes
+
+        service, outcomes = asyncio.run(body())
+        served = [o for o in outcomes if not isinstance(o, Exception)]
+        closed = [o for o in outcomes
+                  if isinstance(o, ServiceClosedError)]
+        assert len(served) + len(closed) == 4, outcomes
+        assert served, "the in-flight request must run to completion"
+        assert closed, "queued requests must fail with ServiceClosedError"
+        assert all(r.source == "executed" and r.json for r in served)
+        assert service.counters["executed"] == len(served)
+
+    def test_close_under_concurrent_load_never_hangs_or_drops(self):
+        async def body():
+            service = _service(dispatchers=2)
+            await service.start()
+            futs = [asyncio.ensure_future(
+                        service.submit(_req(array_size=ELEMENTS + i,
+                                            tenant=f"t{i % 3}")))
+                    for i in range(8)]
+            await asyncio.sleep(0)
+            await asyncio.wait_for(service.close(), timeout=120)
+            outcomes = await asyncio.gather(*futs, return_exceptions=True)
+            # post-close submissions shed immediately
+            with pytest.raises(ServiceClosedError):
+                await service.submit(_req())
+            await service.close()       # idempotent
+            return service, outcomes
+
+        service, outcomes = asyncio.run(body())
+        assert all(not isinstance(o, Exception)
+                   or isinstance(o, ServiceClosedError)
+                   for o in outcomes), outcomes
+        assert not service.running
+        assert service.stats()["queue_depth"] == 0
+        assert service.stats()["inflight"] == 0
+
+    def test_close_before_start_is_a_no_op(self):
+        asyncio.run(_service().close())
+
     def test_stats_shape(self):
         async def body(service):
             await service.submit(_req())

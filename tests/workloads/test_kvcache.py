@@ -1,0 +1,56 @@
+"""KV-cache workload specs and the worker-kill recovery drill."""
+
+import pytest
+
+from repro.errors import KvCacheError
+from repro.workloads.kvcache import (
+    KvWorkloadSpec,
+    kill_worker_drill,
+    run_kvcache,
+)
+
+SMALL = KvWorkloadSpec(n_groups=2, seqs_per_group=2, prompt_tokens=32,
+                       decode_tokens=12, shared_prefix_tokens=16,
+                       block_tokens=8, kv_bytes_per_token=32,
+                       slots_per_host=64)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(KvCacheError):
+            KvWorkloadSpec(n_hosts=0)
+        with pytest.raises(KvCacheError):
+            KvWorkloadSpec(prompt_tokens=0)
+        with pytest.raises(KvCacheError):
+            KvWorkloadSpec(shared_prefix_tokens=100, prompt_tokens=64)
+
+    def test_derived_counts(self):
+        assert SMALL.n_sequences == 4
+        assert SMALL.n_workers == 4
+
+
+class TestRun:
+    def test_report_shape_and_digests(self):
+        report = run_kvcache(SMALL)
+        assert report["recovery_mode"] == "pooled"
+        assert len(report["digests"]) == SMALL.n_sequences
+        assert report["prefill"]["shared_tokens"] > 0
+        assert report["blocks"]["states"]["local"] == 0
+
+
+class TestKillDrill:
+    def test_drill_passes_all_gates(self):
+        drill = kill_worker_drill(SMALL, worker=0, at_step=3)
+        assert drill["ok"]
+        assert drill["victim_sequences"] >= 1
+        assert drill["digests_identical"]
+        assert drill["zero_prefix_reprefill"]
+        assert drill["recovery_speedup"] >= drill["speedup_floor"]
+        assert drill["pooled"]["tokens_from_pool"] > 0
+        assert drill["reprefill"]["tokens_from_pool"] == 0
+
+    def test_bad_targets_are_typed(self):
+        with pytest.raises(KvCacheError, match="worker"):
+            kill_worker_drill(SMALL, worker=99)
+        with pytest.raises(KvCacheError, match="at_step"):
+            kill_worker_drill(SMALL, at_step=10_000)
